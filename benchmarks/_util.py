@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark sweeps its experiment's parameter range, prints a table
+comparing engine-measured round counts against the paper's predicted
+bound (the *shape* is the reproduction target), saves the table under
+``benchmarks/results/`` for EXPERIMENTS.md, and times one representative
+instance through pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.analysis import Table
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(table: Table, capsys, benchmark=None, filename: str = None) -> None:
+    """Print the table to the real terminal and persist it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = table.to_text()
+    with capsys.disabled():
+        print("\n" + text + "\n")
+    if filename:
+        path = RESULTS_DIR / filename
+        path.write_text(table.to_markdown() + "\n")
+    if benchmark is not None:
+        benchmark.extra_info["table"] = table.rows

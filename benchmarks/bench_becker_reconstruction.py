@@ -1,0 +1,78 @@
+"""E7 (Becker et al. [2]): one-round reconstruction of k-degenerate
+graphs from O(k·log n)-bit broadcasts.
+
+We sweep k and n: message size must scale as (k+1)·⌈log n⌉ bits, the
+engine cost as ⌈message/b⌉ rounds, and reconstruction must be exact at
+k = degeneracy and certifiably fail below it.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis import Table
+from repro.core.network import Mode, run_protocol
+from repro.core.phases import phase_length
+from repro.graphs import degeneracy, random_k_degenerate
+from repro.subgraphs import reconstruct
+from repro.subgraphs.becker import algorithm_a, message_bits
+
+from _util import emit
+
+BANDWIDTH = 8
+
+
+def _run_engine(graph, k):
+    def program(ctx):
+        success, rec = yield from algorithm_a(ctx, ctx.input, k)
+        return success, (rec.edge_set() if rec else None)
+
+    inputs = [sorted(graph.neighbors(v)) for v in range(graph.n)]
+    return run_protocol(
+        program, n=graph.n, bandwidth=BANDWIDTH, mode=Mode.BROADCAST,
+        inputs=inputs,
+    )
+
+
+def test_message_size_and_rounds(benchmark, capsys):
+    table = Table(
+        f"E7 Becker et al. — one-round reconstruction (b={BANDWIDTH})",
+        ["n", "k (degeneracy)", "message bits", "O(k log n)", "rounds", "exact"],
+    )
+    rng = random.Random(2)
+    for n, k_gen in ((16, 2), (32, 3), (48, 4), (64, 6)):
+        graph = random_k_degenerate(n, k_gen, rng)
+        k = max(1, degeneracy(graph))
+        result = _run_engine(graph, k)
+        bits = message_bits(n, k)
+        exact = all(
+            success and edges == graph.edge_set()
+            for success, edges in result.outputs
+        )
+        table.add_row(
+            n, k, bits, (k + 1) * max(1, (n - 1).bit_length()), result.rounds, exact
+        )
+        assert exact
+        assert result.rounds == phase_length(bits, BANDWIDTH)
+    emit(table, capsys, filename="e7_becker_reconstruction.md")
+
+    graph = random_k_degenerate(24, 2, random.Random(0))
+    k = max(1, degeneracy(graph))
+    benchmark(lambda: reconstruct(graph, k))
+
+
+def test_failure_certification(benchmark, capsys):
+    table = Table(
+        "E7 Becker et al. — failure below the true degeneracy is certified",
+        ["n", "true k", "attempted k", "success"],
+    )
+    rng = random.Random(4)
+    graph = random_k_degenerate(32, 5, rng)
+    k = degeneracy(graph)
+    for attempt in (k, k - 1, max(1, k // 2)):
+        rec = reconstruct(graph, attempt)
+        table.add_row(32, k, attempt, rec is not None)
+        assert (rec is not None) == (attempt >= k)
+    emit(table, capsys, filename="e7_failure_certification.md")
+
+    benchmark(lambda: reconstruct(graph, max(1, k - 1)))

@@ -1,0 +1,67 @@
+"""E3 (Section 2, ACC/CC): MOD_m gates are O(1)-separable.
+
+The CC[m] implication needs simulations at *constant* bandwidth: a
+MOD_m gate's summary is a partial sum mod m (⌈log2 m⌉ bits, independent
+of n).  We sweep depth of MOD-gate trees at m = 2, 3, 6 and confirm
+rounds ≈ O(depth) with bandwidth that never grows with n.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis import Table
+from repro.circuits import builders
+from repro.simulation import simulate_circuit
+
+from _util import emit
+
+
+def _run(circuit, players=9, seed=0):
+    rng = random.Random(seed)
+    xs = [rng.random() < 0.5 for _ in range(circuit.num_inputs)]
+    outputs, result, plan = simulate_circuit(circuit, players, xs)
+    expected = circuit.evaluate(xs)
+    assert all(outputs[g] == expected[g] for g in circuit.outputs)
+    return result, plan
+
+
+def test_mod_tree_depth_sweep(benchmark, capsys):
+    table = Table(
+        "E3 CC[m] — MOD-gate trees: O(1)-separable, rounds ~ depth",
+        ["m", "inputs", "fan-in", "depth", "bandwidth", "rounds", "rounds/depth"],
+    )
+    for modulus in (2, 3, 6):
+        for fan_in, inputs in ((3, 27), (3, 81)):
+            circuit = builders.mod_tree(inputs, modulus, fan_in)
+            result, plan = _run(circuit)
+            depth = circuit.depth()
+            table.add_row(
+                modulus,
+                inputs,
+                fan_in,
+                depth,
+                plan.bandwidth,
+                result.rounds,
+                round(result.rounds / depth, 2),
+            )
+            # Constant bandwidth: ⌈log2 m⌉ or the s-parameter, never n.
+            assert plan.bandwidth <= max(3, plan.assignment.s_param)
+    emit(table, capsys, filename="e3_cc_circuits.md")
+
+    benchmark(lambda: _run(builders.mod_tree(27, 6, 3)))
+
+
+def test_cc_parity(benchmark, capsys):
+    table = Table(
+        "E3 CC[2] — parity via a single MOD2 gate plus NOT",
+        ["inputs", "players", "bandwidth", "rounds"],
+    )
+    for inputs in (32, 64, 128):
+        circuit = builders.cc_parity_circuit(inputs)
+        result, plan = _run(circuit, players=8)
+        table.add_row(inputs, 8, plan.bandwidth, result.rounds)
+        assert result.rounds <= 10
+    emit(table, capsys, filename="e3_cc_parity.md")
+
+    benchmark(lambda: _run(builders.cc_parity_circuit(48), 8))

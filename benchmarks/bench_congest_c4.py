@@ -1,0 +1,89 @@
+"""E16 (Section 3.1, full-version claim): C4 detection in CONGEST.
+
+The paper: "4-cycle detection can also be solved in the same asymptotic
+time, O(√n·log n/b), even when nodes can only communicate over the
+edges of the input graph G."  Our two-phase threshold algorithm (see
+repro.congest.c4_detection for the guarantee and its caveat) is swept
+over n on C4-free near-extremal instances — the hard case, since
+detection cannot exit early — and over the sorting primitive of [28].
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.analysis import Table
+from repro.congest import detect_c4_congest
+from repro.graphs import contains_subgraph, cycle_graph, random_graph
+from repro.graphs.extremal import polarity_graph
+from repro.routing.sorting import clique_sort
+
+from _util import emit
+
+BANDWIDTH = 16
+
+
+def test_sqrt_scaling_on_extremal_instances(benchmark, capsys):
+    table = Table(
+        f"E16 CONGEST C4 — polarity graphs (C4-free, b={BANDWIDTH})",
+        ["q", "n", "m", "heavy", "rounds", "√n·log n/b", "found"],
+    )
+    for q in (3, 5, 7):
+        graph = polarity_graph(q)
+        outcome, result = detect_c4_congest(graph, bandwidth=BANDWIDTH)
+        predicted = math.sqrt(graph.n) * math.log2(graph.n) / BANDWIDTH
+        table.add_row(
+            q,
+            graph.n,
+            graph.m,
+            outcome.heavy_count,
+            result.rounds,
+            round(predicted, 1),
+            outcome.found,
+        )
+        assert not outcome.found
+    emit(table, capsys, filename="e16_congest_c4.md")
+
+    graph = polarity_graph(3)
+    benchmark(lambda: detect_c4_congest(graph, bandwidth=BANDWIDTH))
+
+
+def test_correctness_sweep(benchmark, capsys):
+    table = Table(
+        "E16 CONGEST C4 — correctness across densities (n=20)",
+        ["p", "truth", "found", "rounds"],
+    )
+    pattern = cycle_graph(4)
+    for p in (0.05, 0.12, 0.3):
+        rng = random.Random(int(100 * p))
+        graph = random_graph(20, p, rng)
+        truth = contains_subgraph(graph, pattern)
+        outcome, result = detect_c4_congest(graph, bandwidth=BANDWIDTH)
+        assert outcome.found == truth
+        table.add_row(p, truth, outcome.found, result.rounds)
+    emit(table, capsys, filename="e16_congest_correctness.md")
+
+    graph = random_graph(16, 0.15, random.Random(4))
+    benchmark(lambda: detect_c4_congest(graph, bandwidth=BANDWIDTH))
+
+
+def test_sorting_primitive(benchmark, capsys):
+    table = Table(
+        "E16 [28] sorting — n players × n keys each (b=32)",
+        ["n", "keys total", "rounds", "sorted"],
+    )
+    for n in (4, 8, 12):
+        rng = random.Random(n)
+        lists = [
+            [rng.randrange(1 << 10) for _ in range(n)] for _ in range(n)
+        ]
+        blocks, result = clique_sort(lists, key_bits=10, bandwidth=32)
+        flat = sorted(x for keys in lists for x in keys)
+        ok = blocks == [flat[i * n : (i + 1) * n] for i in range(n)]
+        table.add_row(n, n * n, result.rounds, ok)
+        assert ok
+    emit(table, capsys, filename="e16_sorting.md")
+
+    lists = [[3, 1], [2, 0]]
+    benchmark(lambda: clique_sort(lists, key_bits=4, bandwidth=16))

@@ -1,0 +1,69 @@
+"""E4 (Section 2.1): matrix multiplication circuits vs triangle detection.
+
+The conditional result: matmul circuits of size O(n^δ) give triangle
+detection in O(n^{δ-2}) rounds in CLIQUE-UCAST(n, 1) — smaller circuits
+mean cheaper protocols.  We compare the naive (δ=3) and Strassen
+(δ=2.81) pipelines: wires, the induced s-parameter/bandwidth, and the
+measured rounds of the full masked-F2 triangle protocol.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis import Table
+from repro.circuits.arithmetic import matmul_circuit_naive, matmul_circuit_strassen
+from repro.graphs import random_graph
+from repro.matmul import detect_triangle_mm, has_triangle
+from repro.simulation import build_plan
+from repro.matmul.distributed import matmul_input_partition
+
+from _util import emit
+
+
+def test_circuit_families(benchmark, capsys):
+    table = Table(
+        "E4 Section 2.1 — matmul circuit families (s = wires/n² drives bandwidth)",
+        ["kind", "size", "wires", "depth", "s", "bandwidth"],
+    )
+    for size in (4, 8, 16):
+        for kind, builder in (
+            ("naive", matmul_circuit_naive),
+            ("strassen", matmul_circuit_strassen),
+        ):
+            circuit = builder(size)
+            plan = build_plan(circuit, size, matmul_input_partition(size))
+            table.add_row(
+                kind,
+                size,
+                circuit.wire_count(),
+                circuit.depth(),
+                plan.assignment.s_param,
+                plan.bandwidth,
+            )
+    emit(table, capsys, filename="e4_matmul_circuits.md")
+
+    benchmark(lambda: build_plan(matmul_circuit_naive(8), 8, matmul_input_partition(8)))
+
+
+def test_triangle_detection_pipeline(benchmark, capsys):
+    table = Table(
+        "E4 Section 2.1 — masked-F2 triangle detection via circuit simulation",
+        ["kind", "n", "trials", "rounds", "bandwidth", "found", "truth"],
+    )
+    rng = random.Random(7)
+    for size in (6, 8):
+        graph = random_graph(size, 0.35, rng)
+        truth = has_triangle(graph)
+        for kind in ("naive", "strassen"):
+            outcome, result, plan = detect_triangle_mm(
+                graph, trials=6, circuit_kind=kind, seed=size
+            )
+            assert outcome.found == truth
+            table.add_row(
+                kind, size, 6, result.rounds, plan.bandwidth, outcome.found, truth
+            )
+    emit(table, capsys, filename="e4_triangle_mm.md")
+
+    graph = random_graph(6, 0.4, random.Random(1))
+    benchmark(lambda: detect_triangle_mm(graph, trials=2, circuit_kind="naive"))

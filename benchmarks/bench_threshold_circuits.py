@@ -1,0 +1,74 @@
+"""E2 (Section 2, TC0): threshold gates are O(log n)-separable.
+
+The paper's point: an α·log log n round lower bound at bandwidth
+β·log n would improve the best known threshold-circuit wire bounds,
+because depth-d threshold circuits simulate in O(d) rounds.  We run the
+classic depth-4 unweighted-threshold parity circuit (the object of the
+Impagliazzo–Paturi–Saks tradeoff) and majority at increasing input
+sizes: rounds stay constant, bandwidth grows only logarithmically.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.analysis import Table
+from repro.circuits import builders
+from repro.simulation import simulate_circuit
+
+from _util import emit
+
+
+def _run(circuit, n_players, seed=0):
+    rng = random.Random(seed)
+    xs = [rng.random() < 0.5 for _ in range(circuit.num_inputs)]
+    outputs, result, plan = simulate_circuit(circuit, n_players, xs)
+    expected = circuit.evaluate(xs)
+    assert all(outputs[g] == expected[g] for g in circuit.outputs)
+    return result, plan
+
+
+def test_threshold_parity_constant_rounds(benchmark, capsys):
+    table = Table(
+        "E2 TC0 — depth-4 threshold parity: rounds constant, bandwidth O(log n)",
+        ["inputs", "players", "wires", "depth", "bandwidth", "⌈log2 W⌉", "rounds"],
+    )
+    rounds_seen = []
+    bandwidths = []
+    for inputs in (8, 16, 32):
+        circuit = builders.threshold_parity_circuit(inputs)
+        players = 8
+        result, plan = _run(circuit, players)
+        rounds_seen.append(result.rounds)
+        bandwidths.append(plan.bandwidth)
+        table.add_row(
+            inputs,
+            players,
+            circuit.wire_count(),
+            circuit.depth(),
+            plan.bandwidth,
+            math.ceil(math.log2(inputs + 1)),
+            result.rounds,
+        )
+    emit(table, capsys, filename="e2_threshold_parity.md")
+    # Constant rounds at constant depth; log-growth bandwidth.
+    assert max(rounds_seen) <= min(rounds_seen) + 8
+    assert bandwidths[-1] <= 4 * math.log2(32)
+
+    benchmark(lambda: _run(builders.threshold_parity_circuit(12), 6))
+
+
+def test_majority_single_gate(benchmark, capsys):
+    table = Table(
+        "E2 TC0 — depth-1 majority (one unbounded-fan-in threshold gate)",
+        ["inputs", "players", "bandwidth", "rounds"],
+    )
+    for inputs in (16, 64, 128):
+        circuit = builders.majority_circuit(inputs)
+        result, plan = _run(circuit, 8)
+        table.add_row(inputs, 8, plan.bandwidth, result.rounds)
+        assert result.rounds <= 10
+    emit(table, capsys, filename="e2_majority.md")
+
+    benchmark(lambda: _run(builders.majority_circuit(32), 8))

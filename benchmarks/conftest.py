@@ -1,0 +1,6 @@
+"""Ensures the benchmarks directory itself is importable (_util)."""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))

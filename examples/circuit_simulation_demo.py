@@ -1,0 +1,67 @@
+"""Theorem 2 in action: the congested clique runs your circuits.
+
+Scenario: n sensor nodes each hold a share of a distributed bit-vector
+and must evaluate global predicates — parity (fault count is odd?),
+majority (more than half report anomaly?), inner product (correlation
+between two telemetry windows).  Rather than writing bespoke protocols,
+we compile each predicate as a bounded-depth circuit of b-separable
+gates and let the Theorem 2 simulation schedule all communication.
+
+The demo prints, per predicate: circuit shape (depth / wires / s),
+engine-measured rounds, and the check against direct evaluation.
+
+Run:  python examples/circuit_simulation_demo.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.circuits import builders
+from repro.simulation import simulate_circuit
+
+N_PLAYERS = 8
+
+
+def run_predicate(name: str, circuit, inputs, seed: int = 0) -> None:
+    outputs, result, plan = simulate_circuit(
+        circuit, N_PLAYERS, inputs, seed=seed
+    )
+    direct = circuit.evaluate_outputs(inputs)
+    simulated = [outputs[g] for g in circuit.outputs]
+    status = "OK" if simulated == direct else "MISMATCH"
+    stats = circuit.stats()
+    print(
+        f"{name:<22} depth={stats['depth']:<3} wires={stats['wires']:<6} "
+        f"s={plan.assignment.s_param:<3} bandwidth={plan.bandwidth:<4} "
+        f"rounds={result.rounds:<4} result={simulated[0] if simulated else '-'} [{status}]"
+    )
+    assert simulated == direct
+
+
+def main() -> None:
+    rng = random.Random(99)
+    bits = [rng.random() < 0.5 for _ in range(64)]
+    window_a = [rng.random() < 0.5 for _ in range(32)]
+    window_b = [rng.random() < 0.5 for _ in range(32)]
+
+    print(f"simulating on CLIQUE-UCAST with n={N_PLAYERS} players\n")
+    run_predicate("parity (XOR tree, f=8)", builders.parity_tree(64, 8), bits)
+    run_predicate("parity (XOR tree, f=2)", builders.parity_tree(64, 2), bits)
+    run_predicate("parity (1 MOD2 gate)", builders.cc_parity_circuit(64), bits)
+    run_predicate(
+        "parity (TC0 depth 4)", builders.threshold_parity_circuit(16), bits[:16]
+    )
+    run_predicate("majority (1 THR gate)", builders.majority_circuit(64), bits)
+    run_predicate(
+        "inner product", builders.inner_product_circuit(32), window_a + window_b
+    )
+
+    print()
+    print("Note how rounds track circuit *depth*, never wire count —")
+    print("that is Theorem 2, and why congested-clique lower bounds")
+    print("imply circuit lower bounds.")
+
+
+if __name__ == "__main__":
+    main()

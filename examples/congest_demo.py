@@ -1,0 +1,66 @@
+"""CONGEST: when the input graph *is* the network (Section 3 coda).
+
+Scenario: a mesh network of sensors can only talk over its own links.
+The demo builds a BFS tree, aggregates a global sum over it, and then
+runs the C4-detection algorithm the paper claims for general networks —
+all on the engine's CONGEST mode, which rejects any message addressed
+to a non-neighbour.
+
+Run:  python examples/congest_demo.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.congest import aggregate_sum, bfs_tree, detect_c4_congest
+from repro.graphs import contains_subgraph, cycle_graph, random_graph
+from repro.graphs.extremal import polarity_graph
+
+
+def main() -> None:
+    rng = random.Random(11)
+    mesh = random_graph(18, 0.18, rng)
+    for v in range(1, mesh.n):  # ensure connectivity
+        mesh.add_edge(v - 1, v)
+    print(f"mesh network: n={mesh.n}, m={mesh.m}")
+    print()
+
+    print("--- BFS tree from node 0 (1 bit per edge per round) ---")
+    parents, depths, result = bfs_tree(mesh, root=0)
+    print(f"eccentricity of root: {max(d for d in depths if d is not None)}")
+    print(f"rounds: {result.rounds}, total bits: {result.total_bits}")
+    print()
+
+    print("--- aggregate: global sum of sensor readings ---")
+    readings = [rng.randrange(100) for _ in range(mesh.n)]
+    total, agg_result = aggregate_sum(mesh, readings, value_bits=16)
+    print(f"sum = {total} (expected {sum(readings)}), rounds: {agg_result.rounds}")
+    assert total == sum(readings)
+    print()
+
+    print("--- C4 detection over the mesh's own links ---")
+    truth = contains_subgraph(mesh, cycle_graph(4))
+    outcome, c4_result = detect_c4_congest(mesh, bandwidth=16)
+    print(
+        f"contains C4: {outcome.found} (truth: {truth})   "
+        f"witness: {outcome.witness}   rounds: {c4_result.rounds}"
+    )
+    assert outcome.found == truth
+    print()
+
+    print("--- the hard case: a dense C4-free network (polarity graph) ---")
+    hard = polarity_graph(5)
+    outcome2, hard_result = detect_c4_congest(hard, bandwidth=16)
+    print(
+        f"n={hard.n}, m={hard.m}: contains C4: {outcome2.found} "
+        f"(heavy vertices: {outcome2.heavy_count}, rounds: {hard_result.rounds})"
+    )
+    assert not outcome2.found
+    print()
+    print("Everything ran under CONGEST's neighbour-only delivery rule —")
+    print("the same engine that simulates the clique enforces the topology.")
+
+
+if __name__ == "__main__":
+    main()

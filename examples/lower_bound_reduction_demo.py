@@ -1,0 +1,101 @@
+"""The lower-bound machinery, end to end (Section 3.2–3.6).
+
+This demo shows what "subgraph detection is polynomially hard in the
+broadcast clique" means operationally:
+
+1. build the Lemma 14 (K4, K_{N,N})-lower-bound graph and machine-verify
+   every clause of Definition 10;
+2. run Lemma 13's reduction: a CLIQUE-BCAST K4-detection protocol is
+   used, unmodified, to answer 2-party set disjointness — so any fast
+   detection protocol would beat the fooling-set bound;
+3. run Theorem 24's 3-party NOF reduction on a Ruzsa–Szemerédi graph:
+   triangle detection answers three-way disjointness.
+
+Run:  python examples/lower_bound_reduction_demo.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.lower_bounds import (
+    DisjointnessReduction,
+    NOFTriangleReduction,
+    clique_lower_bound_graph,
+    deterministic_disj_bits_lower_bound,
+    implied_round_lower_bound,
+    sets_disjoint,
+    verify_lower_bound_graph,
+)
+
+BANDWIDTH = 4
+
+
+def main() -> None:
+    print("=== Lemma 14: the (K4, K_{N,N}) lower-bound graph, N=4 ===")
+    lbg = clique_lower_bound_graph(4, 4)
+    violations = verify_lower_bound_graph(lbg)
+    print(f"template: n={lbg.template.n}, m={lbg.template.m}")
+    print(f"disjointness universe |E_F| = N² = {lbg.universe_size}")
+    print(f"Definition 10 verification: {violations or 'all clauses hold'}")
+    assert not violations
+
+    lb = implied_round_lower_bound(lbg.universe_size, lbg.template.n, BANDWIDTH)
+    bits = deterministic_disj_bits_lower_bound(lbg.universe_size)
+    print(
+        f"fooling set forces >= {bits} bits; at n·b = "
+        f"{lbg.template.n * BANDWIDTH} blackboard bits/round that is "
+        f">= {lb} rounds (Theorem 15's Ω(n/b))."
+    )
+    print()
+
+    print("=== Lemma 13: detection protocol answers DISJ, live ===")
+    reduction = DisjointnessReduction(lbg, bandwidth=BANDWIDTH)
+    rng = random.Random(5)
+    for label, (x, y) in (
+        ("disjoint pair", ({0, 5, 9}, {1, 6, 11})),
+        ("intersecting", ({2, 7, 13}, {3, 7})),
+        (
+            "random",
+            (
+                {i for i in range(lbg.universe_size) if rng.random() < 0.3},
+                {i for i in range(lbg.universe_size) if rng.random() < 0.3},
+            ),
+        ),
+    ):
+        run = reduction.solve(x, y)
+        assert run.disjoint == sets_disjoint(x, y)
+        print(
+            f"{label:<14} -> answer: {'disjoint' if run.disjoint else 'intersecting'} "
+            f"(rounds={run.rounds}, Alice wrote {run.alice_bits}b, "
+            f"Bob wrote {run.bob_bits}b)"
+        )
+    print()
+
+    print("=== Theorem 24: triangles vs 3-party NOF disjointness ===")
+    nof = NOFTriangleReduction(5, bandwidth=8)
+    print(
+        f"Ruzsa–Szemerédi graph: n={nof.rs.graph.n} nodes, "
+        f"m={nof.universe_size} edge-disjoint triangles (the universe)"
+    )
+    m = nof.universe_size
+    cases = [
+        ("three-way hit", ({0, 3}, {0, 5}, {0, 7})),
+        ("pairwise only", ({1, 2}, {2, 3}, {3, 1})),
+    ]
+    for label, (xa, xb, xc) in cases:
+        run = nof.solve(xa, xb, xc)
+        expected = not (set(xa) & set(xb) & set(xc))
+        assert run.disjoint == expected
+        print(
+            f"{label:<14} -> {'disjoint' if run.disjoint else 'intersecting'} "
+            f"(rounds={run.rounds}, per-party bits={run.bits_by_party})"
+        )
+    print()
+    print("Every reduction answered correctly: fast detection protocols")
+    print("really would yield fast disjointness protocols — the bounds of")
+    print("Theorems 15/19/22/24 are exactly this arithmetic.")
+
+
+if __name__ == "__main__":
+    main()

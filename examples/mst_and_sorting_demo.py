@@ -1,0 +1,59 @@
+"""The congested-clique toolbox: MST and sorting.
+
+Scenario: a cluster of n coordinators must (a) agree on a cheapest
+spanning backbone for their weighted overlay and (b) redistribute a
+sharded key space into sorted rank blocks.  Both are classic
+congested-clique primitives the paper's introduction points to ([30]
+for MST, [28] for sorting); both run here on the same engine with
+honest round accounting.
+
+Run:  python examples/mst_and_sorting_demo.py
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.graphs import complete_graph
+from repro.mst import WeightedGraph, boruvka_mst, mst_reference
+from repro.routing.sorting import clique_sort
+
+
+def main() -> None:
+    rng = random.Random(77)
+    n = 16
+
+    print("=== Borůvka MST on CLIQUE-BCAST ===")
+    overlay = complete_graph(n)
+    wg = WeightedGraph(
+        graph=overlay,
+        weights={e: rng.randint(1, 999) for e in overlay.edges()},
+    )
+    tree, result = boruvka_mst(wg, bandwidth=32)
+    total = sum(wg.weights[e] for e in tree)
+    assert tree == mst_reference(wg)
+    print(f"n={n} complete overlay, {overlay.m} weighted links")
+    print(f"MST: {len(tree)} edges, total weight {total}")
+    print(
+        f"rounds: {result.rounds} "
+        f"(⌈log2 n⌉ = {math.ceil(math.log2(n))} broadcast phases)"
+    )
+    print(f"agrees with centralised Kruskal: True")
+    print()
+
+    print("=== [28]-style sorting: n players × n keys ===")
+    shards = [[rng.randrange(1 << 12) for _ in range(n)] for _ in range(n)]
+    blocks, sort_result = clique_sort(shards, key_bits=12, bandwidth=32)
+    flat = sorted(x for shard in shards for x in shard)
+    assert blocks == [flat[i * n : (i + 1) * n] for i in range(n)]
+    print(f"{n * n} keys redistributed into rank blocks")
+    print(f"player 0 now holds the {n} smallest keys: {blocks[0][:5]}...")
+    print(f"rounds: {sort_result.rounds}, bits: {sort_result.total_bits}")
+    print()
+    print("Two of the primitives the paper's 'power of the clique' story")
+    print("is built on — measured, not asserted.")
+
+
+if __name__ == "__main__":
+    main()

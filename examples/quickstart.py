@@ -1,0 +1,95 @@
+"""Quickstart: write and run your own congested-clique protocol.
+
+The engine runs one generator per node: ``yield`` an Outbox to end the
+round, receive an Inbox, return your output.  This example computes the
+maximum of the players' inputs in the broadcast clique, one b-bit chunk
+at a time, and reports the exact round/bit costs the engine measured.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.core import Bits, Mode, Outbox, run_protocol, transmit_broadcast
+
+
+def max_protocol(value_bits: int):
+    """Every node broadcasts its value; everyone outputs the maximum."""
+
+    def program(ctx):
+        payload = Bits.from_uint(ctx.input, value_bits)
+        received = yield from transmit_broadcast(ctx, payload, max_bits=value_bits)
+        values = {ctx.node_id: ctx.input}
+        for sender, bits in received.items():
+            values[sender] = bits.to_uint()
+        return max(values.values())
+
+    return program
+
+
+def bit_by_bit_tournament():
+    """A lower-level protocol using raw rounds: nodes announce whether
+    they are still in the running for the maximum, one bit per round,
+    scanning value bits from the most significant down."""
+
+    def program(ctx):
+        value_bits = 8
+        alive = True
+        survivors = set(range(ctx.n))
+        for position in reversed(range(value_bits)):
+            my_bit = (ctx.input >> position) & 1
+            announce = 1 if (alive and my_bit) else 0
+            inbox = yield Outbox.broadcast(Bits.from_uint(announce, 1))
+            ones = {s for s, m in inbox.items() if m.to_uint() == 1}
+            if announce:
+                ones.add(ctx.node_id)
+            if ones:
+                survivors &= ones
+                if alive and not (my_bit or ctx.node_id in ones):
+                    pass
+                alive = alive and my_bit
+        # the surviving nodes all hold the maximum; everyone knows it is
+        # reconstructible from the transcript, but for simplicity the
+        # survivors announce one more time.
+        inbox = yield Outbox.broadcast(
+            Bits.from_uint(1 if alive else 0, 1)
+        )
+        winner = ctx.node_id if alive else min(
+            s for s, m in inbox.items() if m.to_uint() == 1
+        )
+        return winner
+
+    return program
+
+
+def main() -> None:
+    inputs = [23, 7, 200, 143, 56, 99, 180, 31]
+    n = len(inputs)
+
+    print("=== CLIQUE-BCAST(n=8, b=3): maximum via one broadcast phase ===")
+    result = run_protocol(
+        max_protocol(8), n=n, bandwidth=3, mode=Mode.BROADCAST, inputs=inputs
+    )
+    print(f"inputs        : {inputs}")
+    print(f"outputs       : {result.outputs}")
+    print(f"rounds        : {result.rounds}  (8-bit payloads in 3-bit chunks)")
+    print(f"blackboard bits: {result.total_bits}")
+    assert all(out == max(inputs) for out in result.outputs)
+
+    print()
+    print("=== same task, bit-by-bit elimination (1 bit per round) ===")
+    result2 = run_protocol(
+        bit_by_bit_tournament(), n=n, bandwidth=1, mode=Mode.BROADCAST,
+        inputs=inputs,
+    )
+    winner = inputs.index(max(inputs))
+    print(f"winning node  : {result2.outputs[0]} (expected {winner})")
+    print(f"rounds        : {result2.rounds}")
+    assert all(out == winner for out in result2.outputs)
+
+    print()
+    print("Both protocols agree; the engine enforced every bandwidth limit.")
+
+
+if __name__ == "__main__":
+    main()

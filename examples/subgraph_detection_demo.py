@@ -1,0 +1,85 @@
+"""Subgraph detection in the broadcast clique (Section 3.1 of the paper).
+
+Scenario: a fleet of n monitoring agents each knows its own adjacency
+in a communication-overlay graph, and the operators want to know — with
+minimal broadcast traffic — whether the overlay contains a 4-cycle
+(a redundancy loop).  C4 is bipartite, so Theorem 7 beats the trivial
+"everyone announces everything" algorithm: O(√n·log n/b) instead of
+O(n/b).
+
+The demo runs the Theorem 7 protocol (known Turán bound), the Theorem 9
+adaptive protocol (unknown Turán bound), and the trivial baseline on the
+same planted instance, and prints the measured round counts next to the
+paper's formulas.
+
+Run:  python examples/subgraph_detection_demo.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis import (
+    full_learning_round_bound,
+    theorem7_round_bound,
+)
+from repro.graphs import cycle_graph, plant_subgraph, random_k_degenerate
+from repro.graphs.turan import degeneracy_guess
+from repro.subgraphs import adaptive_detect, detect_subgraph, full_learning_detect
+
+BANDWIDTH = 8
+
+
+def main() -> None:
+    rng = random.Random(2024)
+    n = 40
+    pattern = cycle_graph(4)
+
+    overlay = random_k_degenerate(n, 2, rng)
+    planted = plant_subgraph(overlay, pattern, rng)
+    print(f"overlay: n={overlay.n}, m={overlay.m}; planted C4 on edges {planted}")
+    print()
+
+    print("--- Theorem 7: degeneracy-guess reconstruction ---")
+    guess = degeneracy_guess(n, pattern)
+    outcome, result = detect_subgraph(overlay, pattern, bandwidth=BANDWIDTH)
+    print(f"degeneracy guess 4·ex(n,C4)/n = {guess}")
+    print(f"detected: {outcome.contains}   witness: {sorted(outcome.witness or ())}")
+    print(
+        f"rounds: {result.rounds}   "
+        f"(formula: {theorem7_round_bound(n, pattern, BANDWIDTH)})"
+    )
+    print()
+
+    print("--- Theorem 9: adaptive (ex(n,H) unknown) ---")
+    outcome9, result9 = adaptive_detect(overlay, pattern, bandwidth=BANDWIDTH)
+    print(
+        f"detected: {outcome9.contains}   found at degeneracy guess "
+        f"k={outcome9.k_used}, sampling level j={outcome9.level_used}"
+    )
+    print(f"rounds: {result9.rounds}")
+    print()
+
+    print("--- trivial baseline: broadcast your whole row ---")
+    outcome_t, result_t = full_learning_detect(overlay, pattern, bandwidth=BANDWIDTH)
+    print(
+        f"detected: {outcome_t.contains}   rounds: {result_t.rounds}   "
+        f"(formula: {full_learning_round_bound(n, BANDWIDTH)})"
+    )
+    print()
+
+    print("At n=40 the log-factor still hides Theorem 7's √n advantage;")
+    print("the formulas show where the crossover lands:")
+    print(f"{'n':>8} {'thm7 C4':>10} {'trivial':>10}")
+    for big_n in (256, 1024, 4096, 16384):
+        print(
+            f"{big_n:>8} "
+            f"{theorem7_round_bound(big_n, pattern, BANDWIDTH):>10} "
+            f"{full_learning_round_bound(big_n, BANDWIDTH):>10}"
+        )
+
+    assert outcome.contains and outcome9.contains and outcome_t.contains
+
+
+if __name__ == "__main__":
+    main()

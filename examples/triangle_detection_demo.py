@@ -1,0 +1,74 @@
+"""Triangle detection three ways (Section 2.1 and the [8] baseline).
+
+Scenario: n peers in a gossip overlay want to know whether any three of
+them form a mutual-connection triangle (a clique cluster seed).  The
+demo runs:
+
+1. the deterministic Dolev–Lenzen–Peled group-triple algorithm
+   (Õ(n^{1/3}/b) rounds on CLIQUE-UCAST),
+2. the Section 2.1 pipeline — Shamir's masked-F2 reduction on top of a
+   matmul circuit compiled through the Theorem 2 simulation — with both
+   the naive (Θ(n³)-wire) and Strassen (Θ(n^{2.81})-wire) circuits,
+3. the centralised reference (trace of A³) as ground truth.
+
+Run:  python examples/triangle_detection_demo.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.graphs import random_graph
+from repro.matmul import (
+    detect_triangle_dlp,
+    detect_triangle_mm,
+    find_triangle,
+    has_triangle,
+    triangle_count,
+)
+
+
+def main() -> None:
+    rng = random.Random(7)
+    n = 12
+    graph = random_graph(n, 0.22, rng)
+    truth = has_triangle(graph)
+    print(f"overlay: n={graph.n}, m={graph.m}")
+    print(f"ground truth: has_triangle={truth}, count={triangle_count(graph)}")
+    if truth:
+        print(f"reference witness: {find_triangle(graph)}")
+    print()
+
+    print("--- [8]-style deterministic group-triple algorithm ---")
+    outcome, result = detect_triangle_dlp(graph, bandwidth=16)
+    print(
+        f"found={outcome.found} witness={outcome.witness} "
+        f"groups={outcome.group_count} rounds={result.rounds}"
+    )
+    assert outcome.found == truth
+    print()
+
+    for kind in ("naive", "strassen"):
+        print(f"--- Section 2.1: masked-F2 matmul pipeline ({kind}) ---")
+        mm_outcome, mm_result, plan = detect_triangle_mm(
+            graph, trials=8, circuit_kind=kind
+        )
+        circuit = plan.circuit
+        print(
+            f"circuit: wires={circuit.wire_count()} depth={circuit.depth()} "
+            f"s={plan.assignment.s_param} bandwidth={plan.bandwidth}"
+        )
+        print(
+            f"found={mm_outcome.found} witness edge={mm_outcome.witness} "
+            f"rounds={mm_result.rounds} (8 masked products)"
+        )
+        assert mm_outcome.found == truth
+        print()
+
+    print("All three protocols agree with the centralised reference.")
+    print("Smaller matmul circuits -> fewer rounds: that is the paper's")
+    print("conditional O(n^eps) triangle-detection result in miniature.")
+
+
+if __name__ == "__main__":
+    main()

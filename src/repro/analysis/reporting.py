@@ -1,0 +1,74 @@
+"""Table rendering for the benchmark harness and EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, List, Optional, Sequence
+
+__all__ = ["Table", "ratio", "geometric_mean", "fmt"]
+
+
+def fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def ratio(measured: float, predicted: float) -> float:
+    if predicted == 0:
+        return math.inf
+    return measured / predicted
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+class Table:
+    """A fixed-header table rendered as markdown or aligned plain text."""
+
+    def __init__(self, title: str, headers: Sequence[str]) -> None:
+        self.title = title
+        self.headers = list(headers)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} cells, got {len(values)}"
+            )
+        self.rows.append([fmt(v) for v in values])
+
+    def to_markdown(self) -> str:
+        lines = [f"### {self.title}", ""]
+        lines.append("| " + " | ".join(self.headers) + " |")
+        lines.append("|" + "|".join("---" for _ in self.headers) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(row) + " |")
+        return "\n".join(lines)
+
+    def to_text(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        out = [self.title]
+        out.append(
+            "  ".join(h.ljust(widths[i]) for i, h in enumerate(self.headers))
+        )
+        out.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            out.append(
+                "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+            )
+        return "\n".join(out)
+
+    def __str__(self) -> str:
+        return self.to_text()

@@ -1,0 +1,23 @@
+"""CONGEST-model algorithms: BFS/aggregation substrate and the
+C4-detection upper bound the paper states for general networks."""
+
+from repro.congest.c4_detection import C4Outcome, detect_c4_congest
+from repro.congest.gossip import cut_bits, gossip_detect, gossip_rows_program
+from repro.congest.primitives import (
+    aggregate_program,
+    aggregate_sum,
+    bfs_program,
+    bfs_tree,
+)
+
+__all__ = [
+    "bfs_program",
+    "bfs_tree",
+    "aggregate_program",
+    "aggregate_sum",
+    "C4Outcome",
+    "detect_c4_congest",
+    "gossip_rows_program",
+    "gossip_detect",
+    "cut_bits",
+]

@@ -1,0 +1,155 @@
+"""4-cycle detection over the edges of the input graph (CONGEST).
+
+The paper states (Section 3.1) that C4 detection can be solved in
+O(√n·log n / b) rounds "even when nodes can only communicate over the
+edges of the input graph G"; the algorithm itself lives in the full
+version, which is not part of the provided text.  We implement a
+*complete* two-phase threshold algorithm whose cost matches that bound
+on bounded-heavy-count instances, and document the exact guarantee
+(DESIGN.md substitution style):
+
+* Phase 1 (light lists).  A vertex is *light* if deg <= t (threshold
+  t ≈ 2√n).  Every light vertex ships its full adjacency list to every
+  neighbour: O(t·log n / b) rounds, lockstep.
+* Phase 2 (heavy lists).  Every vertex ships its list of *heavy*
+  neighbours to every neighbour: O(min(Δ, h)·log n / b) rounds, where
+  h is the number of heavy vertices.
+
+Every vertex then searches the merged received lists for two neighbours
+with a second common neighbour.  Completeness: let the C4 be
+(v, a, u, b) with opposite pairs {v,u}, {a,b}.
+
+* some pair both light  -> its common neighbour got both full lists;
+* otherwise WLOG u and a are heavy, and each light corner's full list
+  plus each vertex's heavy list meet at one of the corners:
+  - v, b heavy: u receives heavy lists of a and b, both containing v;
+  - v light:    a receives L_v ∋ b and u's heavy list ∋ b;
+  - b light:    v receives L_b ∋ u and a's heavy list ∋ u.
+
+The phases cost O((t + min(Δ, h))·log n / b) rounds.  With t = 2√n and
+the benchmark's instance families (h = O(√n)) the measured cost tracks
+the paper's Õ(√n/b) claim; adversarially many heavy vertices degrade
+the second phase toward O(n·log n/b), which the full version's (not
+reproducible here) machinery avoids.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.bits import BitReader, Bits, BitWriter
+from repro.core.network import Context, Mode, Network, RunResult
+from repro.core.phases import transmit_unicast
+from repro.graphs.graph import Graph
+
+__all__ = ["C4Outcome", "detect_c4_congest"]
+
+
+@dataclass(frozen=True)
+class C4Outcome:
+    found: bool
+    witness: Optional[Tuple[int, int, int, int]]
+    threshold: int
+    heavy_count: int
+
+
+def _encode_list(vertices: List[int], id_bits: int, max_len: int) -> Bits:
+    writer = BitWriter()
+    writer.write_uint(len(vertices), max(1, max_len.bit_length()))
+    for v in vertices:
+        writer.write_uint(v, id_bits)
+    return writer.getvalue()
+
+
+def _decode_list(bits: Bits, id_bits: int, max_len: int) -> List[int]:
+    reader = BitReader(bits)
+    count = reader.read_uint(max(1, max_len.bit_length()))
+    return [reader.read_uint(id_bits) for _ in range(count)]
+
+
+def _find_c4(me: int, known: Dict[int, Set[int]]) -> Optional[Tuple[int, int, int, int]]:
+    """Two neighbours a, b of ``me`` with a common vertex v != me in
+    their known partial neighbourhoods: the C4 (me, a, v, b)."""
+    first_lister: Dict[int, int] = {}
+    for a in sorted(known):
+        for v in sorted(known[a]):
+            if v == me:
+                continue
+            if v in first_lister and first_lister[v] != a:
+                return (me, first_lister[v], v, a)
+            first_lister.setdefault(v, a)
+    return None
+
+
+def detect_c4_congest(
+    graph: Graph,
+    bandwidth: int,
+    threshold: Optional[int] = None,
+    seed: int = 0,
+) -> Tuple[C4Outcome, RunResult]:
+    """Run the two-phase threshold algorithm in CONGEST mode."""
+    n = graph.n
+    t = threshold if threshold is not None else max(1, 2 * math.isqrt(n))
+    id_bits = max(1, (n - 1).bit_length())
+    heavy = {v for v in range(n) if graph.degree(v) > t}
+    h = len(heavy)
+    light_payload_max = max(1, t.bit_length()) + t * id_bits
+    heavy_cap = min(n - 1, h) if h else 0
+    heavy_payload_max = max(1, heavy_cap.bit_length()) + heavy_cap * id_bits
+
+    def program(ctx: Context):
+        me = ctx.node_id
+        my_neighbours = sorted(ctx.neighbors)
+        known: Dict[int, Set[int]] = {u: set() for u in my_neighbours}
+
+        # --- phase 1: light vertices ship full lists ----------------------
+        payloads = {}
+        if len(my_neighbours) <= t:
+            body = _encode_list(my_neighbours, id_bits, t)
+            payloads = {u: body for u in my_neighbours}
+        received = yield from transmit_unicast(
+            ctx, payloads, max_bits=light_payload_max
+        )
+        for sender, bits in received.items():
+            known[sender].update(_decode_list(bits, id_bits, t))
+
+        # --- phase 2: everyone ships its heavy-neighbour list -------------
+        if heavy_cap:
+            my_heavy = [u for u in my_neighbours if u in heavy]
+            payloads = {}
+            if my_heavy:
+                body = _encode_list(my_heavy, id_bits, heavy_cap)
+                payloads = {u: body for u in my_neighbours}
+            received = yield from transmit_unicast(
+                ctx, payloads, max_bits=heavy_payload_max
+            )
+            for sender, bits in received.items():
+                known[sender].update(
+                    _decode_list(bits, id_bits, heavy_cap)
+                )
+
+        return _find_c4(me, known)
+
+    topology = [sorted(graph.neighbors(v)) for v in range(n)]
+    network = Network(
+        n=n, bandwidth=bandwidth, mode=Mode.CONGEST, topology=topology,
+        seed=seed,
+    )
+    result = network.run(program)
+    witness = next((w for w in result.outputs if w is not None), None)
+    if witness is not None:
+        a, b, c, d = witness
+        assert graph.has_edge(a, b) and graph.has_edge(b, c)
+        assert graph.has_edge(c, d) and graph.has_edge(d, a)
+        assert len({a, b, c, d}) == 4
+    return (
+        C4Outcome(
+            found=witness is not None,
+            witness=witness,
+            threshold=t,
+            heavy_count=h,
+        ),
+        result,
+    )

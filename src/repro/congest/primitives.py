@@ -1,0 +1,159 @@
+"""Classic CONGEST primitives: BFS trees, convergecast, aggregation.
+
+Section 3 of the paper extends some subgraph-detection bounds to the
+CONGEST model, "where the input graph G is also the communication
+network".  These primitives are the substrate such algorithms stand on:
+
+* :func:`bfs_tree` — build a BFS tree from a root in O(diameter) rounds
+  (each node learns its parent and depth);
+* :func:`aggregate` — convergecast + broadcast of an associative
+  operation (sum, max, ...) over per-node values, in O(diameter) rounds
+  up the tree and down again.
+
+All run on the engine's :data:`~repro.core.network.Mode.CONGEST` mode,
+so bandwidth accounting matches the model (b bits per edge per round).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.bits import BitReader, Bits, BitWriter
+from repro.core.network import Context, Mode, Network, Outbox, RunResult
+from repro.graphs.graph import Graph
+
+__all__ = ["bfs_program", "bfs_tree", "aggregate_program", "aggregate_sum"]
+
+
+def bfs_program(root: int):
+    """Build a BFS tree: returns (parent, depth) per node (parent = -1
+    for the root, None/∞ depth for unreachable nodes).
+
+    Wave protocol: the root announces depth 0; every node joins at the
+    first round it hears a neighbour, recording that neighbour as its
+    parent.  One bit per edge per round; depth = round index joined.
+    """
+
+    def program(ctx: Context):
+        parent: Optional[int] = -1 if ctx.node_id == root else None
+        depth: Optional[int] = 0 if ctx.node_id == root else None
+        announced = False
+        # n rounds suffice (diameter <= n-1); nodes stop announcing
+        # after their first wave, and everyone runs the same schedule.
+        for r in range(ctx.n):
+            if depth == r and not announced:
+                outbox = Outbox.unicast(
+                    {u: Bits.from_uint(1, 1) for u in ctx.neighbors}
+                )
+                announced = True
+            else:
+                outbox = Outbox.silent()
+            inbox = yield outbox
+            if depth is None and len(inbox):
+                parent = min(inbox.senders())
+                depth = r + 1
+        return parent, depth
+
+    return program
+
+
+def bfs_tree(graph: Graph, root: int, bandwidth: int = 1, seed: int = 0):
+    """Run :func:`bfs_program` on ``graph``; returns (parents, depths,
+    RunResult)."""
+    topology = [sorted(graph.neighbors(v)) for v in range(graph.n)]
+    network = Network(
+        n=graph.n,
+        bandwidth=bandwidth,
+        mode=Mode.CONGEST,
+        topology=topology,
+        seed=seed,
+    )
+    result = network.run(bfs_program(root))
+    parents = [out[0] for out in result.outputs]
+    depths = [out[1] for out in result.outputs]
+    return parents, depths, result
+
+
+def aggregate_program(
+    root: int,
+    parents: Sequence[Optional[int]],
+    combine: Callable[[int, int], int],
+    value_bits: int,
+):
+    """Convergecast ``combine`` over per-node inputs up a known tree,
+    then broadcast the result back down.  ``ctx.input`` = this node's
+    value (< 2^value_bits); every node returns the global aggregate.
+
+    The tree (``parents``) is assumed known (e.g. from a prior BFS);
+    each phase takes height <= n rounds of ⌈value_bits/b⌉-bit messages
+    via the phase layer.
+    """
+
+    def program(ctx: Context):
+        me = ctx.node_id
+        children = [v for v in range(ctx.n) if parents[v] == me]
+        acc = ctx.input
+        pending = set(children)
+        # --- convergecast: wait for all children, then send up. ---
+        sent_up = me == root and not pending
+        for _ in range(ctx.n):
+            outbox = Outbox.silent()
+            if (
+                not pending
+                and not sent_up
+                and me != root
+                and parents[me] is not None
+            ):
+                writer = BitWriter()
+                writer.write_uint(acc, value_bits)
+                frames = writer.getvalue()
+                # value_bits <= bandwidth is enforced by the caller.
+                outbox = Outbox.unicast({parents[me]: frames})
+                sent_up = True
+            inbox = yield outbox
+            for sender, payload in inbox.items():
+                if sender in pending:
+                    acc = combine(acc, BitReader(payload).read_uint(value_bits))
+                    pending.discard(sender)
+        # --- broadcast down. ---
+        total = acc if me == root else None
+        announced = False
+        for _ in range(ctx.n):
+            outbox = Outbox.silent()
+            if total is not None and not announced and children:
+                payload = Bits.from_uint(total, value_bits)
+                outbox = Outbox.unicast({c: payload for c in children})
+                announced = True
+            elif total is not None and not announced:
+                announced = True
+            inbox = yield outbox
+            for sender, payload in inbox.items():
+                if sender == parents[me] and total is None:
+                    total = BitReader(payload).read_uint(value_bits)
+        return total
+
+    return program
+
+
+def aggregate_sum(
+    graph: Graph,
+    values: Sequence[int],
+    root: int = 0,
+    value_bits: int = 16,
+    seed: int = 0,
+) -> Tuple[int, RunResult]:
+    """Sum all per-node values over a BFS tree; returns (total, result)."""
+    parents, _depths, _ = bfs_tree(graph, root)
+    topology = [sorted(graph.neighbors(v)) for v in range(graph.n)]
+    network = Network(
+        n=graph.n,
+        bandwidth=value_bits,
+        mode=Mode.CONGEST,
+        topology=topology,
+        seed=seed,
+    )
+    program = aggregate_program(root, parents, lambda a, b: a + b, value_bits)
+    result = network.run(program, inputs=list(values))
+    total = result.outputs[root]
+    assert all(out == total for out in result.outputs if out is not None)
+    return total, result

@@ -1,0 +1,53 @@
+"""Core substrate: bit-level messages and the synchronous network engine."""
+
+from repro.core.bits import BitReader, Bits, BitWriter
+from repro.core.errors import (
+    BandwidthExceededError,
+    DecodeError,
+    MaxRoundsExceededError,
+    ProtocolError,
+    ReproError,
+    TopologyError,
+)
+from repro.core.network import (
+    Context,
+    Inbox,
+    Mode,
+    Network,
+    Outbox,
+    RunResult,
+    run_protocol,
+)
+from repro.core.tracing import render_timeline, traffic_by_node, traffic_matrix
+from repro.core.phases import (
+    idle,
+    phase_length,
+    transmit_broadcast,
+    transmit_unicast,
+)
+
+__all__ = [
+    "Bits",
+    "BitReader",
+    "BitWriter",
+    "ReproError",
+    "BandwidthExceededError",
+    "TopologyError",
+    "ProtocolError",
+    "MaxRoundsExceededError",
+    "DecodeError",
+    "Mode",
+    "Network",
+    "Context",
+    "Inbox",
+    "Outbox",
+    "RunResult",
+    "run_protocol",
+    "phase_length",
+    "transmit_unicast",
+    "transmit_broadcast",
+    "idle",
+    "render_timeline",
+    "traffic_by_node",
+    "traffic_matrix",
+]

@@ -1,0 +1,35 @@
+"""Exception hierarchy for the congested-clique reproduction library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class BandwidthExceededError(ReproError):
+    """A node tried to send more bits on a link (or blackboard) than the
+    per-round bandwidth ``b`` allows."""
+
+
+class TopologyError(ReproError):
+    """A message was addressed to a node that is not reachable in the
+    current communication model (e.g. a non-neighbour in CONGEST)."""
+
+
+class ProtocolError(ReproError):
+    """A node program violated the engine's protocol contract (e.g. it
+    yielded something that is not an :class:`~repro.core.network.Outbox`)."""
+
+
+class MaxRoundsExceededError(ReproError):
+    """The protocol did not terminate within the configured round budget."""
+
+
+class DecodeError(ReproError):
+    """A bit-level decoder was asked to read past the end of its input or
+    encountered a malformed encoding."""

@@ -1,0 +1,387 @@
+"""Synchronous message-passing engine for the congested clique.
+
+This module implements the three communication models studied in the
+paper:
+
+* ``CLIQUE-UCAST(n, b)`` — every round, every node may send a *different*
+  message of at most ``b`` bits on each of its ``n-1`` links.
+* ``CLIQUE-BCAST(n, b)`` — every round, every node writes a single message
+  of at most ``b`` bits that all other nodes receive (the shared-
+  blackboard / number-in-hand multiparty model).
+* ``CONGEST-UCAST`` — unicast with the communication topology restricted
+  to the edges of an arbitrary graph.
+
+Protocols are written as generator coroutines: each node's program yields
+an :class:`Outbox` to end its round and is resumed with the
+:class:`Inbox` of messages delivered to it.  The generator's return value
+is the node's output.  The engine enforces bandwidth per the model,
+counts rounds and bits, and can record a full transcript (needed by the
+communication-complexity reductions of Section 3).
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.bits import Bits
+from repro.core.errors import (
+    BandwidthExceededError,
+    MaxRoundsExceededError,
+    ProtocolError,
+    TopologyError,
+)
+
+__all__ = [
+    "Mode",
+    "Inbox",
+    "Outbox",
+    "Context",
+    "RoundRecord",
+    "RunResult",
+    "Network",
+    "run_protocol",
+]
+
+
+class Mode(enum.Enum):
+    """Communication model selector."""
+
+    UNICAST = "unicast"
+    BROADCAST = "broadcast"
+    CONGEST = "congest"
+
+
+class Inbox:
+    """Messages delivered to one node in one round, keyed by sender id."""
+
+    __slots__ = ("_by_sender",)
+
+    def __init__(self, by_sender: Dict[int, Bits]) -> None:
+        self._by_sender = by_sender
+
+    def get(self, sender: int) -> Optional[Bits]:
+        return self._by_sender.get(sender)
+
+    def senders(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._by_sender))
+
+    def items(self):
+        return sorted(self._by_sender.items())
+
+    def __len__(self) -> int:
+        return len(self._by_sender)
+
+    def __contains__(self, sender: int) -> bool:
+        return sender in self._by_sender
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Inbox({self._by_sender!r})"
+
+
+EMPTY_INBOX = Inbox({})
+
+
+class Outbox:
+    """What one node sends in one round.
+
+    Construct with :meth:`unicast`, :meth:`broadcast` or :meth:`silent`;
+    the engine validates the kind against the network's :class:`Mode`.
+    """
+
+    __slots__ = ("kind", "messages", "payload")
+
+    def __init__(self, kind: str, messages: Optional[Dict[int, Bits]], payload: Optional[Bits]):
+        self.kind = kind
+        self.messages = messages
+        self.payload = payload
+
+    @classmethod
+    def unicast(cls, messages: Mapping[int, Bits]) -> "Outbox":
+        return cls("unicast", dict(messages), None)
+
+    @classmethod
+    def broadcast(cls, payload: Bits) -> "Outbox":
+        return cls("broadcast", None, payload)
+
+    @classmethod
+    def silent(cls) -> "Outbox":
+        return cls("silent", None, None)
+
+
+@dataclass
+class Context:
+    """Per-node view of the network, handed to each node program."""
+
+    node_id: int
+    n: int
+    bandwidth: int
+    mode: Mode
+    neighbors: Tuple[int, ...]
+    rng: random.Random
+    shared_rng: random.Random
+    input: Any = None
+
+
+@dataclass
+class RoundRecord:
+    """Transcript of one round: list of (sender, receiver, bits); a
+    broadcast is recorded once with ``receiver=None``."""
+
+    sends: List[Tuple[int, Optional[int], Bits]] = field(default_factory=list)
+
+    def bits(self) -> int:
+        return sum(len(m) for _, _, m in self.sends)
+
+
+@dataclass
+class RunResult:
+    """Outcome of one protocol execution."""
+
+    outputs: List[Any]
+    rounds: int
+    total_bits: int
+    max_round_bits: int
+    transcript: Optional[List[RoundRecord]] = None
+
+    def blackboard_bits(self) -> int:
+        """Total bits written, counting each broadcast once (the natural
+        cost measure for the shared-blackboard model)."""
+        return self.total_bits
+
+
+NodeProgram = Callable[[Context], Any]
+
+
+class Network:
+    """Synchronous round-based network for ``n`` nodes.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes (players).
+    bandwidth:
+        Maximum message size ``b`` in bits (per link per round for
+        unicast/CONGEST; per node per round for broadcast).
+    mode:
+        Which of the three communication models to enforce.
+    topology:
+        For :attr:`Mode.CONGEST`, an adjacency structure: a sequence of
+        neighbour collections, one per node.  Ignored otherwise.
+    seed:
+        Seeds both the per-node private RNGs and the shared public-coin
+        RNG, making every run reproducible.
+    max_rounds:
+        Safety budget; exceeding it raises :class:`MaxRoundsExceededError`.
+    record_transcript:
+        When true, the result carries a full per-round transcript (used
+        by the lower-bound reductions to charge communication).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        bandwidth: int,
+        mode: Mode = Mode.UNICAST,
+        topology: Optional[Sequence[Sequence[int]]] = None,
+        seed: int = 0,
+        max_rounds: int = 1_000_000,
+        record_transcript: bool = False,
+    ) -> None:
+        if n < 1:
+            raise ValueError("need at least one node")
+        if bandwidth < 1:
+            raise ValueError("bandwidth must be at least 1 bit")
+        self.n = n
+        self.bandwidth = bandwidth
+        self.mode = mode
+        self.seed = seed
+        self.max_rounds = max_rounds
+        self.record_transcript = record_transcript
+        if mode is Mode.CONGEST:
+            if topology is None:
+                raise TopologyError("CONGEST mode requires a topology")
+            self._neighbors = [tuple(sorted(set(topology[v]))) for v in range(n)]
+            for v, nbrs in enumerate(self._neighbors):
+                if v in nbrs:
+                    raise TopologyError(f"node {v} may not neighbour itself")
+                for u in nbrs:
+                    if not 0 <= u < n:
+                        raise TopologyError(f"neighbour {u} out of range")
+        else:
+            everyone = tuple(range(n))
+            self._neighbors = [
+                tuple(u for u in everyone if u != v) for v in range(n)
+            ]
+
+    # -- execution -------------------------------------------------------
+
+    def run(
+        self,
+        program: Callable[[Context], Any],
+        inputs: Optional[Sequence[Any]] = None,
+    ) -> RunResult:
+        """Run ``program`` (a generator function taking a Context) on all
+        nodes in lockstep and return the :class:`RunResult`.
+
+        ``inputs[v]`` is exposed as ``ctx.input`` on node ``v``.
+        """
+        contexts = [
+            Context(
+                node_id=v,
+                n=self.n,
+                bandwidth=self.bandwidth,
+                mode=self.mode,
+                neighbors=self._neighbors[v],
+                rng=random.Random(f"{self.seed}:node:{v}"),
+                shared_rng=random.Random(f"{self.seed}:shared"),
+                input=None if inputs is None else inputs[v],
+            )
+            for v in range(self.n)
+        ]
+
+        outputs: List[Any] = [None] * self.n
+        generators: Dict[int, Any] = {}
+        pending_outbox: Dict[int, Outbox] = {}
+
+        for v in range(self.n):
+            gen = program(contexts[v])
+            if not hasattr(gen, "send"):
+                # A plain function: purely local computation, zero rounds.
+                outputs[v] = gen
+                continue
+            try:
+                pending_outbox[v] = self._check_outbox(v, next(gen))
+                generators[v] = gen
+            except StopIteration as stop:
+                outputs[v] = stop.value
+
+        rounds = 0
+        total_bits = 0
+        max_round_bits = 0
+        transcript: Optional[List[RoundRecord]] = [] if self.record_transcript else None
+
+        while generators:
+            if rounds >= self.max_rounds:
+                raise MaxRoundsExceededError(
+                    f"protocol still running after {rounds} rounds"
+                )
+            rounds += 1
+            inboxes: Dict[int, Dict[int, Bits]] = {v: {} for v in range(self.n)}
+            record = RoundRecord() if self.record_transcript else None
+            round_bits = 0
+            for v, outbox in pending_outbox.items():
+                round_bits += self._deliver(v, outbox, inboxes, record)
+            total_bits += round_bits
+            max_round_bits = max(max_round_bits, round_bits)
+            if record is not None:
+                transcript.append(record)
+
+            pending_outbox = {}
+            finished = []
+            for v, gen in generators.items():
+                inbox = Inbox(inboxes[v]) if inboxes[v] else EMPTY_INBOX
+                try:
+                    pending_outbox[v] = self._check_outbox(v, gen.send(inbox))
+                except StopIteration as stop:
+                    outputs[v] = stop.value
+                    finished.append(v)
+            for v in finished:
+                del generators[v]
+
+        return RunResult(
+            outputs=outputs,
+            rounds=rounds,
+            total_bits=total_bits,
+            max_round_bits=max_round_bits,
+            transcript=transcript,
+        )
+
+    # -- internals -------------------------------------------------------
+
+    def _check_outbox(self, sender: int, yielded: Any) -> Outbox:
+        if yielded is None:
+            return Outbox.silent()
+        if not isinstance(yielded, Outbox):
+            raise ProtocolError(
+                f"node {sender} yielded {type(yielded).__name__}, expected Outbox"
+            )
+        if yielded.kind == "broadcast" and self.mode is not Mode.BROADCAST:
+            raise ProtocolError(
+                f"node {sender} broadcast in a {self.mode.value} network"
+            )
+        if yielded.kind == "unicast" and self.mode is Mode.BROADCAST:
+            raise ProtocolError(
+                f"node {sender} unicast in a broadcast network"
+            )
+        return yielded
+
+    def _deliver(
+        self,
+        sender: int,
+        outbox: Outbox,
+        inboxes: Dict[int, Dict[int, Bits]],
+        record: Optional[RoundRecord],
+    ) -> int:
+        bits_sent = 0
+        if outbox.kind == "silent":
+            return 0
+        if outbox.kind == "broadcast":
+            payload = outbox.payload
+            if not isinstance(payload, Bits):
+                raise ProtocolError(f"node {sender} broadcast a non-Bits payload")
+            if len(payload) > self.bandwidth:
+                raise BandwidthExceededError(
+                    f"node {sender} broadcast {len(payload)} bits "
+                    f"(bandwidth {self.bandwidth})"
+                )
+            if len(payload) == 0:
+                return 0
+            for dest in self._neighbors[sender]:
+                inboxes[dest][sender] = payload
+            bits_sent = len(payload)
+            if record is not None:
+                record.sends.append((sender, None, payload))
+            return bits_sent
+        # unicast / CONGEST
+        allowed = None
+        if self.mode is Mode.CONGEST:
+            allowed = set(self._neighbors[sender])
+        for dest, payload in outbox.messages.items():
+            if not isinstance(payload, Bits):
+                raise ProtocolError(f"node {sender} sent a non-Bits payload")
+            if dest == sender:
+                raise TopologyError(f"node {sender} sent a message to itself")
+            if not 0 <= dest < self.n:
+                raise TopologyError(f"node {sender} sent to out-of-range {dest}")
+            if allowed is not None and dest not in allowed:
+                raise TopologyError(
+                    f"node {sender} sent to non-neighbour {dest} in CONGEST"
+                )
+            if len(payload) > self.bandwidth:
+                raise BandwidthExceededError(
+                    f"node {sender} sent {len(payload)} bits to {dest} "
+                    f"(bandwidth {self.bandwidth})"
+                )
+            if len(payload) == 0:
+                continue
+            inboxes[dest][sender] = payload
+            bits_sent += len(payload)
+            if record is not None:
+                record.sends.append((sender, dest, payload))
+        return bits_sent
+
+
+def run_protocol(
+    program: Callable[[Context], Any],
+    n: int,
+    bandwidth: int,
+    mode: Mode = Mode.UNICAST,
+    inputs: Optional[Sequence[Any]] = None,
+    **kwargs: Any,
+) -> RunResult:
+    """Convenience wrapper: build a :class:`Network` and run ``program``."""
+    network = Network(n=n, bandwidth=bandwidth, mode=mode, **kwargs)
+    return network.run(program, inputs=inputs)

@@ -1,0 +1,140 @@
+"""Graph generators used across the algorithms, tests and benchmarks."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "empty_graph",
+    "complete_graph",
+    "complete_bipartite",
+    "cycle_graph",
+    "path_graph",
+    "star_graph",
+    "matching_graph",
+    "turan_graph",
+    "random_graph",
+    "random_bipartite",
+    "random_k_degenerate",
+    "plant_subgraph",
+]
+
+
+def empty_graph(n: int) -> Graph:
+    return Graph(n)
+
+
+def complete_graph(n: int) -> Graph:
+    graph = Graph(n)
+    for u in range(n):
+        for v in range(u + 1, n):
+            graph.add_edge(u, v)
+    return graph
+
+
+def complete_bipartite(a: int, b: int) -> Graph:
+    """K_{a,b} with side A = 0..a-1 and side B = a..a+b-1."""
+    graph = Graph(a + b)
+    for u in range(a):
+        for v in range(a, a + b):
+            graph.add_edge(u, v)
+    return graph
+
+
+def cycle_graph(length: int) -> Graph:
+    if length < 3:
+        raise ValueError("a cycle needs at least 3 vertices")
+    graph = Graph(length)
+    for v in range(length):
+        graph.add_edge(v, (v + 1) % length)
+    return graph
+
+
+def path_graph(n: int) -> Graph:
+    graph = Graph(n)
+    for v in range(n - 1):
+        graph.add_edge(v, v + 1)
+    return graph
+
+
+def star_graph(leaves: int) -> Graph:
+    """K_{1,leaves}: centre 0 joined to 1..leaves."""
+    graph = Graph(leaves + 1)
+    for v in range(1, leaves + 1):
+        graph.add_edge(0, v)
+    return graph
+
+
+def matching_graph(pairs: int) -> Graph:
+    """A perfect matching on 2*pairs vertices: {2i, 2i+1}."""
+    graph = Graph(2 * pairs)
+    for i in range(pairs):
+        graph.add_edge(2 * i, 2 * i + 1)
+    return graph
+
+
+def turan_graph(n: int, parts: int) -> Graph:
+    """The Turán graph T(n, r): complete r-partite with balanced parts —
+    the unique extremal K_{r+1}-free graph."""
+    if parts < 1:
+        raise ValueError("need at least one part")
+    assignment = [v % parts for v in range(n)]
+    graph = Graph(n)
+    for u in range(n):
+        for v in range(u + 1, n):
+            if assignment[u] != assignment[v]:
+                graph.add_edge(u, v)
+    return graph
+
+
+def random_graph(n: int, p: float, rng: random.Random) -> Graph:
+    """Erdős–Rényi G(n, p)."""
+    graph = Graph(n)
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < p:
+                graph.add_edge(u, v)
+    return graph
+
+
+def random_bipartite(a: int, b: int, p: float, rng: random.Random) -> Graph:
+    graph = Graph(a + b)
+    for u in range(a):
+        for v in range(a, a + b):
+            if rng.random() < p:
+                graph.add_edge(u, v)
+    return graph
+
+
+def random_k_degenerate(n: int, k: int, rng: random.Random) -> Graph:
+    """A random graph with degeneracy at most ``k``: vertices arrive one
+    by one, each choosing up to ``k`` random back-neighbours."""
+    graph = Graph(n)
+    for v in range(1, n):
+        back = min(k, v)
+        for u in rng.sample(range(v), back):
+            if rng.random() < 0.9:
+                graph.add_edge(u, v)
+    return graph
+
+
+def plant_subgraph(
+    graph: Graph,
+    pattern: Graph,
+    rng: random.Random,
+    vertices: Optional[Sequence[int]] = None,
+) -> List[Tuple[int, int]]:
+    """Embed a copy of ``pattern`` into ``graph`` (mutating it) on random
+    distinct vertices (or the given ones); returns the planted edges."""
+    if vertices is None:
+        vertices = rng.sample(range(graph.n), pattern.n)
+    if len(vertices) != pattern.n:
+        raise ValueError("need exactly one host vertex per pattern vertex")
+    planted = []
+    for u, v in pattern.edges():
+        graph.add_edge(vertices[u], vertices[v])
+        planted.append((vertices[u], vertices[v]))
+    return planted

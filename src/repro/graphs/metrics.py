@@ -1,0 +1,110 @@
+"""Graph metrics: distances, diameter, girth, clustering.
+
+Used by the CONGEST algorithms (round counts are diameter-shaped), the
+extremal constructions (girth certifies C4-freeness of the incidence
+graphs), and generally useful to adopters of the graph substrate.
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Dict, List, Optional
+
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "bfs_distances",
+    "eccentricity",
+    "diameter",
+    "is_connected",
+    "girth",
+    "local_clustering",
+    "average_clustering",
+]
+
+
+def bfs_distances(graph: Graph, source: int) -> Dict[int, int]:
+    """Hop distances from ``source`` to every reachable vertex."""
+    dist = {source: 0}
+    queue = collections.deque([source])
+    while queue:
+        v = queue.popleft()
+        for u in graph.neighbors(v):
+            if u not in dist:
+                dist[u] = dist[v] + 1
+                queue.append(u)
+    return dist
+
+
+def eccentricity(graph: Graph, source: int) -> Optional[int]:
+    """Max distance from ``source``; None if the graph is disconnected."""
+    dist = bfs_distances(graph, source)
+    if len(dist) != graph.n:
+        return None
+    return max(dist.values(), default=0)
+
+
+def is_connected(graph: Graph) -> bool:
+    if graph.n == 0:
+        return True
+    return len(bfs_distances(graph, 0)) == graph.n
+
+
+def diameter(graph: Graph) -> Optional[int]:
+    """Exact diameter by all-sources BFS; None if disconnected."""
+    best = 0
+    for v in graph.vertices():
+        ecc = eccentricity(graph, v)
+        if ecc is None:
+            return None
+        best = max(best, ecc)
+    return best
+
+
+def girth(graph: Graph) -> Optional[int]:
+    """Length of a shortest cycle, or None for forests.
+
+    Per-source BFS: a non-tree edge closing two BFS branches at depths
+    d(u), d(v) witnesses a cycle of length d(u)+d(v)+1; scanning all
+    sources yields the exact girth.
+    """
+    best: Optional[int] = None
+    for source in graph.vertices():
+        dist = {source: 0}
+        parent = {source: -1}
+        queue = collections.deque([source])
+        while queue:
+            v = queue.popleft()
+            if best is not None and dist[v] * 2 >= best:
+                continue
+            for u in graph.neighbors(v):
+                if u not in dist:
+                    dist[u] = dist[v] + 1
+                    parent[u] = v
+                    queue.append(u)
+                elif parent[v] != u:
+                    cycle = dist[v] + dist[u] + 1
+                    if best is None or cycle < best:
+                        best = cycle
+    return best
+
+
+def local_clustering(graph: Graph, v: int) -> float:
+    """Fraction of neighbour pairs of ``v`` that are themselves joined."""
+    neighbours = list(graph.neighbors(v))
+    k = len(neighbours)
+    if k < 2:
+        return 0.0
+    links = sum(
+        1
+        for i, a in enumerate(neighbours)
+        for b in neighbours[i + 1 :]
+        if graph.has_edge(a, b)
+    )
+    return 2.0 * links / (k * (k - 1))
+
+
+def average_clustering(graph: Graph) -> float:
+    if graph.n == 0:
+        return 0.0
+    return sum(local_clustering(graph, v) for v in graph.vertices()) / graph.n

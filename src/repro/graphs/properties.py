@@ -1,0 +1,149 @@
+"""Structural predicates on small pattern graphs.
+
+These drive the ex(n, H) dispatcher in :mod:`repro.graphs.turan` and a
+few case splits in the lower-bound constructions.  Patterns are constant
+sized, so exhaustive methods (e.g. chromatic number by branching) are
+fine.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "is_clique",
+    "is_forest",
+    "cycle_length",
+    "bipartition",
+    "is_bipartite",
+    "complete_bipartite_sides",
+    "connected_components",
+    "chromatic_number",
+]
+
+
+def connected_components(graph: Graph) -> List[List[int]]:
+    seen = [False] * graph.n
+    components = []
+    for root in graph.vertices():
+        if seen[root]:
+            continue
+        stack = [root]
+        seen[root] = True
+        component = []
+        while stack:
+            v = stack.pop()
+            component.append(v)
+            for u in graph.neighbors(v):
+                if not seen[u]:
+                    seen[u] = True
+                    stack.append(u)
+        components.append(sorted(component))
+    return components
+
+
+def is_clique(graph: Graph) -> bool:
+    n = graph.n
+    return n >= 1 and graph.m == n * (n - 1) // 2
+
+
+def is_forest(graph: Graph) -> bool:
+    components = connected_components(graph)
+    return graph.m == graph.n - len(components)
+
+
+def cycle_length(graph: Graph) -> Optional[int]:
+    """If the graph is exactly one cycle (plus isolated vertices), its
+    length; otherwise None."""
+    cycle_vertices = [v for v in graph.vertices() if graph.degree(v) > 0]
+    if len(cycle_vertices) < 3:
+        return None
+    if any(graph.degree(v) != 2 for v in cycle_vertices):
+        return None
+    if graph.m != len(cycle_vertices):
+        return None
+    components = [c for c in connected_components(graph) if len(c) > 1]
+    if len(components) != 1:
+        return None
+    return len(cycle_vertices)
+
+
+def bipartition(graph: Graph) -> Optional[Tuple[Set[int], Set[int]]]:
+    """A 2-colouring (ignoring isolated vertices placed on side 0), or
+    None if the graph is not bipartite."""
+    colour = [-1] * graph.n
+    for root in graph.vertices():
+        if colour[root] != -1:
+            continue
+        colour[root] = 0
+        stack = [root]
+        while stack:
+            v = stack.pop()
+            for u in graph.neighbors(v):
+                if colour[u] == -1:
+                    colour[u] = 1 - colour[v]
+                    stack.append(u)
+                elif colour[u] == colour[v]:
+                    return None
+    side0 = {v for v in graph.vertices() if colour[v] == 0}
+    side1 = {v for v in graph.vertices() if colour[v] == 1}
+    return side0, side1
+
+
+def is_bipartite(graph: Graph) -> bool:
+    return bipartition(graph) is not None
+
+
+def complete_bipartite_sides(graph: Graph) -> Optional[Tuple[int, int]]:
+    """If the graph is K_{r,s} (plus possibly isolated vertices), return
+    (r, s) with r <= s; otherwise None."""
+    active = [v for v in graph.vertices() if graph.degree(v) > 0]
+    if not active:
+        return None
+    sub, _ = graph.induced_subgraph(active)
+    sides = bipartition(sub)
+    if sides is None:
+        return None
+    a, b = sides
+    if sub.m != len(a) * len(b):
+        return None
+    return tuple(sorted((len(a), len(b))))  # type: ignore[return-value]
+
+
+def chromatic_number(graph: Graph) -> int:
+    """Exact chromatic number by iterative-deepening backtracking; meant
+    for constant-sized patterns only."""
+    if graph.n == 0:
+        return 0
+    if graph.m == 0:
+        return 1
+    if bipartition(graph) is not None:
+        return 2
+    order = sorted(graph.vertices(), key=graph.degree, reverse=True)
+
+    def colourable(k: int) -> bool:
+        colours = {}
+
+        def assign(idx: int) -> bool:
+            if idx == len(order):
+                return True
+            v = order[idx]
+            used = {colours[u] for u in graph.neighbors(v) if u in colours}
+            for c in range(k):
+                if c not in used:
+                    colours[v] = c
+                    if assign(idx + 1):
+                        return True
+                    del colours[v]
+                if c not in used and c == max(colours.values(), default=-1) + 1:
+                    break  # symmetry: first use of a fresh colour suffices
+            return False
+
+        return assign(0)
+
+    k = 3
+    while not colourable(k):
+        k += 1
+    return k

@@ -1,0 +1,171 @@
+"""Ruzsa–Szemerédi graphs: tripartite graphs whose triangles are many,
+edge-disjoint, and *exactly* the planted ones (Claim 23 of the paper).
+
+The construction is classical: take an AP-free (progression-free) set
+S ⊆ {0..N-1} and plant, for every a in [N] and s in S, the triangle
+
+    a ∈ A,   a + s ∈ B,   a + 2s ∈ C
+
+on vertex classes A = [N], B = [2N], C = [3N].  Because S has no 3-term
+arithmetic progression, every triangle of the resulting graph is planted
+and every edge lies in exactly one triangle.  With Behrend's AP-free
+sets, the number of triangles is N²/e^{O(√log N)} — the density Claim 23
+requires for the Theorem 24 reduction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Set, Tuple
+
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "behrend_set",
+    "greedy_ap_free_set",
+    "ap_free_set",
+    "has_three_term_ap",
+    "RuzsaSzemerediGraph",
+    "rs_graph",
+]
+
+
+def has_three_term_ap(values: Set[int]) -> bool:
+    """True iff some x != z in the set satisfy x + z = 2y with y in the
+    set (a 3-term arithmetic progression)."""
+    ordered = sorted(values)
+    members = set(values)
+    for i, x in enumerate(ordered):
+        for z in ordered[i + 1 :]:
+            if (x + z) % 2 == 0 and (x + z) // 2 in members and (x + z) // 2 != x:
+                if (x + z) // 2 != z:
+                    return True
+    return False
+
+
+def greedy_ap_free_set(limit: int) -> Set[int]:
+    """Greedy AP-free subset of {0..limit-1} (equals the ternary
+    no-digit-2 set; good for small limits)."""
+    chosen: List[int] = []
+    chosen_set: Set[int] = set()
+    for x in range(limit):
+        ok = True
+        for y in chosen:
+            third = 2 * y - x
+            if third in chosen_set and third != x:
+                ok = False
+                break
+            mid2 = x + y
+            if mid2 % 2 == 0 and mid2 // 2 in chosen_set and mid2 // 2 not in (x, y):
+                ok = False
+                break
+        if ok:
+            chosen.append(x)
+            chosen_set.add(x)
+    return chosen_set
+
+
+def behrend_set(limit: int, dimensions: int) -> Set[int]:
+    """Behrend's construction in a fixed dimension: digit vectors in base
+    2d+1 with digits < d and fixed squared norm; strict convexity of the
+    sphere rules out 3-term APs."""
+    if limit < 1 or dimensions < 1:
+        return set()
+    base = max(3, int(math.ceil(limit ** (1.0 / dimensions))))
+    d = max(1, base // 2)
+    by_norm = {}
+    digits = [0] * dimensions
+
+    def rec(idx: int, value: int, norm: int, scale: int) -> None:
+        if value >= limit:
+            return
+        if idx == dimensions:
+            by_norm.setdefault(norm, set()).add(value)
+            return
+        for a in range(d):
+            new_value = value + a * scale
+            if new_value >= limit:
+                break
+            rec(idx + 1, new_value, norm + a * a, scale * base)
+
+    rec(0, 0, 0, 1)
+    if not by_norm:
+        return set()
+    return max(by_norm.values(), key=len)
+
+
+def ap_free_set(limit: int) -> Set[int]:
+    """The best AP-free subset of {0..limit-1} among the greedy set (for
+    small limits) and Behrend's construction over several dimensions."""
+    best: Set[int] = set()
+    if limit <= 4096:
+        best = greedy_ap_free_set(limit)
+    max_dim = max(1, int(math.sqrt(max(1.0, math.log2(max(2, limit))))) + 2)
+    for dim in range(1, max_dim + 2):
+        candidate = behrend_set(limit, dim)
+        if len(candidate) > len(best):
+            best = candidate
+    return best
+
+
+@dataclass
+class RuzsaSzemerediGraph:
+    """The tripartite graph plus its planted triangle family.
+
+    Attributes
+    ----------
+    graph:
+        The tripartite graph on 6N vertices: A = 0..N-1, B = N..3N-1,
+        C = 3N..6N-1.
+    triangles:
+        Planted triangles (a, b, c) with one vertex per class; every edge
+        of ``graph`` is in exactly one, and they are the only triangles.
+    parts:
+        The three vertex classes (A, B, C).
+    """
+
+    graph: Graph
+    triangles: List[Tuple[int, int, int]]
+    parts: Tuple[range, range, range]
+
+    @property
+    def triangle_count(self) -> int:
+        return len(self.triangles)
+
+    def triangle_of_edge(self, u: int, v: int) -> Tuple[int, int, int]:
+        """The unique planted triangle containing edge {u, v} (this is the
+        map e -> i(e) of Theorem 24's reduction)."""
+        key = (u, v) if u < v else (v, u)
+        try:
+            return self._edge_index[key]  # type: ignore[attr-defined]
+        except AttributeError:
+            index = {}
+            for tri in self.triangles:
+                a, b, c = tri
+                for e in ((a, b), (b, c), (a, c)):
+                    index[(min(e), max(e))] = tri
+            self._edge_index = index  # type: ignore[attr-defined]
+            return index[key]
+
+
+def rs_graph(class_size: int) -> RuzsaSzemerediGraph:
+    """Build the Ruzsa–Szemerédi graph for |A| = class_size."""
+    big_n = class_size
+    s_set = sorted(ap_free_set(big_n))
+    graph = Graph(6 * big_n)
+    triangles = []
+    for a in range(big_n):
+        for s in s_set:
+            b = big_n + a + s
+            c = 3 * big_n + a + 2 * s
+            graph.add_edge(a, b)
+            graph.add_edge(b, c)
+            graph.add_edge(a, c)
+            triangles.append((a, b, c))
+    parts = (
+        range(0, big_n),
+        range(big_n, 3 * big_n),
+        range(3 * big_n, 6 * big_n),
+    )
+    return RuzsaSzemerediGraph(graph=graph, triangles=triangles, parts=parts)

@@ -1,0 +1,160 @@
+"""Turán numbers ex(n, H): exact values and safe upper bounds.
+
+Definition 5 of the paper: ex(n, H) is the maximum number of edges of an
+n-vertex graph containing no copy of H.  Theorem 7's algorithm needs an
+*upper bound* on ex(n, H) (to size the degeneracy guess 4·ex(n,H)/n), so
+every function here is guaranteed to return a value >= the true Turán
+number.  Where exact values are classical (cliques, odd cycles, forests)
+we return those.
+
+Values used by the paper:
+* odd cycles / non-bipartite H: ex = Θ(n²),
+* C4: ex = Θ(n^{3/2})  (Kővári–Sós–Turán / Erdős–Rényi polarity graphs),
+* C_{2ℓ}: ex = O(n^{1+1/ℓ})  (Bondy–Simonovits),
+* K_{r,s}: ex = O(n^{2-1/r})  (Kővári–Sós–Turán),
+* forests on k vertices: ex <= (k-2)·n.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.graphs.graph import Graph
+from repro.graphs import properties as _props
+
+__all__ = [
+    "turan_graph_edges",
+    "ex_clique",
+    "ex_odd_cycle",
+    "ex_c4",
+    "ex_even_cycle_upper",
+    "ex_cycle_upper",
+    "ex_complete_bipartite_upper",
+    "ex_forest_upper",
+    "ex_upper",
+]
+
+
+def turan_graph_edges(n: int, parts: int) -> int:
+    """Exact number of edges of the Turán graph T(n, parts)."""
+    if parts < 1:
+        raise ValueError("need at least one part")
+    size, extra = divmod(n, parts)
+    # ``extra`` parts of size size+1, the rest of size ``size``.
+    total_pairs = n * (n - 1) // 2
+    internal = extra * (size + 1) * size // 2 + (parts - extra) * size * (size - 1) // 2
+    return total_pairs - internal
+
+
+def ex_clique(n: int, clique_size: int) -> int:
+    """Turán's theorem, exact: ex(n, K_ℓ) = e(T(n, ℓ-1))."""
+    if clique_size < 2:
+        raise ValueError("clique size must be at least 2")
+    if clique_size == 2:
+        return 0
+    return turan_graph_edges(n, clique_size - 1)
+
+
+def ex_odd_cycle(n: int, length: int) -> int:
+    """ex(n, C_{2k+1}) = ⌊n²/4⌋ for n >= 4k+2 (Bondy); we return ⌊n²/4⌋,
+    a valid upper bound for all n >= 3 since the extremal graph is
+    bipartite (K_{⌊n/2⌋,⌈n/2⌉} has no odd cycles at all)."""
+    if length % 2 == 0 or length < 3:
+        raise ValueError("length must be an odd integer >= 3")
+    return max(n * n // 4, n - 1)
+
+
+def ex_c4(n: int) -> int:
+    """Upper bound ex(n, C4) <= (1/4)(1 + sqrt(4n-3))·n (Kővári–Sós–Turán
+    with Reiman's sharpening), tight up to the constant."""
+    if n < 1:
+        return 0
+    return int(math.floor(0.25 * n * (1.0 + math.sqrt(4.0 * n - 3.0))))
+
+
+def ex_even_cycle_upper(n: int, length: int) -> int:
+    """Bondy–Simonovits: ex(n, C_{2k}) <= 100·k·n^{1+1/k}.
+
+    For k = 2 we use the sharp C4 bound instead; for k = 3 the sharper
+    published coefficient ex(n, C6) <= 0.6272·n^{4/3} + O(n) is used
+    (Füredi–Naor–Verstraëte), padded with a +n safety term.
+    """
+    if length % 2 != 0 or length < 4:
+        raise ValueError("length must be an even integer >= 4")
+    k = length // 2
+    if k == 2:
+        return ex_c4(n)
+    if k == 3:
+        return int(math.ceil(0.6272 * n ** (4.0 / 3.0) + n))
+    return int(math.ceil(100.0 * k * n ** (1.0 + 1.0 / k)))
+
+
+def ex_cycle_upper(n: int, length: int) -> int:
+    if length % 2 == 1:
+        return ex_odd_cycle(n, length)
+    return ex_even_cycle_upper(n, length)
+
+
+def ex_complete_bipartite_upper(n: int, r: int, s: int) -> int:
+    """Kővári–Sós–Turán: for r <= s,
+    ex(n, K_{r,s}) <= 1/2·((s-1)^{1/r}·(n-r+1)·n^{1-1/r} + (r-1)·n)."""
+    if r > s:
+        r, s = s, r
+    if r < 1:
+        raise ValueError("sides must be positive")
+    if r == 1:
+        # K_{1,s} is a star: a graph with max degree < s has <= n(s-1)/2
+        # edges, and that is exact up to rounding.
+        return n * (s - 1) // 2 + n
+    bound = 0.5 * ((s - 1.0) ** (1.0 / r) * (n - r + 1.0) * n ** (1.0 - 1.0 / r) + (r - 1.0) * n)
+    return int(math.ceil(bound))
+
+
+def ex_forest_upper(n: int, pattern_vertices: int) -> int:
+    """Any graph with more than (k-2)·n edges has a subgraph of minimum
+    degree >= k-1 and hence contains every tree (indeed forest) on k
+    vertices; so ex(n, forest on k vertices) <= (k-2)·n."""
+    return max(0, (pattern_vertices - 2)) * n
+
+
+def ex_upper(n: int, pattern: Graph) -> int:
+    """A certified upper bound on ex(n, H) for an arbitrary pattern H,
+    dispatching on the structure of H:
+
+    * clique        -> exact Turán number,
+    * cycle         -> odd exact-order / Bondy–Simonovits,
+    * forest        -> (k-2)·n,
+    * K_{r,s}       -> Kővári–Sós–Turán,
+    * other bipartite H (with parts of sizes r <= s) -> KST bound for
+      K_{r,s} ⊇ H,
+    * non-bipartite -> ⌊n²/2⌋ padded Erdős–Stone-style bound using the
+      clique number is not safe without the o(n²) constant, so we fall
+      back on the trivial (and for χ(H) >= 3 asymptotically inevitable)
+      Θ(n²) bound via the chromatic lower envelope.
+    """
+    if pattern.m == 0:
+        return 0
+    if _props.is_clique(pattern):
+        return ex_clique(n, pattern.n)
+    cycle_len = _props.cycle_length(pattern)
+    if cycle_len is not None:
+        return ex_cycle_upper(n, cycle_len)
+    if _props.is_forest(pattern):
+        return ex_forest_upper(n, pattern.n)
+    sides = _props.bipartition(pattern)
+    if sides is not None:
+        r, s = sorted((len(sides[0]), len(sides[1])))
+        return ex_complete_bipartite_upper(n, r, s)
+    # Non-bipartite: Turán-type bound keyed to the chromatic number is
+    # (1 - 1/(χ-1))·n²/2 + o(n²); without explicit o(n²) constants the
+    # only *certified* upper bound is the trivial one.
+    return n * (n - 1) // 2
+
+
+# Re-exported here for convenience of callers sizing Theorem 7's guess.
+def degeneracy_guess(n: int, pattern: Graph, ex_bound: Optional[int] = None) -> int:
+    """Claim 6: an H-free graph on n vertices has degeneracy at most
+    4·ex(n,H)/n.  Returns that guess (at least 1)."""
+    bound = ex_upper(n, pattern) if ex_bound is None else ex_bound
+    return max(1, -(-4 * bound // max(1, n)))

@@ -1,0 +1,70 @@
+"""Lower-bound machinery of Section 3: Definition 10 graphs, the three
+constructions, the executable 2-party and NOF reductions, and the
+non-explicit counting bound."""
+
+from repro.lower_bounds.bipartite import biclique_lower_bound_graph
+from repro.lower_bounds.cliques import clique_lower_bound_graph
+from repro.lower_bounds.comm import (
+    DisjointnessReduction,
+    ReductionRun,
+    deterministic_disj_bits_lower_bound,
+    implied_round_lower_bound,
+    sets_disjoint,
+)
+from repro.lower_bounds.counting import (
+    counting_round_lower_bound,
+    one_round_two_party_computable,
+    trivial_upper_bound_rounds,
+    two_party_hard_function_exists,
+)
+from repro.lower_bounds.cycles import cycle_lower_bound_graph
+from repro.lower_bounds.lb_graphs import LowerBoundGraph, verify_lower_bound_graph
+from repro.lower_bounds.two_party import (
+    canonical_disj_fooling_set,
+    disj_table,
+    eq_table,
+    exact_cc,
+    fooling_set_bound,
+    gt_table,
+    ip_table,
+    log_rank_bound,
+)
+from repro.lower_bounds.nof import (
+    NOFReductionRun,
+    NOFTriangleReduction,
+    implied_triangle_rounds,
+    nof_disj_deterministic_bits,
+    nof_disj_randomized_bits,
+    nof_instance_graph,
+)
+
+__all__ = [
+    "LowerBoundGraph",
+    "verify_lower_bound_graph",
+    "clique_lower_bound_graph",
+    "cycle_lower_bound_graph",
+    "biclique_lower_bound_graph",
+    "sets_disjoint",
+    "deterministic_disj_bits_lower_bound",
+    "implied_round_lower_bound",
+    "ReductionRun",
+    "DisjointnessReduction",
+    "NOFReductionRun",
+    "NOFTriangleReduction",
+    "nof_instance_graph",
+    "nof_disj_deterministic_bits",
+    "nof_disj_randomized_bits",
+    "implied_triangle_rounds",
+    "counting_round_lower_bound",
+    "trivial_upper_bound_rounds",
+    "one_round_two_party_computable",
+    "two_party_hard_function_exists",
+    "exact_cc",
+    "eq_table",
+    "disj_table",
+    "ip_table",
+    "gt_table",
+    "fooling_set_bound",
+    "canonical_disj_fooling_set",
+    "log_rank_bound",
+]

@@ -1,0 +1,141 @@
+"""Lemma 21: the (K_{ℓ,m}, F)-lower-bound graph for complete bipartite H.
+
+F must be a *bipartite C4-free* graph (Observation 20 guarantees one
+with at least ex(N, C4)/2 edges); we use the point–line incidence graph
+of PG(2, q), which is bipartite with girth 6 and Θ(N^{3/2}) edges.
+
+Construction: rows V_A = {u_i}, V_B = {v_i} (i ∈ V_F) carry the two
+copies of F; W_L (ℓ−2 vertices) and W_R (m−2 vertices) are template
+hubs wired so that for every F-edge {i ∈ L, j ∈ R} the vertex sets
+
+    X = W_L ∪ {u_i, v_j}   (size ℓ)      Y = W_R ∪ {u_j, v_i}   (size m)
+
+span a complete bipartite K_{ℓ,m} exactly when both the Alice edge
+{u_i, u_j} and the Bob edge {v_i, v_j} are present; C4-freeness of F
+rules out every other K_{ℓ,m} (Lemma 21's case analysis, which the test
+suite re-verifies by exhaustive enumeration).  With |E_F| = Θ(N^{3/2})
+Lemma 13 gives Theorem 22's Ω(√n/b).
+
+**Erratum (found by the Definition 10 machine verifier).**  For ℓ != m
+the paper's case analysis has a gap: it asserts both sides of any
+K_{ℓ,m}-copy contain at least two V_A ∪ V_B vertices "as |W_L| = ℓ−2
+and |W_R| = m−2", implicitly pinning the W-hubs to fixed sides.
+Nothing does pin them, and two stray-copy families result:
+
+* m = ℓ+1: the set {u_j} ∪ W_R plus ℓ+1 vertices of
+  φ_A(L) ∪ {v_j} ∪ W_L forms a copy from Alice-only edges whenever F
+  has a vertex of degree >= 2 — exhibited concretely by our tests with
+  the PG(2,2) incidence graph.  A perfect-matching F (max degree 1)
+  provably kills this family and the construction then verifies.
+* m >= ℓ+2: W_R alone can fill the entire ℓ-side, and any m vertices of
+  φ_A(L) ∪ W_L ∪ φ_B(R) complete an *input-independent* copy living in
+  template edges only — no choice of F can repair this shape, so the
+  constructor rejects these parameters.
+
+For ℓ = m every configuration is a renaming of the intended one and the
+construction verifies exhaustively with the dense incidence-graph F;
+this is the case carrying Theorem 22's Ω(√n/b).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.graphs.extremal import incidence_graph, is_prime
+from repro.graphs.generators import complete_bipartite
+from repro.graphs.graph import Graph
+from repro.graphs.properties import bipartition
+from repro.lower_bounds.lb_graphs import LowerBoundGraph
+
+__all__ = ["biclique_lower_bound_graph"]
+
+
+def _degree_capped_subgraph(graph: Graph, cap: int) -> Graph:
+    """A maximal subgraph of max degree <= cap (greedy edge selection);
+    subgraphs of bipartite C4-free graphs keep both properties."""
+    capped = Graph(graph.n)
+    for u, v in sorted(graph.edges()):
+        if capped.degree(u) < cap and capped.degree(v) < cap:
+            capped.add_edge(u, v)
+    return capped
+
+
+def biclique_lower_bound_graph(
+    left: int,
+    right: int,
+    q: int = 2,
+    f_graph: Optional[Graph] = None,
+) -> LowerBoundGraph:
+    """Build the Lemma 21 graph for H = K_{left,right} (left, right >= 2).
+
+    ``q`` selects the projective plane PG(2, q) behind the default F;
+    pass ``f_graph`` (any bipartite C4-free graph) to override.
+    """
+    if left < 2 or right < 2:
+        raise ValueError("Lemma 21 needs both sides >= 2")
+    if abs(left - right) >= 2 and min(left, right) <= max(left, right) - 2:
+        raise ValueError(
+            "Lemma 21's template contains input-independent K_{l,m} copies "
+            "when the sides differ by 2 or more (see the erratum in this "
+            "module's docstring); the construction cannot support these "
+            "parameters"
+        )
+    if f_graph is None:
+        if not is_prime(q):
+            raise ValueError("q must be prime")
+        f_graph = incidence_graph(q)
+        if left != right:
+            # See the erratum in the module docstring: sides differing by
+            # one need a matching F to exclude the stray-copy family.
+            f_graph = _degree_capped_subgraph(f_graph, 1)
+    sides = bipartition(f_graph)
+    if sides is None:
+        raise ValueError("F must be bipartite")
+    left_side = sorted(sides[0] | {v for v in f_graph.vertices() if f_graph.degree(v) == 0})
+    right_side = sorted(sides[1])
+    nf = f_graph.n
+
+    w_l = left - 2
+    w_r = right - 2
+    n = 2 * nf + w_l + w_r
+    u_of = {i: i for i in range(nf)}                 # V_A
+    v_of = {i: nf + i for i in range(nf)}            # V_B
+    wl_nodes = [2 * nf + t for t in range(w_l)]
+    wr_nodes = [2 * nf + w_l + t for t in range(w_r)]
+
+    template = Graph(n)
+    for fu, fv in f_graph.edges():
+        template.add_edge(u_of[fu], u_of[fv])        # F_A
+        template.add_edge(v_of[fu], v_of[fv])        # F_B
+    for i in range(nf):
+        template.add_edge(u_of[i], v_of[i])          # the matching
+    left_set = set(left_side)
+    right_set = set(right_side)
+    for w in wl_nodes:
+        for j in right_set:
+            template.add_edge(w, u_of[j])            # W_L × φ_A(R)
+        for i in left_set:
+            template.add_edge(w, v_of[i])            # W_L × φ_B(L)
+        for w2 in wr_nodes:
+            template.add_edge(w, w2)                 # W_L × W_R
+    for w in wr_nodes:
+        for i in left_set:
+            template.add_edge(w, u_of[i])            # W_R × φ_A(L)
+        for j in right_set:
+            template.add_edge(w, v_of[j])            # W_R × φ_B(R)
+
+    alice = set(u_of.values()) | set(wl_nodes)
+    bob = set(range(n)) - alice
+
+    return LowerBoundGraph(
+        name=f"K{left},{right}-lower-bound(|F|={nf})",
+        template=template,
+        pattern=complete_bipartite(left, right),
+        f_graph=f_graph,
+        f_edges=sorted(f_graph.edges()),
+        phi_a=dict(u_of),
+        phi_b=dict(v_of),
+        alice_nodes=alice,
+        bob_nodes=bob,
+        cut_edges=None,
+    )

@@ -1,0 +1,156 @@
+"""Exact two-party communication complexity for small functions.
+
+Lemma 13 converts clique protocols into 2-party protocols and then
+invokes classical communication-complexity lower bounds.  This module
+makes those classical bounds *computable* for small functions, so the
+reduction's arithmetic can be checked against exact values instead of
+asymptotic citations:
+
+* :func:`exact_cc` — the deterministic communication complexity D(f),
+  computed by dynamic programming over combinatorial rectangles: a
+  protocol tree node is a rectangle R = S×T; a bit sent by Alice splits
+  S, by Bob splits T; D(R) = 0 iff f is constant on R, else
+  1 + min over splits of max(D(child1), D(child2)).  This is the
+  textbook characterisation (Kushilevitz–Nisan §1), evaluated exactly.
+* :func:`fooling_set_bound` — verify a candidate fooling set and return
+  the ⌈log₂|F|⌉ (+1 for the standard both-values refinement is not
+  taken; we return the conservative ⌈log₂|F|⌉).
+* :func:`log_rank_bound` — ⌈log₂ rank(M_f)⌉, the other classical lower
+  bound.
+
+Plus the standard gadgets: equality, disjointness, inner product,
+greater-than.  Exact evaluation is exponential in the input length, so
+these are meant for the miniature regime (<= 3-bit inputs) used by the
+tests and E12's benchmark.
+"""
+
+from __future__ import annotations
+
+import itertools
+from functools import lru_cache
+from typing import Callable, FrozenSet, Iterable, List, Sequence, Tuple
+
+__all__ = [
+    "eq_table",
+    "disj_table",
+    "ip_table",
+    "gt_table",
+    "exact_cc",
+    "fooling_set_bound",
+    "log_rank_bound",
+    "canonical_disj_fooling_set",
+]
+
+Table = Tuple[Tuple[int, ...], ...]
+
+
+def _tabulate(bits: int, fn: Callable[[int, int], int]) -> Table:
+    size = 1 << bits
+    return tuple(
+        tuple(int(bool(fn(x, y))) for y in range(size)) for x in range(size)
+    )
+
+
+def eq_table(bits: int) -> Table:
+    return _tabulate(bits, lambda x, y: x == y)
+
+
+def disj_table(bits: int) -> Table:
+    """x, y interpreted as characteristic vectors; 1 iff disjoint."""
+    return _tabulate(bits, lambda x, y: (x & y) == 0)
+
+
+def ip_table(bits: int) -> Table:
+    return _tabulate(bits, lambda x, y: bin(x & y).count("1") % 2)
+
+
+def gt_table(bits: int) -> Table:
+    return _tabulate(bits, lambda x, y: x > y)
+
+
+def _nonempty_splits(items: FrozenSet[int]) -> Iterable[Tuple[FrozenSet[int], FrozenSet[int]]]:
+    """All 2-part partitions of ``items`` into nonempty halves (each
+    unordered pair once; the smaller-lexicographic part first)."""
+    ordered = sorted(items)
+    pivot = ordered[0]
+    rest = ordered[1:]
+    for r in range(len(rest) + 1):
+        for chosen in itertools.combinations(rest, r):
+            left = frozenset((pivot, *chosen))
+            right = items - left
+            if right:
+                yield left, right
+
+
+def exact_cc(table: Sequence[Sequence[int]], limit: int = 12) -> int:
+    """D(f): the exact deterministic communication complexity.
+
+    ``limit`` caps the recursion depth as a safety rail; functions on
+    <= 3-bit inputs resolve well below it.
+    """
+    rows = frozenset(range(len(table)))
+    cols = frozenset(range(len(table[0])))
+    values = tuple(tuple(row) for row in table)
+
+    @lru_cache(maxsize=None)
+    def cost(row_set: FrozenSet[int], col_set: FrozenSet[int]) -> int:
+        seen = {values[r][c] for r in row_set for c in col_set}
+        if len(seen) <= 1:
+            return 0
+        best = limit + 1
+        if len(row_set) > 1:
+            for left, right in _nonempty_splits(row_set):
+                sub = 1 + max(cost(left, col_set), cost(right, col_set))
+                best = min(best, sub)
+                if best == 1:
+                    break
+        if best > 1 and len(col_set) > 1:
+            for left, right in _nonempty_splits(col_set):
+                sub = 1 + max(cost(row_set, left), cost(row_set, right))
+                best = min(best, sub)
+                if best == 1:
+                    break
+        if best > limit:
+            raise RecursionError("communication complexity exceeds limit")
+        return best
+
+    return cost(rows, cols)
+
+
+def fooling_set_bound(
+    table: Sequence[Sequence[int]],
+    pairs: Sequence[Tuple[int, int]],
+    value: int = 1,
+) -> int:
+    """Verify that ``pairs`` is a fooling set for ``value`` and return
+    the implied bound ⌈log₂ |pairs|⌉ on D(f).
+
+    Fooling property: f(x_i, y_i) = value for all i, and for i != j at
+    least one of f(x_i, y_j), f(x_j, y_i) differs from ``value``.
+    Raises ValueError if the candidate is not actually fooling.
+    """
+    for x, y in pairs:
+        if table[x][y] != value:
+            raise ValueError(f"pair ({x},{y}) does not attain the value")
+    for (x1, y1), (x2, y2) in itertools.combinations(pairs, 2):
+        if table[x1][y2] == value and table[x2][y1] == value:
+            raise ValueError(
+                f"pairs ({x1},{y1}) and ({x2},{y2}) fail the fooling property"
+            )
+    count = len(pairs)
+    return max(0, (count - 1).bit_length())
+
+
+def canonical_disj_fooling_set(bits: int) -> List[Tuple[int, int]]:
+    """The classical {(S, complement(S))} fooling set for DISJ."""
+    mask = (1 << bits) - 1
+    return [(s, mask ^ s) for s in range(1 << bits)]
+
+
+def log_rank_bound(table: Sequence[Sequence[int]]) -> int:
+    """⌈log₂ rank(M_f)⌉ over the reals — D(f) >= log₂ rank."""
+    import numpy as np
+
+    matrix = np.array(table, dtype=float)
+    rank = int(np.linalg.matrix_rank(matrix))
+    return max(0, (rank - 1).bit_length())

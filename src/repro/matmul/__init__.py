@@ -1,0 +1,44 @@
+"""Matrix multiplication and triangle detection (Section 2.1 + the [8]
+baseline)."""
+
+from repro.matmul.boolean import (
+    adjacency,
+    boolean_matmul,
+    f2_matmul,
+    find_triangle,
+    has_triangle,
+    strassen_f2,
+    triangle_count,
+)
+from repro.matmul.distributed import (
+    TriangleMMOutcome,
+    detect_triangle_mm,
+    matmul_input_partition,
+    triangle_mm_program,
+)
+from repro.matmul.triangle_mm import (
+    detect_triangle_masked,
+    masked_product,
+    masked_triangle_witnesses,
+)
+from repro.matmul.triangles_dlp import DLPOutcome, detect_triangle_dlp, dlp_plan
+
+__all__ = [
+    "adjacency",
+    "f2_matmul",
+    "boolean_matmul",
+    "strassen_f2",
+    "triangle_count",
+    "has_triangle",
+    "find_triangle",
+    "masked_product",
+    "masked_triangle_witnesses",
+    "detect_triangle_masked",
+    "TriangleMMOutcome",
+    "triangle_mm_program",
+    "detect_triangle_mm",
+    "matmul_input_partition",
+    "DLPOutcome",
+    "dlp_plan",
+    "detect_triangle_dlp",
+]

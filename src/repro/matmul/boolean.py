@@ -1,0 +1,91 @@
+"""Reference (centralised) matrix algebra for Section 2.1.
+
+These numpy implementations are the ground truth against which the
+distributed protocols are tested: Boolean-semiring products, F2
+products, triangle counting via trace(A³)/6, and Strassen over F2.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "adjacency",
+    "f2_matmul",
+    "boolean_matmul",
+    "strassen_f2",
+    "triangle_count",
+    "has_triangle",
+    "find_triangle",
+]
+
+
+def adjacency(graph: Graph) -> np.ndarray:
+    return graph.adjacency_matrix().astype(np.int64)
+
+
+def f2_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return (a.astype(np.int64) @ b.astype(np.int64)) % 2
+
+
+def boolean_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return ((a.astype(np.int64) @ b.astype(np.int64)) > 0).astype(np.int64)
+
+
+def strassen_f2(a: np.ndarray, b: np.ndarray, cutoff: int = 16) -> np.ndarray:
+    """Strassen's algorithm over F2 (numpy reference implementation)."""
+    n = a.shape[0]
+    if n <= cutoff:
+        return f2_matmul(a, b)
+    if n % 2:
+        padded = n + 1
+        ap = np.zeros((padded, padded), dtype=np.int64)
+        bp = np.zeros((padded, padded), dtype=np.int64)
+        ap[:n, :n] = a
+        bp[:n, :n] = b
+        return strassen_f2(ap, bp, cutoff)[:n, :n]
+    h = n // 2
+    a11, a12, a21, a22 = a[:h, :h], a[:h, h:], a[h:, :h], a[h:, h:]
+    b11, b12, b21, b22 = b[:h, :h], b[:h, h:], b[h:, :h], b[h:, h:]
+    m1 = strassen_f2((a11 + a22) % 2, (b11 + b22) % 2, cutoff)
+    m2 = strassen_f2((a21 + a22) % 2, b11, cutoff)
+    m3 = strassen_f2(a11, (b12 + b22) % 2, cutoff)
+    m4 = strassen_f2(a22, (b21 + b11) % 2, cutoff)
+    m5 = strassen_f2((a11 + a12) % 2, b22, cutoff)
+    m6 = strassen_f2((a21 + a11) % 2, (b11 + b12) % 2, cutoff)
+    m7 = strassen_f2((a12 + a22) % 2, (b21 + b22) % 2, cutoff)
+    c11 = (m1 + m4 + m5 + m7) % 2
+    c12 = (m3 + m5) % 2
+    c21 = (m2 + m4) % 2
+    c22 = (m1 + m2 + m3 + m6) % 2
+    return np.vstack(
+        (np.hstack((c11, c12)), np.hstack((c21, c22)))
+    )
+
+
+def triangle_count(graph: Graph) -> int:
+    a = adjacency(graph)
+    return int(np.trace(a @ a @ a)) // 6
+
+
+def has_triangle(graph: Graph) -> bool:
+    a = adjacency(graph)
+    return bool(((a @ a) * a).any())
+
+
+def find_triangle(graph: Graph) -> Optional[Tuple[int, int, int]]:
+    a = adjacency(graph)
+    paths = (a @ a) * a
+    hits = np.argwhere(paths > 0)
+    if hits.size == 0:
+        return None
+    i, j = map(int, hits[0])
+    for k in range(graph.n):
+        if a[i, k] and a[k, j]:
+            return tuple(sorted((i, k, j)))  # type: ignore[return-value]
+    raise AssertionError("inconsistent path count")  # pragma: no cover

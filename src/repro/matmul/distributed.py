@@ -1,0 +1,191 @@
+"""Section 2.1 on the engine: triangle detection via matmul circuits.
+
+The paper's conditional result: if matrix multiplication has arithmetic
+circuits of size O(n^δ), Theorem 2 turns them into an O(n^{δ−2})-round
+CLIQUE-UCAST protocol, and Shamir's masked-F2 reduction turns Boolean
+triangle detection into a handful of such products.  We instantiate the
+pipeline with both circuit families from
+:mod:`repro.circuits.arithmetic`:
+
+* naive (Θ(n³) wires → s = Θ(n) → bandwidth Θ(n), O(1) rounds),
+* Strassen (Θ(n^{2.81}) wires → s = Θ(n^{0.81}) bandwidth, O(log n)
+  rounds) — the stand-in for the conjectured O(n^{2+ε}) circuits.
+
+Protocol per trial (mask r drawn from the shared public coin):
+
+1. Player i locally masks its adjacency row: M_i = A_i ∘ r.
+2. The circuit computes C = M · A over F2 via ``execute_plan``.
+3. Output entries C[i][j] are routed to player i (Remark 3's output
+   redistribution), who checks A_ij ∧ C_ij — a triangle witness.
+4. One unicast round aggregates the flags at player 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.circuits.arithmetic import matmul_circuit_naive, matmul_circuit_strassen
+from repro.circuits.circuit import Circuit
+from repro.core.bits import Bits
+from repro.core.network import Mode, Network, Outbox, RunResult
+from repro.core.phases import transmit_unicast
+from repro.graphs.graph import Graph
+from repro.routing.lenzen import payload_demand, route_payloads
+from repro.routing.schedule import build_schedule
+from repro.simulation.protocol import SimulationPlan, build_plan, execute_plan
+
+__all__ = [
+    "matmul_input_partition",
+    "TriangleMMOutcome",
+    "triangle_mm_program",
+    "detect_triangle_mm",
+]
+
+
+def matmul_input_partition(size: int) -> List[int]:
+    """Row i of both matrices belongs to player i — the "each player gets
+    n bits per matrix" partition of Section 2.1."""
+    partition = []
+    for _matrix in range(2):
+        for i in range(size):
+            partition.extend([i] * size)
+    return partition
+
+
+@dataclass(frozen=True)
+class TriangleMMOutcome:
+    found: bool
+    witness: Optional[Tuple[int, int]]
+    trials: int
+
+
+def _output_routing_plan(
+    plan: SimulationPlan, size: int
+) -> Tuple[Dict[Tuple[int, int], List[int]], Dict[Tuple[int, int], int]]:
+    """Route output gate C[i][j] from its simulation owner to player i."""
+    order: Dict[Tuple[int, int], List[int]] = {}
+    outputs = plan.circuit.outputs
+    for position, gid in enumerate(outputs):
+        row = position // size
+        src = plan.assignment.owner[gid]
+        if src != row:
+            order.setdefault((src, row), []).append(gid)
+    lengths = {pair: len(gids) for pair, gids in order.items()}
+    return order, lengths
+
+
+def triangle_mm_program(
+    graph: Graph,
+    plan: SimulationPlan,
+    trials: int,
+):
+    """Node program: ``ctx.input`` is this node's adjacency row (list of
+    n 0/1 ints)."""
+    size = graph.n
+    circuit = plan.circuit
+    input_ids = circuit.input_ids
+    out_order, out_lengths = _output_routing_plan(plan, size)
+    out_schedule = build_schedule(
+        payload_demand(out_lengths, plan.bandwidth), size
+    )
+    position_of = {gid: pos for pos, gid in enumerate(circuit.outputs)}
+
+    def program(ctx):
+        me = ctx.node_id
+        row = list(ctx.input)
+        found_local: Optional[Tuple[int, int]] = None
+        for _trial in range(trials):
+            mask = [ctx.shared_rng.randint(0, 1) for _ in range(size)]
+            masked_row = [row[j] & mask[j] for j in range(size)]
+            my_inputs: Dict[int, bool] = {}
+            for j in range(size):
+                my_inputs[input_ids[me * size + j]] = bool(masked_row[j])
+                my_inputs[input_ids[size * size + me * size + j]] = bool(row[j])
+            values = yield from execute_plan(ctx, plan, my_inputs)
+
+            payloads = {}
+            for (src, dst), gids in out_order.items():
+                if src == me:
+                    payloads[dst] = Bits.from_bools([values[g] for g in gids])
+            received = yield from route_payloads(
+                ctx, out_lengths, payloads, plan.bandwidth, out_schedule
+            )
+            my_row_c: Dict[int, bool] = {}
+            for position, gid in enumerate(circuit.outputs):
+                if position // size == me and plan.assignment.owner[gid] == me:
+                    my_row_c[position % size] = values[gid]
+            for src, bits in received.items():
+                for gid, bit in zip(out_order[(src, me)], bits):
+                    my_row_c[position_of[gid] % size] = bool(bit)
+            if found_local is None:
+                for j in range(size):
+                    if row[j] and my_row_c.get(j):
+                        found_local = (min(me, j), max(me, j))
+                        break
+            # Lockstep: even after finding a witness we keep executing
+            # the remaining trials' phases — peers cannot know we are
+            # done, and the routing schedules expect our frames.
+        # Aggregation: everyone reports to player 0 (1 + 2·log n bits).
+        vertex_bits = max(1, (size - 1).bit_length())
+        report_len = 1 + 2 * vertex_bits
+        if me != 0:
+            if found_local is None:
+                payload = Bits.zeros(report_len)
+            else:
+                payload = Bits.concat(
+                    [
+                        Bits.from_uint(1, 1),
+                        Bits.from_uint(found_local[0], vertex_bits),
+                        Bits.from_uint(found_local[1], vertex_bits),
+                    ]
+                )
+            yield from transmit_unicast(ctx, {0: payload}, max_bits=report_len)
+            return TriangleMMOutcome(
+                found=found_local is not None, witness=found_local, trials=trials
+            )
+        received = yield from transmit_unicast(ctx, {}, max_bits=report_len)
+        witness = found_local
+        for _sender, payload in sorted(received.items()):
+            if payload[0] == 1 and witness is None:
+                u = payload[1 : 1 + vertex_bits].to_uint()
+                v = payload[1 + vertex_bits :].to_uint()
+                witness = (u, v)
+        return TriangleMMOutcome(
+            found=witness is not None, witness=witness, trials=trials
+        )
+
+    return program
+
+
+def detect_triangle_mm(
+    graph: Graph,
+    trials: int = 8,
+    circuit_kind: str = "strassen",
+    bandwidth: Optional[int] = None,
+    seed: int = 0,
+    plan: Optional[SimulationPlan] = None,
+) -> Tuple[TriangleMMOutcome, RunResult, SimulationPlan]:
+    """Full pipeline: build the matmul circuit, simulate, detect.
+
+    The decision at player 0 has one-sided error <= 2^{-trials} (misses
+    only); "found" answers carry a witness edge and are always correct.
+    """
+    size = graph.n
+    if plan is None:
+        builder: Callable[[int], Circuit] = (
+            matmul_circuit_strassen if circuit_kind == "strassen" else matmul_circuit_naive
+        )
+        circuit = builder(size)
+        plan = build_plan(
+            circuit, size, matmul_input_partition(size), bandwidth
+        )
+    network = Network(
+        n=size, bandwidth=plan.bandwidth, mode=Mode.UNICAST, seed=seed
+    )
+    rows = [
+        [1 if graph.has_edge(v, u) else 0 for u in range(size)]
+        for v in range(size)
+    ]
+    result = network.run(triangle_mm_program(graph, plan, trials), inputs=rows)
+    return result.outputs[0], result, plan

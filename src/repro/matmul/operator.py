@@ -1,0 +1,100 @@
+"""Distributed F2 matrix multiplication as a public operator API.
+
+Remark 3 of the paper: the Theorem 2 simulation extends to *operators*
+(multi-bit outputs) by partitioning the outputs among the players and
+routing each output gate's value to its designated player.  This module
+packages that pipeline as a one-call API:
+
+    rows_of_c = distributed_matmul(a_rows, b_rows, ...)
+
+Player i contributes row i of A and row i of B, and ends up holding row
+i of C = A·B over F2 — the exact input/output convention of
+Section 2.1's triangle-detection application.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.circuits.arithmetic import (
+    matmul_circuit_naive,
+    matmul_circuit_strassen,
+)
+from repro.core.network import Mode, Network, RunResult
+from repro.matmul.distributed import matmul_input_partition
+from repro.simulation.protocol import (
+    SimulationPlan,
+    build_output_routing,
+    build_plan,
+    execute_plan,
+    redistribute_outputs,
+)
+
+__all__ = ["matmul_plan", "distributed_matmul"]
+
+
+def matmul_plan(
+    size: int,
+    circuit_kind: str = "naive",
+    bandwidth: Optional[int] = None,
+) -> Tuple[SimulationPlan, "OutputRouting"]:
+    """Build (and cache at the caller's discretion) the simulation plan
+    plus the Remark 3 routing that parks C's row i at player i."""
+    builder: Callable[[int], object] = (
+        matmul_circuit_strassen if circuit_kind == "strassen" else matmul_circuit_naive
+    )
+    circuit = builder(size)
+    plan = build_plan(circuit, size, matmul_input_partition(size), bandwidth)
+    targets = {
+        gid: position // size
+        for position, gid in enumerate(circuit.outputs)
+    }
+    routing = build_output_routing(plan, targets)
+    return plan, routing
+
+
+def distributed_matmul(
+    a_rows: Sequence[Sequence[int]],
+    b_rows: Sequence[Sequence[int]],
+    circuit_kind: str = "naive",
+    bandwidth: Optional[int] = None,
+    seed: int = 0,
+    plan_and_routing=None,
+) -> Tuple[List[List[int]], RunResult]:
+    """Compute C = A·B over F2 on CLIQUE-UCAST; returns (C rows, result).
+
+    ``a_rows[i]``/``b_rows[i]`` live at player i before the protocol and
+    ``C[i]`` lives at player i afterwards (assembled here for
+    convenience).
+    """
+    size = len(a_rows)
+    if any(len(row) != size for row in a_rows) or len(b_rows) != size:
+        raise ValueError("need two square matrices of matching size")
+    if plan_and_routing is None:
+        plan, routing = matmul_plan(size, circuit_kind, bandwidth)
+    else:
+        plan, routing = plan_and_routing
+    circuit = plan.circuit
+    input_ids = circuit.input_ids
+    position_of = {gid: pos for pos, gid in enumerate(circuit.outputs)}
+
+    def program(ctx):
+        me = ctx.node_id
+        my_inputs = {}
+        for j in range(size):
+            my_inputs[input_ids[me * size + j]] = bool(a_rows[me][j])
+            my_inputs[input_ids[size * size + me * size + j]] = bool(
+                b_rows[me][j]
+            )
+        values = yield from execute_plan(ctx, plan, my_inputs)
+        mine = yield from redistribute_outputs(ctx, plan, routing, values)
+        row = [0] * size
+        for gid, value in mine.items():
+            row[position_of[gid] % size] = 1 if value else 0
+        return row
+
+    network = Network(
+        n=size, bandwidth=plan.bandwidth, mode=Mode.UNICAST, seed=seed
+    )
+    result = network.run(program)
+    return list(result.outputs), result

@@ -1,0 +1,62 @@
+"""Shamir's randomized reduction: Boolean products via F2 products.
+
+Section 2.1 reduces triangle detection to matrix multiplication over F2
+via "a simple randomized reduction due to Adi Shamir (described in [45,
+Thm. 4.1])": the Boolean product entry OR_k a_ik·b_kj is nonzero iff a
+random F2 combination Σ_k a_ik·r_k·b_kj is nonzero with probability
+>= 1/2.  For triangles: with mask vector r,
+
+    D_r = (A · diag(r)) · A   over F2,
+
+any entry with A_ij = 1 and D_r[i,j] = 1 witnesses a path i–k–j plus the
+edge {i,j}, i.e. a triangle — with no false positives (an F2-nonzero sum
+needs at least one Boolean witness).  t independent masks detect an
+existing triangle with probability >= 1 − 2^{−t}.
+
+This module is the centralised reference; the distributed version runs
+the same masked products through the Theorem 2 circuit simulation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.matmul.boolean import adjacency, f2_matmul
+
+__all__ = ["masked_product", "masked_triangle_witnesses", "detect_triangle_masked"]
+
+
+def masked_product(a: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """D_r = (A·diag(r))·A over F2."""
+    return f2_matmul(a * mask[np.newaxis, :], a)
+
+
+def masked_triangle_witnesses(
+    a: np.ndarray, mask: np.ndarray
+) -> np.ndarray:
+    """Entries (i, j) such that A_ij = 1 and D_r[i,j] = 1."""
+    return (masked_product(a, mask) * a).astype(np.int64)
+
+
+def detect_triangle_masked(
+    graph: Graph, trials: int, rng: random.Random
+) -> Tuple[bool, Optional[Tuple[int, int]]]:
+    """Run ``trials`` independent masks; returns (found, witness edge).
+
+    One-sided error: "found" is always correct; "not found" errs with
+    probability at most 2^{-trials} per existing triangle entry.
+    """
+    a = adjacency(graph)
+    n = graph.n
+    for _ in range(trials):
+        mask = np.array([rng.randint(0, 1) for _ in range(n)], dtype=np.int64)
+        witnesses = masked_triangle_witnesses(a, mask)
+        hits = np.argwhere(witnesses > 0)
+        if hits.size:
+            i, j = map(int, hits[0])
+            return True, (min(i, j), max(i, j))
+    return False, None

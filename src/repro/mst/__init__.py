@@ -1,0 +1,5 @@
+"""Minimum spanning trees on the congested clique (related work [30])."""
+
+from repro.mst.boruvka import WeightedGraph, boruvka_mst, mst_reference
+
+__all__ = ["WeightedGraph", "boruvka_mst", "mst_reference"]

@@ -1,0 +1,178 @@
+"""Minimum spanning trees on the congested clique (related work [30]).
+
+MST is *the* canonical congested-clique problem: the paper's
+introduction cites Lotker–Pavlov–Patt-Shamir–Peleg [30], who achieve
+O(log log n) rounds.  We implement the classical Borůvka strategy on
+CLIQUE-BCAST — O(log n) phases, each a single O(log n + log W)-bit
+broadcast per node:
+
+1. every node maintains (locally, from the shared broadcast history)
+   the component label of *every* node — all nodes see the same
+   blackboard, so the bookkeeping stays consistent for free;
+2. each phase, every node broadcasts the minimum-weight edge incident
+   to it that leaves its component (or "none");
+3. everyone selects, per component, the globally minimal outgoing edge
+   (ties broken by the (weight, u, v) total order, which makes the
+   chosen edge set a forest), adds those edges to the MST and merges
+   the components locally;
+4. repeat until no component has an outgoing edge.
+
+The [30] O(log log n) algorithm accelerates step 3 by merging many
+components per phase through unicast sparsification; Borůvka is the
+standard baseline it improves on, and it exercises exactly the
+blackboard bookkeeping pattern of the detection algorithms.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.bits import BitReader, Bits, BitWriter
+from repro.core.network import Context, Mode, Network, RunResult
+from repro.core.phases import transmit_broadcast
+from repro.graphs.graph import Edge, Graph, canonical_edge
+
+__all__ = ["WeightedGraph", "mst_reference", "boruvka_mst"]
+
+
+@dataclass
+class WeightedGraph:
+    """An undirected graph with positive integer edge weights."""
+
+    graph: Graph
+    weights: Dict[Edge, int]
+
+    def __post_init__(self) -> None:
+        for edge, weight in self.weights.items():
+            if not self.graph.has_edge(*edge):
+                raise ValueError(f"weight given for non-edge {edge}")
+            if weight < 0:
+                raise ValueError("weights must be non-negative")
+        for edge in self.graph.edges():
+            if edge not in self.weights:
+                raise ValueError(f"edge {edge} has no weight")
+
+    def weight(self, u: int, v: int) -> int:
+        return self.weights[canonical_edge(u, v)]
+
+    def max_weight(self) -> int:
+        return max(self.weights.values(), default=0)
+
+    def key(self, u: int, v: int) -> Tuple[int, int, int]:
+        """The tie-breaking total order on edges."""
+        edge = canonical_edge(u, v)
+        return (self.weights[edge], edge[0], edge[1])
+
+
+def mst_reference(wg: WeightedGraph) -> Set[Edge]:
+    """Kruskal with the same tie-breaking order (ground truth)."""
+    parent = list(range(wg.graph.n))
+
+    def find(v: int) -> int:
+        while parent[v] != v:
+            parent[v] = parent[parent[v]]
+            v = parent[v]
+        return v
+
+    chosen: Set[Edge] = set()
+    for _w, u, v in sorted(wg.key(u, v) for u, v in wg.graph.edges()):
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent[ru] = rv
+            chosen.add(canonical_edge(u, v))
+    return chosen
+
+
+def boruvka_mst(
+    wg: WeightedGraph,
+    bandwidth: int,
+    seed: int = 0,
+) -> Tuple[Set[Edge], RunResult]:
+    """Run Borůvka on CLIQUE-BCAST; every node outputs the same MST
+    (minimum spanning forest if disconnected)."""
+    n = wg.graph.n
+    id_bits = max(1, (max(0, n - 1)).bit_length())
+    weight_bits = max(1, wg.max_weight().bit_length())
+    # message: present flag + weight + two endpoints
+    message_bits = 1 + weight_bits + 2 * id_bits
+    phases = max(1, math.ceil(math.log2(max(2, n))))
+
+    def encode(edge: Optional[Tuple[int, int]]) -> Bits:
+        writer = BitWriter()
+        if edge is None:
+            writer.write_uint(0, 1)
+            writer.write_uint(0, weight_bits + 2 * id_bits)
+        else:
+            u, v = edge
+            writer.write_uint(1, 1)
+            writer.write_uint(wg.weight(u, v), weight_bits)
+            writer.write_uint(u, id_bits)
+            writer.write_uint(v, id_bits)
+        return writer.getvalue()
+
+    def decode(payload: Bits) -> Optional[Tuple[int, int, int]]:
+        reader = BitReader(payload)
+        if reader.read_uint(1) == 0:
+            return None
+        weight = reader.read_uint(weight_bits)
+        u = reader.read_uint(id_bits)
+        v = reader.read_uint(id_bits)
+        return weight, u, v
+
+    def program(ctx: Context):
+        me = ctx.node_id
+        component = list(range(n))
+        tree: Set[Edge] = set()
+
+        for _phase in range(phases):
+            candidate: Optional[Tuple[int, int]] = None
+            best_key = None
+            for u in wg.graph.neighbors(me):
+                if component[u] == component[me]:
+                    continue
+                key = wg.key(me, u)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    candidate = (me, u)
+            received = yield from transmit_broadcast(
+                ctx, encode(candidate), max_bits=message_bits
+            )
+            proposals: Dict[int, Tuple[int, int, int]] = {}
+            all_messages = dict(received)
+            for sender, payload in all_messages.items():
+                decoded = decode(payload)
+                if decoded is None:
+                    continue
+                weight, u, v = decoded
+                comp = component[u]
+                key = (weight, min(u, v), max(u, v))
+                if comp not in proposals or key < proposals[comp]:
+                    proposals[comp] = key
+            if candidate is not None:
+                u, v = candidate
+                key = wg.key(u, v)
+                comp = component[u]
+                if comp not in proposals or key < proposals[comp]:
+                    proposals[comp] = key
+            if not proposals:
+                break
+            # merge: each selected edge unions two components; process
+            # in a deterministic order so all nodes stay consistent.
+            for _weight, u, v in sorted(set(proposals.values())):
+                cu, cv = component[u], component[v]
+                if cu == cv:
+                    continue
+                tree.add(canonical_edge(u, v))
+                low, high = min(cu, cv), max(cu, cv)
+                for w in range(n):
+                    if component[w] == high:
+                        component[w] = low
+        return frozenset(tree)
+
+    network = Network(n=n, bandwidth=bandwidth, mode=Mode.BROADCAST, seed=seed)
+    result = network.run(program)
+    first = result.outputs[0]
+    assert all(out == first for out in result.outputs)
+    return set(first), result

@@ -1,0 +1,245 @@
+"""One-command reproduction self-check:  ``python -m repro.report``.
+
+Runs a miniature instance of every experiment family and prints a
+PASS/FAIL line per claim — a smoke-level counterpart of the full
+benchmark harness, useful after an install to confirm the reproduction
+is intact on the current machine.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+import time
+from typing import Callable, List, Tuple
+
+__all__ = ["run_report", "main"]
+
+
+def _check_theorem2() -> str:
+    from repro.circuits import builders
+    from repro.simulation import simulate_circuit
+
+    circuit = builders.parity_tree(32, 4)
+    xs = [random.Random(0).random() < 0.5 for _ in range(32)]
+    outputs, result, _ = simulate_circuit(circuit, 8, xs)
+    assert [outputs[g] for g in circuit.outputs] == circuit.evaluate_outputs(xs)
+    assert result.rounds <= 6 * (circuit.depth() + 2)
+    return f"rounds={result.rounds} for depth={circuit.depth()}"
+
+
+def _check_section21() -> str:
+    from repro.graphs import random_graph
+    from repro.matmul import detect_triangle_mm, has_triangle
+
+    graph = random_graph(7, 0.35, random.Random(1))
+    outcome, result, _ = detect_triangle_mm(graph, trials=6, circuit_kind="naive")
+    assert outcome.found == has_triangle(graph)
+    return f"masked-F2 pipeline agrees (rounds={result.rounds})"
+
+
+def _check_theorem7() -> str:
+    from repro.analysis import theorem7_round_bound
+    from repro.graphs import contains_subgraph, cycle_graph, random_k_degenerate
+    from repro.subgraphs import detect_subgraph
+
+    graph = random_k_degenerate(24, 2, random.Random(2))
+    pattern = cycle_graph(4)
+    outcome, result = detect_subgraph(graph, pattern, bandwidth=8)
+    assert outcome.contains == contains_subgraph(graph, pattern)
+    assert result.rounds == theorem7_round_bound(24, pattern, 8)
+    return f"exact formula match (rounds={result.rounds})"
+
+
+def _check_theorem9() -> str:
+    from repro.graphs import contains_subgraph, cycle_graph, random_k_degenerate
+    from repro.subgraphs import adaptive_detect
+
+    graph = random_k_degenerate(20, 2, random.Random(3))
+    pattern = cycle_graph(4)
+    outcome, _ = adaptive_detect(graph, pattern, bandwidth=8)
+    assert outcome.contains == contains_subgraph(graph, pattern)
+    return f"answered at k={outcome.k_used}, level={outcome.level_used}"
+
+
+def _check_becker() -> str:
+    from repro.graphs import degeneracy, random_k_degenerate
+    from repro.subgraphs import reconstruct
+
+    graph = random_k_degenerate(30, 3, random.Random(4))
+    k = max(1, degeneracy(graph))
+    assert reconstruct(graph, k).edge_set() == graph.edge_set()
+    assert reconstruct(graph, k - 1) is None or k == 1
+    return f"exact at k={k}, certified failure below"
+
+
+def _check_lemma14() -> str:
+    from repro.lower_bounds import clique_lower_bound_graph, verify_lower_bound_graph
+
+    lbg = clique_lower_bound_graph(4, 3)
+    violations = verify_lower_bound_graph(lbg)
+    assert not violations
+    return f"Definition 10 verified, |E_F|={lbg.universe_size}"
+
+
+def _check_lemma18() -> str:
+    from repro.lower_bounds import cycle_lower_bound_graph, verify_lower_bound_graph
+
+    lbg = cycle_lower_bound_graph(5, 6)
+    assert not verify_lower_bound_graph(lbg)
+    assert lbg.cut_edges == 6
+    return f"verified; δ-sparse cut={lbg.cut_edges}"
+
+
+def _check_lemma21() -> str:
+    from repro.lower_bounds import biclique_lower_bound_graph, verify_lower_bound_graph
+
+    lbg = biclique_lower_bound_graph(2, 2, q=2)
+    assert not verify_lower_bound_graph(lbg)
+    return f"verified; |E_F|={lbg.universe_size}"
+
+
+def _check_lemma13() -> str:
+    from repro.lower_bounds import (
+        DisjointnessReduction,
+        clique_lower_bound_graph,
+        sets_disjoint,
+    )
+
+    lbg = clique_lower_bound_graph(4, 3)
+    reduction = DisjointnessReduction(lbg, bandwidth=8)
+    rng = random.Random(5)
+    m = lbg.universe_size
+    x = {i for i in range(m) if rng.random() < 0.4}
+    y = {i for i in range(m) if rng.random() < 0.4}
+    run = reduction.solve(x, y)
+    assert run.disjoint == sets_disjoint(x, y)
+    return f"DISJ answered via detection ({run.blackboard_bits} bits)"
+
+
+def _check_theorem24() -> str:
+    from repro.lower_bounds import NOFTriangleReduction
+    from repro.matmul import triangle_count
+
+    reduction = NOFTriangleReduction(5, bandwidth=8)
+    assert triangle_count(reduction.rs.graph) == reduction.rs.triangle_count
+    run = reduction.solve({0, 1}, {1, 2}, {1, 3})
+    assert not run.disjoint
+    return f"RS triangles exact; NOF reduction correct (m={reduction.universe_size})"
+
+
+def _check_counting() -> str:
+    from repro.lower_bounds import (
+        counting_round_lower_bound,
+        trivial_upper_bound_rounds,
+        two_party_hard_function_exists,
+    )
+
+    lb = counting_round_lower_bound(32, 1)
+    ub = trivial_upper_bound_rounds(32, 1)
+    assert lb <= ub <= lb + 14
+    hard, _ = two_party_hard_function_exists()
+    assert hard
+    return f"LB={lb} vs UB={ub}; EQ certified 1-round-hard"
+
+
+def _check_exact_cc() -> str:
+    from repro.lower_bounds import disj_table, eq_table, exact_cc
+
+    assert exact_cc(disj_table(2)) == 3
+    assert exact_cc(eq_table(2)) == 3
+    return "D(DISJ_2)=D(EQ_2)=3 (the textbook n+1)"
+
+
+def _check_routing() -> str:
+    from repro.routing import build_schedule
+
+    schedule = build_schedule({(0, 1): 32}, 16)
+    assert schedule.num_rounds <= 8
+    return f"2n-frame hotspot in {schedule.num_rounds} rounds"
+
+
+def _check_dlp() -> str:
+    from repro.graphs import random_graph
+    from repro.matmul import detect_triangle_dlp, has_triangle
+    from repro.matmul.triangles_dlp import count_triangles_dlp
+    from repro.matmul import triangle_count
+
+    graph = random_graph(15, 0.3, random.Random(6))
+    outcome, _ = detect_triangle_dlp(graph, bandwidth=16)
+    assert outcome.found == has_triangle(graph)
+    count, _ = count_triangles_dlp(graph, bandwidth=16)
+    assert count == triangle_count(graph)
+    return f"detects + counts exactly ({count} triangles)"
+
+
+def _check_congest() -> str:
+    from repro.congest import detect_c4_congest
+    from repro.graphs import contains_subgraph, cycle_graph, random_graph
+
+    graph = random_graph(16, 0.2, random.Random(7))
+    outcome, _ = detect_c4_congest(graph, bandwidth=16)
+    assert outcome.found == contains_subgraph(graph, cycle_graph(4))
+    return "two-phase C4 detector agrees over G's own edges"
+
+
+def _check_mst() -> str:
+    from repro.graphs import complete_graph
+    from repro.mst import WeightedGraph, boruvka_mst, mst_reference
+
+    rng = random.Random(8)
+    graph = complete_graph(12)
+    wg = WeightedGraph(
+        graph=graph, weights={e: rng.randint(0, 99) for e in graph.edges()}
+    )
+    tree, result = boruvka_mst(wg, bandwidth=32)
+    assert tree == mst_reference(wg)
+    return f"exact MST in {result.rounds} rounds"
+
+
+CHECKS: List[Tuple[str, Callable[[], str]]] = [
+    ("Theorem 2   circuit simulation O(depth)", _check_theorem2),
+    ("Section 2.1 matmul triangle pipeline", _check_section21),
+    ("Theorem 7   detection w/ Turán guess", _check_theorem7),
+    ("Theorem 9   adaptive detection", _check_theorem9),
+    ("Becker [2]  one-round reconstruction", _check_becker),
+    ("Lemma 14    clique LB graph", _check_lemma14),
+    ("Lemma 18    cycle LB graph", _check_lemma18),
+    ("Lemma 21    biclique LB graph", _check_lemma21),
+    ("Lemma 13    executed DISJ reduction", _check_lemma13),
+    ("Theorem 24  NOF triangle reduction", _check_theorem24),
+    ("Counting    non-explicit bound", _check_counting),
+    ("Exact CC    protocol-tree DP", _check_exact_cc),
+    ("Lenzen [28] balanced routing", _check_routing),
+    ("DLP [8]     triangle detect + count", _check_dlp),
+    ("CONGEST     C4 over input graph", _check_congest),
+    ("MST [30]    Borůvka baseline", _check_mst),
+]
+
+
+def run_report(out=sys.stdout) -> bool:
+    """Run all checks; returns True iff every one passed."""
+    all_ok = True
+    out.write("repro self-check — miniature run of every experiment family\n")
+    out.write("=" * 64 + "\n")
+    for name, check in CHECKS:
+        start = time.perf_counter()
+        try:
+            detail = check()
+            elapsed = time.perf_counter() - start
+            out.write(f"PASS  {name}  ({elapsed:.2f}s)\n      {detail}\n")
+        except Exception as exc:  # noqa: BLE001 - report, don't crash
+            all_ok = False
+            out.write(f"FAIL  {name}: {exc!r}\n")
+    out.write("=" * 64 + "\n")
+    out.write("all claims reproduced\n" if all_ok else "FAILURES present\n")
+    return all_ok
+
+
+def main() -> None:
+    ok = run_report()
+    sys.exit(0 if ok else 1)
+
+
+if __name__ == "__main__":
+    main()

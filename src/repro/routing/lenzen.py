@@ -1,0 +1,109 @@
+"""Executing routing schedules on the engine (Lenzen-style routing).
+
+:func:`route_frames` is the runtime counterpart of
+:mod:`repro.routing.schedule`: a sub-generator that every node drives
+with ``yield from`` inside its program.  All nodes hold the same
+(globally computed) :class:`RoutingSchedule`, so senders, receivers and
+forwarders agree on which frame each link carries each round without any
+extra communication — mirroring how [28] is consumed by Theorem 2, where
+the demand pattern is public.
+
+:func:`route_payloads` layers variable-length payloads on top: payload
+lengths are public (part of the plan), so payloads are padded to whole
+frames and truncated by the receiver.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple
+
+from repro.core.bits import Bits
+from repro.core.network import Context, Outbox
+from repro.routing.schedule import FrameRef, RoutingSchedule, build_schedule
+
+__all__ = ["route_frames", "payload_demand", "route_payloads"]
+
+
+def route_frames(
+    ctx: Context,
+    schedule: RoutingSchedule,
+    my_frames: Mapping[FrameRef, Bits],
+):
+    """Drive ``schedule`` for this node; returns the frames delivered
+    here (keyed by :data:`FrameRef`).  Sub-generator: use ``yield from``.
+    """
+    holding: Dict[FrameRef, Bits] = dict(my_frames)
+    delivered: Dict[FrameRef, Bits] = {}
+    for r in range(schedule.num_rounds):
+        sends = schedule.send_plan[r].get(ctx.node_id, [])
+        messages: Dict[int, Bits] = {}
+        for recipient, frame in sends:
+            if recipient in messages:
+                raise AssertionError(
+                    "schedule placed two frames on one link in one round"
+                )
+            messages[recipient] = holding.pop(frame)
+        inbox = yield (Outbox.unicast(messages) if messages else Outbox.silent())
+        recv = schedule.recv_plan[r]
+        for sender, payload in inbox.items():
+            frame, is_final = recv[(sender, ctx.node_id)]
+            if is_final:
+                delivered[frame] = payload
+            else:
+                holding[frame] = payload
+    return delivered
+
+
+def payload_demand(
+    lengths: Mapping[Tuple[int, int], int],
+    frame_size: int,
+) -> Dict[Tuple[int, int], int]:
+    """Frame counts for public payload ``lengths`` (bits per (src, dst))."""
+    if frame_size < 1:
+        raise ValueError("frame size must be positive")
+    return {
+        pair: -(-bits // frame_size)
+        for pair, bits in lengths.items()
+        if bits > 0
+    }
+
+
+def route_payloads(
+    ctx: Context,
+    lengths: Mapping[Tuple[int, int], int],
+    my_payloads: Mapping[int, Bits],
+    frame_size: int,
+    schedule: RoutingSchedule = None,
+):
+    """Route variable-length payloads under a *public* length map.
+
+    Every node passes the same ``lengths`` (and, optionally, the same
+    prebuilt schedule); ``my_payloads`` maps destination -> payload for
+    this node's own traffic.  Returns {source: payload} for traffic
+    addressed to this node.  Sub-generator: use ``yield from``.
+    """
+    if schedule is None:
+        schedule = build_schedule(payload_demand(lengths, frame_size), ctx.n)
+    my_frames: Dict[FrameRef, Bits] = {}
+    for dst, payload in my_payloads.items():
+        expected = lengths.get((ctx.node_id, dst), 0)
+        if len(payload) != expected:
+            raise ValueError(
+                f"payload to {dst} has {len(payload)} bits, plan says {expected}"
+            )
+        if expected == 0:
+            continue
+        count = -(-expected // frame_size)
+        padded = payload.pad_to(count * frame_size)
+        for idx, chunk in enumerate(padded.chunks(frame_size)):
+            my_frames[(ctx.node_id, dst, idx)] = chunk
+    delivered = yield from route_frames(ctx, schedule, my_frames)
+    by_source: Dict[int, Dict[int, Bits]] = {}
+    for (src, _dst, idx), chunk in delivered.items():
+        by_source.setdefault(src, {})[idx] = chunk
+    result: Dict[int, Bits] = {}
+    for src, chunks in by_source.items():
+        expected = lengths[(src, ctx.node_id)]
+        ordered = [chunks[i] for i in range(len(chunks))]
+        result[src] = Bits.concat(ordered)[:expected]
+    return result

@@ -1,0 +1,28 @@
+"""Theorem 2: simulating bounded-depth circuits on CLIQUE-UCAST."""
+
+from repro.simulation.assignment import GateAssignment, assign_gates
+from repro.simulation.protocol import (
+    LayerPlan,
+    OutputRouting,
+    SimulationPlan,
+    build_output_routing,
+    build_plan,
+    execute_plan,
+    make_program,
+    redistribute_outputs,
+    simulate_circuit,
+)
+
+__all__ = [
+    "GateAssignment",
+    "assign_gates",
+    "LayerPlan",
+    "SimulationPlan",
+    "build_plan",
+    "execute_plan",
+    "make_program",
+    "simulate_circuit",
+    "OutputRouting",
+    "build_output_routing",
+    "redistribute_outputs",
+]

@@ -1,0 +1,13 @@
+"""Deterministic set sketches over GF(2^m) (BCH power-sum syndromes)."""
+
+from repro.sketch.berlekamp_massey import berlekamp_massey
+from repro.sketch.gf2m import GF2m, IRREDUCIBLE_POLYS, field_for_universe
+from repro.sketch.set_sketch import SetSketch
+
+__all__ = [
+    "GF2m",
+    "IRREDUCIBLE_POLYS",
+    "field_for_universe",
+    "berlekamp_massey",
+    "SetSketch",
+]

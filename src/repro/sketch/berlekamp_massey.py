@@ -1,0 +1,65 @@
+"""Massey's algorithm over GF(2^m).
+
+Given a sequence s_0, s_1, ..., s_{N-1}, find the shortest linear
+recurrence s_j = sum_{i=1}^{L} c_i * s_{j-i} (valid for L <= j < N) and
+return its connection polynomial C(x) = 1 + c_1 x + ... + c_L x^L.
+
+For BCH syndromes S_1..S_{2t} of a set of d <= t field elements, the
+connection polynomial equals the error-locator polynomial
+Λ(x) = Π(1 - X_i x); its roots are the inverses of the set elements.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.sketch.gf2m import GF2m
+
+__all__ = ["berlekamp_massey"]
+
+
+def berlekamp_massey(field: GF2m, sequence: Sequence[int]) -> List[int]:
+    """Connection polynomial of the minimal LFSR generating ``sequence``.
+
+    Returns coefficient list ``c`` with ``c[0] == 1``; degree = LFSR
+    length L.
+    """
+    c = [1]  # current connection polynomial
+    b = [1]  # previous connection polynomial (before last length change)
+    length = 0
+    shift = 1  # number of steps since last length change
+    last_discrepancy = 1
+    for n, s_n in enumerate(sequence):
+        # discrepancy d = s_n + sum_{i=1..L} c_i * s_{n-i}
+        d = s_n
+        for i in range(1, length + 1):
+            if i < len(c) and c[i]:
+                d ^= field.mul(c[i], sequence[n - i])
+        if d == 0:
+            shift += 1
+            continue
+        coefficient = field.mul(d, field.inv(last_discrepancy))
+        # c(x) -= coefficient * x^shift * b(x)
+        adjusted = [0] * shift + [field.mul(coefficient, bi) for bi in b]
+        if 2 * length <= n:
+            old_c = list(c)
+            length = n + 1 - length
+            b = old_c
+            last_discrepancy = d
+            new_len = max(len(c), len(adjusted))
+            c = [
+                (c[i] if i < len(c) else 0) ^ (adjusted[i] if i < len(adjusted) else 0)
+                for i in range(new_len)
+            ]
+            shift = 1
+        else:
+            new_len = max(len(c), len(adjusted))
+            c = [
+                (c[i] if i < len(c) else 0) ^ (adjusted[i] if i < len(adjusted) else 0)
+                for i in range(new_len)
+            ]
+            shift += 1
+    # Trim trailing zeros but keep at least the constant term.
+    while len(c) > 1 and c[-1] == 0:
+        c.pop()
+    return c

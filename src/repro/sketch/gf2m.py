@@ -1,0 +1,112 @@
+"""Arithmetic in the binary extension fields GF(2^m).
+
+This is the algebra underneath the deterministic one-round graph
+reconstruction of Becker et al. [2] as we implement it (DESIGN.md
+substitution #2): node neighbourhoods are encoded as BCH-style power-sum
+syndromes over GF(2^m), which decode any set of size <= k from O(k·m)
+bits.  Elements are plain Python ints in [0, 2^m); addition is XOR.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+__all__ = ["GF2m", "IRREDUCIBLE_POLYS"]
+
+# One irreducible polynomial per degree, represented as an int whose bits
+# are coefficients (bit m = x^m term).  Standard low-weight choices.
+IRREDUCIBLE_POLYS: Dict[int, int] = {
+    1: 0b11,                 # x + 1
+    2: 0b111,                # x^2 + x + 1
+    3: 0b1011,               # x^3 + x + 1
+    4: 0b10011,              # x^4 + x + 1
+    5: 0b100101,             # x^5 + x^2 + 1
+    6: 0b1000011,            # x^6 + x + 1
+    7: 0b10000011,           # x^7 + x + 1
+    8: 0b100011011,          # x^8 + x^4 + x^3 + x + 1
+    9: 0b1000010001,         # x^9 + x^4 + 1
+    10: 0b10000001001,       # x^10 + x^3 + 1
+    11: 0b100000000101,      # x^11 + x^2 + 1
+    12: 0b1000001010011,     # x^12 + x^6 + x^4 + x + 1
+    13: 0b10000000011011,    # x^13 + x^4 + x^3 + x + 1
+    14: 0b100000101000011,   # x^14 + x^8 + x^6 + x + 1
+    15: 0b1000000000000011,  # x^15 + x + 1
+    16: 0b10001000000001011, # x^16 + x^12 + x^3 + x + 1
+}
+
+
+class GF2m:
+    """The field GF(2^m) with fixed irreducible modulus."""
+
+    __slots__ = ("m", "modulus", "order", "_mask")
+
+    def __init__(self, m: int) -> None:
+        if m not in IRREDUCIBLE_POLYS:
+            raise ValueError(f"no modulus tabulated for GF(2^{m})")
+        self.m = m
+        self.modulus = IRREDUCIBLE_POLYS[m]
+        self.order = 1 << m
+        self._mask = self.order - 1
+
+    # Addition and subtraction coincide in characteristic 2.
+    @staticmethod
+    def add(a: int, b: int) -> int:
+        return a ^ b
+
+    def mul(self, a: int, b: int) -> int:
+        """Carry-less multiplication followed by modular reduction."""
+        result = 0
+        while b:
+            if b & 1:
+                result ^= a
+            b >>= 1
+            a <<= 1
+            if a & self.order:
+                a ^= self.modulus
+        return result & self._mask
+
+    def square(self, a: int) -> int:
+        return self.mul(a, a)
+
+    def pow(self, a: int, exponent: int) -> int:
+        if exponent < 0:
+            return self.pow(self.inv(a), -exponent)
+        result = 1
+        base = a
+        while exponent:
+            if exponent & 1:
+                result = self.mul(result, base)
+            base = self.mul(base, base)
+            exponent >>= 1
+        return result
+
+    def inv(self, a: int) -> int:
+        if a == 0:
+            raise ZeroDivisionError("0 has no inverse in GF(2^m)")
+        # a^(2^m - 2) = a^{-1} by Fermat.
+        return self.pow(a, self.order - 2)
+
+    def div(self, a: int, b: int) -> int:
+        return self.mul(a, self.inv(b))
+
+    # -- polynomial helpers (coefficient lists, index = degree) ----------
+
+    def poly_eval(self, coeffs: List[int], x: int) -> int:
+        """Evaluate sum(coeffs[i] * x^i) by Horner's rule."""
+        acc = 0
+        for c in reversed(coeffs):
+            acc = self.mul(acc, x) ^ c
+        return acc
+
+    def validate(self, a: int) -> None:
+        if not 0 <= a < self.order:
+            raise ValueError(f"{a} is not an element of GF(2^{self.m})")
+
+
+def field_for_universe(max_element: int) -> GF2m:
+    """The smallest tabulated field whose nonzero elements cover
+    1..max_element."""
+    m = max(2, max_element.bit_length())
+    if m not in IRREDUCIBLE_POLYS:
+        raise ValueError(f"universe too large: need GF(2^{m})")
+    return GF2m(m)

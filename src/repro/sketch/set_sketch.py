@@ -1,0 +1,167 @@
+"""Deterministic set sketches from BCH power-sum syndromes.
+
+A :class:`SetSketch` of capacity ``t`` over GF(2^m) stores, for a set
+S of *nonzero* field elements, the odd power sums
+
+    S_1, S_3, ..., S_{2t-1},      S_j = sum_{x in S} x^j,
+
+which is t·m bits.  In characteristic 2 the even power sums follow by
+squaring (S_{2j} = S_j²), so the sketch determines S_1..S_{2t}; by the
+classical BCH argument these uniquely determine S whenever |S| <= t, and
+Berlekamp–Massey plus a root scan over the universe recovers it.
+
+Sketches support exact deletion (toggling) — the property the Becker
+et al. peeling decoder relies on: once an edge is learned from one
+endpoint, it is subtracted from the other endpoint's sketch, shrinking
+that sketch's effective load until it, too, becomes decodable.
+
+Elements must be nonzero (0 is invisible to power sums); callers encode
+vertex v as field element v+1.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Set
+
+from repro.core.bits import BitReader, Bits, BitWriter
+from repro.sketch.berlekamp_massey import berlekamp_massey
+from repro.sketch.gf2m import GF2m
+
+__all__ = ["SetSketch"]
+
+
+class SetSketch:
+    """Power-sum syndrome sketch of a set of nonzero GF(2^m) elements."""
+
+    __slots__ = ("field", "capacity", "_odd_syndromes")
+
+    def __init__(
+        self,
+        field: GF2m,
+        capacity: int,
+        elements: Iterable[int] = (),
+        _syndromes: Optional[List[int]] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.field = field
+        self.capacity = capacity
+        if _syndromes is not None:
+            self._odd_syndromes = list(_syndromes)
+        else:
+            self._odd_syndromes = [0] * capacity
+            for x in elements:
+                self.toggle(x)
+
+    def copy(self) -> "SetSketch":
+        return SetSketch(
+            self.field, self.capacity, _syndromes=self._odd_syndromes
+        )
+
+    def toggle(self, x: int) -> None:
+        """Insert x if absent, delete it if present (XOR semantics)."""
+        if x == 0:
+            raise ValueError("0 cannot be sketched (invisible to power sums)")
+        self.field.validate(x)
+        power = x
+        square = self.field.square(x)
+        for j in range(self.capacity):
+            self._odd_syndromes[j] ^= power
+            power = self.field.mul(power, square)
+
+    def is_zero(self) -> bool:
+        return not any(self._odd_syndromes)
+
+    def merge(self, other: "SetSketch") -> None:
+        """XOR in another sketch (symmetric difference of the sets)."""
+        if other.capacity != self.capacity or other.field.m != self.field.m:
+            raise ValueError("sketch shape mismatch")
+        for j in range(self.capacity):
+            self._odd_syndromes[j] ^= other._odd_syndromes[j]
+
+    # -- decoding ---------------------------------------------------------
+
+    def _full_syndromes(self) -> List[int]:
+        """S_1..S_{2t}, index i holding S_{i+1}; evens from squaring."""
+        two_t = 2 * self.capacity
+        syndromes = [0] * two_t
+        for j in range(self.capacity):
+            syndromes[2 * j] = self._odd_syndromes[j]
+        for even in range(2, two_t + 1, 2):
+            half = even // 2
+            syndromes[even - 1] = self.field.square(syndromes[half - 1])
+        return syndromes
+
+    def decode(
+        self,
+        universe: Sequence[int],
+        expected_size: Optional[int] = None,
+    ) -> Optional[Set[int]]:
+        """Recover the sketched set, searching roots in ``universe``.
+
+        Guarantees (the classical BCH radius):
+
+        * if the true set has size <= capacity, it is returned exactly —
+          any other size-<= capacity set would differ on some syndrome
+          (their symmetric difference has <= 2t elements, and a nonempty
+          set of <= 2t elements cannot have 2t vanishing power sums);
+        * if the true set is *larger* than the capacity, the decoder
+          returns None **or a plausible decoy**: a different
+          size-<= capacity set with identical syndromes (decoding beyond
+          the radius, as in any BCH code).  Callers that know the true
+          cardinality — like the Becker peeling decoder, which tracks
+          residual degrees — must pass ``expected_size`` to reject
+          decoys; with ``expected_size <= capacity`` the answer is
+          unconditionally correct.
+        """
+        if expected_size is not None and expected_size > self.capacity:
+            return None
+        if self.is_zero():
+            return set() if expected_size in (None, 0) else None
+        syndromes = self._full_syndromes()
+        locator = berlekamp_massey(self.field, syndromes)
+        degree = len(locator) - 1
+        if degree == 0 or degree > self.capacity:
+            return None
+        if expected_size is not None and degree != expected_size:
+            return None
+        roots: Set[int] = set()
+        for x in universe:
+            if x == 0:
+                continue
+            if self.field.poly_eval(locator, self.field.inv(x)) == 0:
+                roots.add(x)
+        if len(roots) != degree:
+            return None
+        verification = SetSketch(self.field, self.capacity, roots)
+        if verification._odd_syndromes != self._odd_syndromes:
+            return None
+        return roots
+
+    # -- serialization ------------------------------------------------------
+
+    def bit_size(self) -> int:
+        return self.capacity * self.field.m
+
+    def to_bits(self) -> Bits:
+        writer = BitWriter()
+        for syndrome in self._odd_syndromes:
+            writer.write_uint(syndrome, self.field.m)
+        return writer.getvalue()
+
+    @classmethod
+    def from_bits(cls, field: GF2m, capacity: int, bits: Bits) -> "SetSketch":
+        reader = BitReader(bits)
+        syndromes = [reader.read_uint(field.m) for _ in range(capacity)]
+        return cls(field, capacity, _syndromes=syndromes)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, SetSketch)
+            and self.capacity == other.capacity
+            and self.field.m == other.field.m
+            and self._odd_syndromes == other._odd_syndromes
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SetSketch(capacity={self.capacity}, m={self.field.m})"

@@ -1,0 +1,41 @@
+"""Subgraph detection in CLIQUE-BCAST (Section 3.1 upper bounds)."""
+
+from repro.subgraphs.adaptive import (
+    AdaptiveOutcome,
+    adaptive_detect,
+    adaptive_program,
+    sample_subgraph_edges,
+    sampled_degeneracy_profile,
+)
+from repro.subgraphs.becker import (
+    algorithm_a,
+    decode_blackboard,
+    encode_neighborhood,
+    message_bits,
+    reconstruct,
+)
+from repro.subgraphs.detection import (
+    DetectionOutcome,
+    detect_subgraph,
+    detection_program,
+    full_learning_detect,
+    full_learning_program,
+)
+
+__all__ = [
+    "message_bits",
+    "encode_neighborhood",
+    "decode_blackboard",
+    "reconstruct",
+    "algorithm_a",
+    "DetectionOutcome",
+    "detection_program",
+    "detect_subgraph",
+    "full_learning_program",
+    "full_learning_detect",
+    "AdaptiveOutcome",
+    "adaptive_program",
+    "adaptive_detect",
+    "sample_subgraph_edges",
+    "sampled_degeneracy_profile",
+]

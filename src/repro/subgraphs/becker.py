@@ -1,0 +1,169 @@
+"""Algorithm A: one-round reconstruction of low-degeneracy graphs.
+
+This is the Becker et al. [2] primitive both Theorem 7 and Theorem 9
+consume: run on a graph of degeneracy at most k, every node broadcasts a
+single O(k log n)-bit message from which *all* nodes deterministically
+reconstruct the entire topology; if the degeneracy exceeds k, all nodes
+learn that instead (the ``success`` flag of the paper's pseudocode).
+
+Our encoding (DESIGN.md substitution #2): each node broadcasts its
+degree plus a capacity-k BCH power-sum sketch of its neighbour set
+(:mod:`repro.sketch`).  Decoding peels low-residual nodes exactly along
+a degeneracy order:
+
+* a graph of degeneracy <= k always has a node whose *residual* (not yet
+  learned) neighbourhood has size <= k — its sketch decodes;
+* learned edges are subtracted from both endpoint sketches, shrinking
+  residuals until everything decodes.
+
+If at some point no undecoded node has residual <= k, the input graph's
+degeneracy exceeds k (failure is *certified*: the peeling order of a
+k-degenerate graph always makes progress).
+
+The decoder is a pure deterministic function of the blackboard, so all
+nodes compute identical results; we memoise it per blackboard to avoid
+recomputing it once per node in the engine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.bits import BitReader, Bits, BitWriter
+from repro.core.network import Context
+from repro.core.phases import transmit_broadcast
+from repro.graphs.graph import Graph
+from repro.sketch.gf2m import GF2m, field_for_universe
+from repro.sketch.set_sketch import SetSketch
+
+__all__ = [
+    "message_bits",
+    "encode_neighborhood",
+    "decode_blackboard",
+    "reconstruct",
+    "algorithm_a",
+]
+
+
+def _field(n: int) -> GF2m:
+    return field_for_universe(n)  # elements 1..n encode vertices 0..n-1
+
+
+def _degree_width(n: int) -> int:
+    return max(1, (n - 1).bit_length())
+
+
+def message_bits(n: int, k: int) -> int:
+    """Exact broadcast size of A(·, k) on n nodes: degree + k syndromes.
+
+    This is the O(k log n) of [2]; with bandwidth b the phase layer turns
+    it into ⌈(header + message)/b⌉ rounds.
+    """
+    return _degree_width(n) + k * _field(n).m
+
+
+def encode_neighborhood(n: int, k: int, neighbors: Sequence[int]) -> Bits:
+    """The broadcast message of one node: degree, then the sketch."""
+    field = _field(n)
+    writer = BitWriter()
+    writer.write_uint(len(neighbors), _degree_width(n))
+    sketch = SetSketch(field, k, (v + 1 for v in neighbors))
+    writer.write_bits(sketch.to_bits())
+    return writer.getvalue()
+
+
+def _parse_message(n: int, k: int, message: Bits) -> Tuple[int, SetSketch]:
+    field = _field(n)
+    reader = BitReader(message)
+    degree = reader.read_uint(_degree_width(n))
+    sketch = SetSketch.from_bits(field, k, reader.read_bits(k * field.m))
+    return degree, sketch
+
+
+_decode_cache: Dict[Tuple, Optional[Graph]] = {}
+
+
+def decode_blackboard(
+    n: int, k: int, messages: Sequence[Bits]
+) -> Optional[Graph]:
+    """Reconstruct the graph from all n broadcast messages, or return
+    None (degeneracy > k).  Deterministic; memoised per blackboard."""
+    key = (n, k, tuple(messages))
+    if key in _decode_cache:
+        return _decode_cache[key]
+    result = _decode_blackboard_impl(n, k, messages)
+    if len(_decode_cache) > 256:
+        _decode_cache.clear()
+    _decode_cache[key] = result
+    return result
+
+
+def _decode_blackboard_impl(
+    n: int, k: int, messages: Sequence[Bits]
+) -> Optional[Graph]:
+    degrees: List[int] = []
+    sketches: List[SetSketch] = []
+    for message in messages:
+        degree, sketch = _parse_message(n, k, message)
+        degrees.append(degree)
+        sketches.append(sketch)
+
+    universe = range(1, n + 1)
+    graph = Graph(n)
+    known = [0] * n
+    done = [False] * n
+    remaining = n
+    while remaining:
+        progressed = False
+        for v in range(n):
+            if done[v]:
+                continue
+            residual = degrees[v] - known[v]
+            if residual > k:
+                continue
+            decoded = sketches[v].decode(universe, expected_size=residual)
+            if decoded is None:
+                # An honest blackboard never fails here; an inconsistent
+                # one (possible only outside the engine) is a failure.
+                return None
+            done[v] = True
+            remaining -= 1
+            progressed = True
+            for element in decoded:
+                u = element - 1
+                graph.add_edge(v, u)
+                known[u] += 1
+                sketches[u].toggle(v + 1)
+            sketches[v] = SetSketch(sketches[v].field, k)  # now empty
+        if not progressed:
+            return None  # certified: degeneracy > k
+    return graph
+
+
+def reconstruct(graph: Graph, k: int) -> Optional[Graph]:
+    """Offline round-trip (no engine): encode all nodes, decode."""
+    n = graph.n
+    messages = [
+        encode_neighborhood(n, k, sorted(graph.neighbors(v))) for v in range(n)
+    ]
+    return decode_blackboard(n, k, messages)
+
+
+def algorithm_a(ctx: Context, neighbors: Sequence[int], k: int):
+    """One execution of A(G, k) from inside a node program (sub-generator).
+
+    ``neighbors`` is this node's adjacency list in G (which may be a
+    sampled subgraph, per Theorem 9).  Returns (success, graph-or-None).
+    """
+    n = ctx.n
+    message = encode_neighborhood(n, k, neighbors)
+    limit = message_bits(n, k)
+    received = yield from transmit_broadcast(ctx, message, max_bits=limit)
+    blackboard = []
+    for v in range(n):
+        if v == ctx.node_id:
+            blackboard.append(message)
+        else:
+            blackboard.append(received[v])
+    graph = decode_blackboard(n, k, blackboard)
+    return (graph is not None), graph

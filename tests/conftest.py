@@ -1,0 +1,29 @@
+"""Shared fixtures and hypothesis profiles for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xC11C)
+
+
+@pytest.fixture
+def rngs():
+    def make(seed: int) -> random.Random:
+        return random.Random(seed)
+
+    return make

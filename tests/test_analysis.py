@@ -1,0 +1,97 @@
+"""Bound formulas and reporting utilities."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    Table,
+    dlp_round_bound,
+    fmt,
+    full_learning_round_bound,
+    geometric_mean,
+    ratio,
+    theorem2_round_bound,
+    theorem7_round_bound,
+    theorem15_lb_rounds,
+    theorem19_lb_rounds,
+    theorem22_lb_rounds,
+    theorem24_lb_rounds,
+)
+from repro.graphs import cycle_graph, path_graph
+
+
+class TestBoundShapes:
+    def test_theorem2_linear_in_depth(self):
+        assert theorem2_round_bound(10) - theorem2_round_bound(5) == 20
+
+    def test_theorem7_c4_scales_as_sqrt_n_log_n(self):
+        pattern = cycle_graph(4)
+        r = [theorem7_round_bound(n, pattern, 8) for n in (256, 1024, 4096)]
+        # √n·log n growth: quadrupling n should roughly double the cost
+        # (times a log factor), far below linear growth.
+        assert 1.5 <= r[1] / r[0] <= 3.5
+        assert 1.5 <= r[2] / r[1] <= 3.5
+
+    def test_trees_constant_up_to_logs(self):
+        pattern = path_graph(4)
+        r256 = theorem7_round_bound(256, pattern, 8)
+        r4096 = theorem7_round_bound(4096, pattern, 8)
+        assert r4096 <= 3 * r256
+
+    def test_full_learning_linear(self):
+        assert full_learning_round_bound(4096, 8) >= 15 * full_learning_round_bound(
+            256, 8
+        )
+
+    def test_dlp_cube_root(self):
+        r = [dlp_round_bound(n, 16) for n in (64, 512, 4096)]
+        # n^{1/3}: each 8x in n should double the bound.
+        assert 1.5 <= r[1] / r[0] <= 3.0
+        assert 1.5 <= r[2] / r[1] <= 3.0
+
+    def test_lb_formulas_monotone(self):
+        assert theorem15_lb_rounds(128, 1) > theorem15_lb_rounds(64, 1)
+        assert theorem19_lb_rounds(128, 4, 1) > theorem19_lb_rounds(64, 4, 1)
+        assert theorem22_lb_rounds(256, 1) > theorem22_lb_rounds(64, 1)
+        assert theorem24_lb_rounds(60, 900, 1) >= theorem24_lb_rounds(60, 400, 1)
+
+    def test_theorem15_linear_shape(self):
+        r = [theorem15_lb_rounds(n, 1) for n in (64, 128, 256)]
+        assert 1.7 <= r[1] / r[0] <= 2.3
+        assert 1.7 <= r[2] / r[1] <= 2.3
+
+    def test_theorem22_sqrt_shape(self):
+        r = [theorem22_lb_rounds(n, 1) for n in (256, 1024, 4096)]
+        assert 1.7 <= r[1] / r[0] <= 2.4
+        assert 1.7 <= r[2] / r[1] <= 2.4
+
+
+class TestReporting:
+    def test_table_renders(self):
+        t = Table("demo", ["n", "rounds", "ratio"])
+        t.add_row(16, 5, 1.25)
+        t.add_row(32, 9, 1.125)
+        text = t.to_text()
+        assert "demo" in text and "rounds" in text and "1.25" in text
+        md = t.to_markdown()
+        assert md.count("|") >= 12
+
+    def test_row_arity_checked(self):
+        t = Table("demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_fmt(self):
+        assert fmt(3) == "3"
+        assert fmt(0.5) == "0.50"
+        assert fmt(123456.0) == "1.23e+05"
+        assert fmt("x") == "x"
+
+    def test_ratio_and_geomean(self):
+        assert ratio(10, 4) == 2.5
+        assert ratio(1, 0) == math.inf
+        assert geometric_mean([2, 8]) == pytest.approx(4.0)
+        assert geometric_mean([]) == 0.0

@@ -1,0 +1,158 @@
+"""CONGEST algorithms: BFS, aggregation, and C4 detection over G."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.congest import aggregate_sum, bfs_tree, detect_c4_congest
+from repro.graphs import (
+    Graph,
+    complete_bipartite,
+    complete_graph,
+    contains_subgraph,
+    cycle_graph,
+    path_graph,
+    plant_subgraph,
+    random_graph,
+    star_graph,
+)
+from repro.graphs.extremal import polarity_graph
+
+
+def connected_random_graph(n, p, rng):
+    graph = random_graph(n, p, rng)
+    for v in range(1, n):  # stitch a spanning path for connectivity
+        graph.add_edge(v - 1, v)
+    return graph
+
+
+class TestBFS:
+    def test_path_depths(self):
+        parents, depths, result = bfs_tree(path_graph(6), root=0)
+        assert depths == [0, 1, 2, 3, 4, 5]
+        assert parents == [-1, 0, 1, 2, 3, 4]
+
+    def test_star_depths(self):
+        _parents, depths, _ = bfs_tree(star_graph(5), root=0)
+        assert depths == [0] + [1] * 5
+
+    def test_cycle_depths(self):
+        _parents, depths, _ = bfs_tree(cycle_graph(7), root=0)
+        assert depths == [0, 1, 2, 3, 3, 2, 1]
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_bfs_is_shortest_paths(self, seed):
+        rng = random.Random(seed)
+        graph = connected_random_graph(14, 0.2, rng)
+        parents, depths, _ = bfs_tree(graph, root=0)
+        # oracle: plain BFS
+        import collections
+
+        dist = {0: 0}
+        queue = collections.deque([0])
+        while queue:
+            v = queue.popleft()
+            for u in sorted(graph.neighbors(v)):
+                if u not in dist:
+                    dist[u] = dist[v] + 1
+                    queue.append(u)
+        for v in range(graph.n):
+            assert depths[v] == dist[v]
+            if v != 0:
+                assert graph.has_edge(v, parents[v])
+                assert depths[parents[v]] == depths[v] - 1
+
+    def test_unreachable_nodes(self):
+        graph = Graph(5)
+        graph.add_edge(0, 1)
+        parents, depths, _ = bfs_tree(graph, root=0)
+        assert depths[0] == 0 and depths[1] == 1
+        assert depths[2] is None and parents[2] is None
+
+
+class TestAggregate:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_sum_matches(self, seed):
+        rng = random.Random(seed)
+        graph = connected_random_graph(12, 0.25, rng)
+        values = [rng.randrange(50) for _ in range(12)]
+        total, result = aggregate_sum(graph, values, value_bits=12)
+        assert total == sum(values)
+
+    def test_single_node(self):
+        total, _ = aggregate_sum(Graph(1), [42], value_bits=8)
+        assert total == 42
+
+    def test_rounds_scale_with_depth(self):
+        deep = path_graph(12)
+        shallow = star_graph(11)
+        _, deep_result = aggregate_sum(deep, [1] * 12, value_bits=8)
+        _, shallow_result = aggregate_sum(shallow, [1] * 12, value_bits=8)
+        # both run fixed 2n-round schedules here; the real distinction
+        # is visible in message activity, so compare active bits instead
+        assert deep_result.total_bits >= shallow_result.total_bits
+
+
+class TestC4Congest:
+    PATTERN = cycle_graph(4)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_truth_random(self, seed):
+        rng = random.Random(seed)
+        graph = random_graph(18, 0.25, rng)
+        truth = contains_subgraph(graph, self.PATTERN)
+        outcome, _ = detect_c4_congest(graph, bandwidth=16)
+        assert outcome.found == truth
+
+    def test_planted_c4(self):
+        rng = random.Random(9)
+        graph = random_graph(16, 0.05, rng)
+        plant_subgraph(graph, self.PATTERN, rng, vertices=[3, 7, 11, 14])
+        outcome, _ = detect_c4_congest(graph, bandwidth=16)
+        assert outcome.found
+
+    def test_c4_free_dense(self):
+        graph = polarity_graph(3)  # dense C4-free
+        outcome, _ = detect_c4_congest(graph, bandwidth=16)
+        assert not outcome.found
+
+    def test_complete_bipartite(self):
+        outcome, _ = detect_c4_congest(complete_bipartite(4, 4), bandwidth=16)
+        assert outcome.found
+
+    def test_heavy_heavy_case(self):
+        """A C4 whose opposite pairs both contain heavy vertices: the
+        light phase alone cannot see it; the heavy phase must."""
+        # two hubs sharing two common leaf-sets -> C4 through the hubs
+        graph = Graph(20)
+        for leaf in range(2, 12):
+            graph.add_edge(0, leaf)
+            graph.add_edge(1, leaf)
+        outcome, _ = detect_c4_congest(graph, bandwidth=16, threshold=4)
+        assert outcome.found
+        assert outcome.heavy_count >= 2
+
+    def test_all_heavy_clique(self):
+        outcome, _ = detect_c4_congest(complete_graph(10), bandwidth=16, threshold=2)
+        assert outcome.found
+
+    def test_no_c4_in_trees_and_cycles(self):
+        assert not detect_c4_congest(path_graph(10), bandwidth=8)[0].found
+        assert not detect_c4_congest(cycle_graph(5), bandwidth=8)[0].found
+        assert detect_c4_congest(cycle_graph(4), bandwidth=8)[0].found
+
+    @pytest.mark.parametrize("threshold", [1, 2, 4, 100])
+    def test_threshold_sweep_correct(self, threshold):
+        rng = random.Random(threshold)
+        graph = random_graph(15, 0.3, rng)
+        truth = contains_subgraph(graph, self.PATTERN)
+        outcome, _ = detect_c4_congest(graph, bandwidth=16, threshold=threshold)
+        assert outcome.found == truth
+
+    def test_rounds_scale_with_threshold_payloads(self):
+        graph = polarity_graph(3)
+        _, r_small = detect_c4_congest(graph, bandwidth=4)
+        _, r_large = detect_c4_congest(graph, bandwidth=64)
+        assert r_small.rounds > r_large.rounds

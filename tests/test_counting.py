@@ -1,0 +1,72 @@
+"""The non-explicit counting bound and its exhaustive 2-party miniature."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lower_bounds.counting import (
+    counting_round_lower_bound,
+    one_round_two_party_computable,
+    trivial_upper_bound_rounds,
+    two_party_hard_function_exists,
+)
+
+
+class TestCountingFormula:
+    def test_nearly_matches_trivial_upper_bound(self):
+        """(n − O(log n))/b vs ⌈n/b⌉: the gap is O(log n)/b."""
+        for n in (8, 16, 32, 64):
+            for b in (1, 2, 8):
+                lower = counting_round_lower_bound(n, b)
+                upper = trivial_upper_bound_rounds(n, b)
+                assert lower <= upper
+                slack = (2 * n.bit_length() + 4) / b + 2
+                assert upper - lower <= slack
+
+    def test_scales_linearly_in_n(self):
+        r16 = counting_round_lower_bound(16, 1)
+        r64 = counting_round_lower_bound(64, 1)
+        assert 3.5 * r16 <= r64 <= 4.5 * r16
+
+    def test_scales_inversely_in_b(self):
+        r1 = counting_round_lower_bound(64, 1)
+        r8 = counting_round_lower_bound(64, 8)
+        assert r8 <= r1 // 6
+
+    def test_degenerate_cases(self):
+        assert counting_round_lower_bound(1, 1) == 0
+        assert counting_round_lower_bound(2, 100) == 0
+
+
+class TestTwoPartyMiniature:
+    def test_equality_needs_two_rounds_at_b1(self):
+        hard, table = two_party_hard_function_exists(input_bits=2, bandwidth=1)
+        assert hard
+
+    def test_equality_easy_with_wide_messages(self):
+        """With b = 2 Bob ships his whole input: 1 round suffices."""
+        _, equality = two_party_hard_function_exists(input_bits=2, bandwidth=1)
+        assert one_round_two_party_computable(equality, input_bits=2, bandwidth=2)
+
+    def test_constant_function_trivial(self):
+        table = [[1] * 4 for _ in range(4)]
+        assert one_round_two_party_computable(table)
+
+    def test_own_input_function_trivial(self):
+        table = [[xa & 1] * 4 for xa in range(4)]
+        assert one_round_two_party_computable(table)
+
+    def test_single_bit_of_bob(self):
+        table = [[xb & 1 for xb in range(4)] for _ in range(4)]
+        assert one_round_two_party_computable(table)
+
+    def test_inner_product_hard(self):
+        def ip(xa, xb):
+            return ((xa & 1) & (xb & 1)) ^ (((xa >> 1) & 1) & ((xb >> 1) & 1))
+
+        table = [[ip(xa, xb) for xb in range(4)] for xa in range(4)]
+        assert not one_round_two_party_computable(table, 2, 1)
+
+    def test_malformed_table_rejected(self):
+        with pytest.raises(ValueError):
+            one_round_two_party_computable([[0, 1]], input_bits=2)

@@ -1,0 +1,139 @@
+"""Cross-cutting edge cases: phases under CONGEST, tiny networks,
+degenerate inputs, and property tests for the sorting primitive."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import theorem9_round_bound
+from repro.core import Bits, Mode, Outbox, run_protocol, transmit_unicast
+from repro.core.errors import TopologyError
+from repro.graphs import Graph, cycle_graph, path_graph
+from repro.routing.sorting import clique_sort
+from repro.subgraphs import detect_subgraph
+
+
+class TestPhasesInCongest:
+    def test_phase_over_graph_edges(self):
+        """The phase helpers compose with CONGEST topologies as long as
+        payload destinations are neighbours."""
+        topo = [[1], [0, 2], [1]]
+
+        def program(ctx):
+            payloads = {
+                u: Bits.from_uint(ctx.node_id + 10, 6) for u in ctx.neighbors
+            }
+            got = yield from transmit_unicast(ctx, payloads, max_bits=6)
+            return {s: p.to_uint() for s, p in got.items()}
+
+        result = run_protocol(
+            program, n=3, bandwidth=2, mode=Mode.CONGEST, topology=topo
+        )
+        assert result.outputs[0] == {1: 11}
+        assert result.outputs[1] == {0: 10, 2: 12}
+
+    def test_phase_to_non_neighbor_rejected(self):
+        topo = [[1], [0], []]
+
+        def program(ctx):
+            if ctx.node_id == 0:
+                yield from transmit_unicast(ctx, {2: Bits.from_uint(1, 1)}, 1)
+            else:
+                yield from transmit_unicast(ctx, {}, 1)
+
+        with pytest.raises(TopologyError):
+            run_protocol(
+                program, n=3, bandwidth=1, mode=Mode.CONGEST, topology=topo
+            )
+
+
+class TestTinyNetworks:
+    def test_two_node_clique(self):
+        def program(ctx):
+            inbox = yield Outbox.unicast(
+                {1 - ctx.node_id: Bits.from_uint(ctx.node_id, 1)}
+            )
+            return inbox.get(1 - ctx.node_id).to_uint()
+
+        result = run_protocol(program, n=2, bandwidth=1)
+        assert result.outputs == [1, 0]
+
+    def test_single_node_everything(self):
+        """n=1 degenerate cases across the stack."""
+        from repro.subgraphs import reconstruct
+
+        g = Graph(1)
+        assert reconstruct(g, 1).n == 1
+        outcome, result = detect_subgraph(g, cycle_graph(3), bandwidth=4)
+        assert not outcome.contains
+
+    def test_detection_on_two_nodes(self):
+        g = Graph(2)
+        g.add_edge(0, 1)
+        outcome, _ = detect_subgraph(g, path_graph(2), bandwidth=4)
+        assert outcome.contains
+
+
+class TestSortingProperty:
+    @given(
+        st.integers(min_value=2, max_value=6),
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=15)
+    def test_random_instances(self, n, k, seed):
+        rng = random.Random(seed)
+        lists = [
+            [rng.randrange(64) for _ in range(k)] for _ in range(n)
+        ]
+        blocks, _ = clique_sort(lists, key_bits=6, bandwidth=8)
+        flat = sorted(x for keys in lists for x in keys)
+        assert blocks == [flat[i * k : (i + 1) * k] for i in range(n)]
+
+
+class TestBoundFormulas:
+    def test_theorem9_dominates_theorem7(self):
+        from repro.analysis import theorem7_round_bound
+
+        for n in (64, 256):
+            assert theorem9_round_bound(n, cycle_graph(4), 8) >= theorem7_round_bound(
+                n, cycle_graph(4), 8
+            )
+
+    def test_theorem9_polylog_overhead(self):
+        from repro.analysis import theorem7_round_bound
+        import math
+
+        n = 1024
+        overhead = theorem9_round_bound(n, cycle_graph(4), 8) / max(
+            1, theorem7_round_bound(n, cycle_graph(4), 8)
+        )
+        assert overhead <= (math.log2(n) ** 2) + math.log2(n)
+
+
+class TestInboxSemantics:
+    def test_empty_message_not_delivered(self):
+        def program(ctx):
+            outbox = Outbox.unicast(
+                {1 - ctx.node_id: Bits.empty()} if ctx.node_id == 0 else {}
+            )
+            inbox = yield outbox
+            return len(inbox)
+
+        result = run_protocol(program, n=2, bandwidth=4)
+        assert result.outputs == [0, 0]
+
+    def test_inbox_membership_api(self):
+        def program(ctx):
+            inbox = yield Outbox.unicast(
+                {(ctx.node_id + 1) % ctx.n: Bits.from_uint(1, 1)}
+            )
+            sender = (ctx.node_id - 1) % ctx.n
+            return sender in inbox and (ctx.node_id in inbox) is False
+
+        result = run_protocol(program, n=3, bandwidth=1)
+        assert all(result.outputs)

@@ -1,0 +1,20 @@
+"""Every example script must run cleanly end to end (their internal
+assertions double as integration checks)."""
+
+from __future__ import annotations
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} produced no output"

@@ -1,0 +1,104 @@
+"""Extremal constructions: polarity graphs, incidence graphs, deletion."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graphs import contains_subgraph, cycle_graph
+from repro.graphs.extremal import (
+    cycle_free_graph,
+    dense_c4_free_bipartite,
+    dense_cycle_free_graph,
+    incidence_graph,
+    is_prime,
+    next_prime,
+    polarity_graph,
+    projective_points,
+)
+from repro.graphs.properties import bipartition
+
+
+class TestPrimes:
+    def test_is_prime(self):
+        primes = [p for p in range(30) if is_prime(p)]
+        assert primes == [2, 3, 5, 7, 11, 13, 17, 19, 23, 29]
+
+    def test_next_prime(self):
+        assert next_prime(8) == 11
+        assert next_prime(11) == 11
+
+
+class TestProjectivePlane:
+    @pytest.mark.parametrize("q", [2, 3, 5])
+    def test_point_count(self, q):
+        assert len(projective_points(q)) == q * q + q + 1
+
+    @pytest.mark.parametrize("q", [2, 3, 5])
+    def test_points_distinct_normalised(self, q):
+        points = projective_points(q)
+        assert len(set(points)) == len(points)
+        for p in points:
+            first_nonzero = next(x for x in p if x)
+            assert first_nonzero == 1
+
+
+class TestPolarityGraph:
+    @pytest.mark.parametrize("q", [2, 3, 5])
+    def test_c4_free(self, q):
+        assert not contains_subgraph(polarity_graph(q), cycle_graph(4))
+
+    @pytest.mark.parametrize("q", [3, 5])
+    def test_density_order_n_three_halves(self, q):
+        g = polarity_graph(q)
+        # (1/2)q(q+1)^2 - O(q) edges; check within a factor of 2.
+        expected = 0.5 * q * (q + 1) ** 2
+        assert expected / 2 <= g.m <= expected
+
+    def test_requires_prime(self):
+        with pytest.raises(ValueError):
+            polarity_graph(4)
+
+
+class TestIncidenceGraph:
+    @pytest.mark.parametrize("q", [2, 3])
+    def test_bipartite(self, q):
+        sides = bipartition(incidence_graph(q))
+        assert sides is not None
+
+    @pytest.mark.parametrize("q", [2, 3])
+    def test_c4_free(self, q):
+        assert not contains_subgraph(incidence_graph(q), cycle_graph(4))
+
+    @pytest.mark.parametrize("q", [2, 3])
+    def test_regular_degree(self, q):
+        g = incidence_graph(q)
+        assert all(g.degree(v) == q + 1 for v in g.vertices())
+
+    def test_dense_c4_free_bipartite_size(self):
+        g, per_side = dense_c4_free_bipartite(20)
+        assert g.n >= 20 and g.n == 2 * per_side
+
+
+class TestDeletionMethod:
+    @pytest.mark.parametrize("length", [6, 8])
+    def test_certified_cycle_free(self, length):
+        g = cycle_free_graph(24, length, random.Random(1))
+        assert not contains_subgraph(g, cycle_graph(length))
+        assert g.m > 0
+
+    def test_odd_length_uses_bipartite(self):
+        g = cycle_free_graph(10, 5)
+        assert bipartition(g) is not None
+        assert g.m == 25
+
+    def test_dispatcher_c4(self):
+        g = dense_cycle_free_graph(20, 4)
+        assert g.n == 20
+        assert not contains_subgraph(g, cycle_graph(4))
+
+    def test_dispatcher_padding(self):
+        g = dense_cycle_free_graph(9, 4)
+        assert g.n == 9
+        assert not contains_subgraph(g, cycle_graph(4))

@@ -1,0 +1,88 @@
+"""Gossip detection in CONGEST and the cut-bit accounting of Theorem 19."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.congest.gossip import cut_bits, gossip_detect
+from repro.graphs import (
+    contains_subgraph,
+    cycle_graph,
+    path_graph,
+    random_graph,
+)
+from repro.lower_bounds import (
+    cycle_lower_bound_graph,
+    deterministic_disj_bits_lower_bound,
+    sets_disjoint,
+)
+
+
+def connected(n, p, seed):
+    rng = random.Random(seed)
+    g = random_graph(n, p, rng)
+    for v in range(1, n):
+        g.add_edge(v - 1, v)
+    return g
+
+
+class TestGossipDetection:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_truth(self, seed):
+        g = connected(12, 0.15, seed)
+        pattern = cycle_graph(4)
+        found, _ = gossip_detect(g, pattern, bandwidth=16)
+        assert found == contains_subgraph(g, pattern)
+
+    def test_no_cycle_in_path(self):
+        found, _ = gossip_detect(path_graph(8), cycle_graph(3), bandwidth=8)
+        assert not found
+
+    def test_all_nodes_agree(self):
+        g = connected(10, 0.3, 7)
+        pattern = cycle_graph(3)
+        found, result = gossip_detect(g, pattern, bandwidth=16)
+        assert all(out == found for out in result.outputs)
+
+
+class TestCutAccounting:
+    def test_cut_bits_on_lemma18_instance(self):
+        """The executable form of Theorem 19's CONGEST argument: the
+        gossip detector's cut traffic dominates the disjointness
+        requirement |E_F| on the δ-sparse instance."""
+        lbg = cycle_lower_bound_graph(5, 6)
+        rng = random.Random(1)
+        m = lbg.universe_size
+        x = {i for i in range(m) if rng.random() < 0.4}
+        y = {i for i in range(m) if rng.random() < 0.4}
+        instance = lbg.instance_graph(x, y)
+        found, result = gossip_detect(
+            instance, lbg.pattern, bandwidth=8, record_transcript=True
+        )
+        assert found == (not sets_disjoint(x, y))
+        crossing = cut_bits(result, set(lbg.alice_nodes))
+        # the protocol must push at least the DISJ bits across the cut
+        # (here the gossip detector pushes far more — it floods).
+        assert crossing >= deterministic_disj_bits_lower_bound(m)
+        # and the per-round cut capacity bound holds:
+        assert crossing <= lbg.cut_edges * 8 * result.rounds
+
+    def test_cut_bits_requires_transcript(self):
+        g = path_graph(4)
+        found, result = gossip_detect(
+            g, cycle_graph(3), bandwidth=8, record_transcript=False
+        )
+        with pytest.raises(ValueError):
+            cut_bits(result, {0, 1})
+
+    def test_cut_bits_partition_sanity(self):
+        g = path_graph(6)
+        _, result = gossip_detect(g, cycle_graph(3), bandwidth=8)
+        # the cut {0,1,2} | {3,4,5} is one edge; all crossing traffic
+        # went over it, and the total across complementary cuts matches.
+        left = cut_bits(result, {0, 1, 2})
+        right = cut_bits(result, {3, 4, 5})
+        assert left == right
+        assert left > 0

@@ -1,0 +1,84 @@
+"""Graph serialization, round-tripped and cross-checked with networkx."""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    random_graph,
+)
+from repro.graphs.io import from_edge_list, from_graph6, to_edge_list, to_graph6
+
+graph_strategy = st.builds(
+    lambda n, seed, p: random_graph(n, p, random.Random(seed)),
+    st.integers(min_value=0, max_value=30),
+    st.integers(min_value=0, max_value=10**6),
+    st.floats(min_value=0.0, max_value=0.9),
+)
+
+
+class TestGraph6:
+    def test_known_encodings(self):
+        # K3 encodes as 'Bw' in graph6.
+        assert to_graph6(complete_graph(3)) == "Bw"
+        assert from_graph6("Bw") == complete_graph(3)
+
+    def test_empty_graphs(self):
+        for n in (0, 1, 5):
+            assert from_graph6(to_graph6(empty_graph(n))) == empty_graph(n)
+
+    @given(graph_strategy)
+    def test_roundtrip(self, g):
+        assert from_graph6(to_graph6(g)) == g
+
+    @given(graph_strategy)
+    def test_matches_networkx_encoder(self, g):
+        oracle = nx.Graph()
+        oracle.add_nodes_from(g.vertices())
+        oracle.add_edges_from(g.edges())
+        expected = nx.to_graph6_bytes(oracle, header=False).decode().strip()
+        assert to_graph6(g) == expected
+
+    @given(graph_strategy)
+    def test_decodes_networkx_output(self, g):
+        oracle = nx.Graph()
+        oracle.add_nodes_from(g.vertices())
+        oracle.add_edges_from(g.edges())
+        encoded = nx.to_graph6_bytes(oracle).decode()
+        assert from_graph6(encoded) == g
+
+    def test_header_tolerated(self):
+        encoded = ">>graph6<<" + to_graph6(cycle_graph(5))
+        assert from_graph6(encoded) == cycle_graph(5)
+
+    def test_large_n_encoding(self):
+        g = empty_graph(100)  # needs the 3-byte length form
+        assert from_graph6(to_graph6(g)) == g
+
+    def test_invalid_characters_rejected(self):
+        with pytest.raises(ValueError):
+            from_graph6("\x01\x02")
+
+
+class TestEdgeList:
+    @given(graph_strategy)
+    def test_roundtrip(self, g):
+        assert from_edge_list(to_edge_list(g)) == g
+
+    def test_mismatched_count_rejected(self):
+        with pytest.raises(ValueError):
+            from_edge_list("2 5\n0 1")
+
+    def test_format(self):
+        text = to_edge_list(cycle_graph(3))
+        assert text.splitlines()[0] == "3 3"
+        assert "0 1" in text

@@ -1,0 +1,131 @@
+"""End-to-end scenarios spanning multiple subsystems."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis import theorem7_round_bound
+from repro.circuits import builders
+from repro.graphs import (
+    complete_graph,
+    contains_subgraph,
+    cycle_graph,
+    plant_subgraph,
+    random_graph,
+    random_k_degenerate,
+)
+from repro.lower_bounds import (
+    DisjointnessReduction,
+    NOFTriangleReduction,
+    clique_lower_bound_graph,
+    implied_round_lower_bound,
+    sets_disjoint,
+)
+from repro.matmul import detect_triangle_dlp, detect_triangle_mm, has_triangle
+from repro.simulation import simulate_circuit
+from repro.subgraphs import adaptive_detect, detect_subgraph
+
+
+class TestUpperVsLowerBoundSandwich:
+    def test_clique_detection_sandwich(self):
+        """Theorem 15 meets Theorem 7: for K4 detection the implied
+        lower bound and the measured upper bound bracket each other
+        consistently (LB <= measured rounds) on the same instance
+        family."""
+        bandwidth = 4
+        lbg = clique_lower_bound_graph(4, 4)
+        n = lbg.template.n
+        lb = implied_round_lower_bound(lbg.universe_size, n, bandwidth)
+        outcome, result = detect_subgraph(
+            lbg.template, complete_graph(4), bandwidth=bandwidth
+        )
+        assert outcome.contains
+        assert result.rounds >= lb
+
+    def test_reduction_composes_with_detection_cost(self):
+        """Lemma 13's accounting: the 2-party cost of the reduction is
+        exactly blackboard bits, bounded by n·b·R of the detection run."""
+        bandwidth = 8
+        lbg = clique_lower_bound_graph(4, 3)
+        reduction = DisjointnessReduction(lbg, bandwidth=bandwidth)
+        rng = random.Random(0)
+        m = lbg.universe_size
+        x = {i for i in range(m) if rng.random() < 0.5}
+        y = {i for i in range(m) if rng.random() < 0.5}
+        run = reduction.solve(x, y)
+        assert run.disjoint == sets_disjoint(x, y)
+        assert run.blackboard_bits <= lbg.template.n * bandwidth * run.rounds
+
+
+class TestTriangleAlgorithmsAgree:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_three_detectors_one_answer(self, seed):
+        rng = random.Random(seed)
+        g = random_graph(8, 0.35, rng)
+        truth = has_triangle(g)
+        dlp, _ = detect_triangle_dlp(g, bandwidth=8)
+        mm, _, _ = detect_triangle_mm(g, trials=8, circuit_kind="naive", seed=seed)
+        assert dlp.found == truth
+        assert mm.found == truth
+
+    def test_nof_reduction_consistent_with_dlp(self):
+        """The NOF instance graph's triangles are found by the DLP
+        protocol too — two independent subsystems agreeing."""
+        reduction = NOFTriangleReduction(4, bandwidth=8)
+        rs = reduction.rs
+        m = rs.triangle_count
+        from repro.lower_bounds import nof_instance_graph
+
+        g = nof_instance_graph(rs, {0, 1}, {0, 2}, {0, 3})
+        dlp, _ = detect_triangle_dlp(g, bandwidth=16)
+        assert dlp.found  # element 0 in all three sets
+
+
+class TestDetectionVariantsAgree:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_theorem7_and_theorem9_agree_on_sparse(self, seed):
+        rng = random.Random(seed)
+        g = random_k_degenerate(22, 2, rng)
+        if rng.random() < 0.5:
+            plant_subgraph(g, cycle_graph(4), rng)
+        pattern = cycle_graph(4)
+        t7, _ = detect_subgraph(g, pattern, bandwidth=8)
+        t9, _ = adaptive_detect(g, pattern, bandwidth=8, seed=seed)
+        truth = contains_subgraph(g, pattern)
+        assert t7.contains == truth
+        assert t9.contains == truth
+
+    def test_adaptive_overhead_is_polylog(self):
+        """Theorem 9 pays at most a polylog factor over Theorem 7 —
+        and on very sparse inputs it can even be *cheaper*, because the
+        doubling search stops at the true degeneracy while Theorem 7
+        always pays for the conservative 4·ex(n,H)/n guess."""
+        import math
+
+        rng = random.Random(9)
+        g = random_k_degenerate(24, 2, rng)
+        pattern = cycle_graph(4)
+        _, t7_result = detect_subgraph(g, pattern, bandwidth=8)
+        _, t9_result = adaptive_detect(g, pattern, bandwidth=8)
+        log_n = math.ceil(math.log2(g.n))
+        assert t9_result.rounds <= (log_n**2 + log_n) * t7_result.rounds
+
+
+class TestCircuitSimulationAtScale:
+    def test_wide_circuit_many_players(self):
+        circuit = builders.parity_tree(96, 6)
+        rng = random.Random(1)
+        xs = [rng.random() < 0.5 for _ in range(96)]
+        outputs, result, plan = simulate_circuit(circuit, 16, xs)
+        assert [outputs[g] for g in circuit.outputs] == circuit.evaluate_outputs(xs)
+        # O(D) with our per-layer constant:
+        assert result.rounds <= 6 * (circuit.depth() + 2)
+
+    def test_theorem7_formula_is_exact_prediction(self):
+        rng = random.Random(2)
+        pattern = cycle_graph(4)
+        g = random_k_degenerate(28, 2, rng)
+        _, result = detect_subgraph(g, pattern, bandwidth=8)
+        assert result.rounds == theorem7_round_bound(28, pattern, 8)

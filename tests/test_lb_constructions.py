@@ -1,0 +1,155 @@
+"""The Lemma 14 / 18 / 21 constructions: structure, sizes, sparsity."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graphs import contains_subgraph, cycle_graph, degeneracy
+from repro.graphs.properties import bipartition
+from repro.lower_bounds import (
+    biclique_lower_bound_graph,
+    clique_lower_bound_graph,
+    cycle_lower_bound_graph,
+    verify_lower_bound_graph,
+)
+
+
+class TestLemma14:
+    @pytest.mark.parametrize("ell,side", [(4, 2), (4, 4), (5, 3), (6, 2)])
+    def test_verified(self, ell, side):
+        lbg = clique_lower_bound_graph(ell, side)
+        assert verify_lower_bound_graph(lbg) == []
+
+    def test_universe_is_n_squared(self):
+        """|E_F| = N² — the source of Theorem 15's Ω(n/b)."""
+        for side in (2, 3, 5):
+            lbg = clique_lower_bound_graph(4, side)
+            assert lbg.universe_size == side * side
+
+    def test_padding_with_isolated_nodes(self):
+        lbg = clique_lower_bound_graph(4, 2, total_nodes=20)
+        assert lbg.template.n == 20
+        assert verify_lower_bound_graph(lbg) == []
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            clique_lower_bound_graph(3, 4)
+        with pytest.raises(ValueError):
+            clique_lower_bound_graph(4, 2, total_nodes=5)
+
+    def test_s_sets_independent(self):
+        lbg = clique_lower_bound_graph(4, 4)
+        for block in range(4):
+            nodes = range(block * 4, block * 4 + 4)
+            assert lbg.template.is_independent_set(nodes)
+
+    def test_universal_vertices_connected(self):
+        lbg = clique_lower_bound_graph(6, 2)
+        universal = [8, 9]  # 4·N..4·N+ℓ-5
+        for u in universal:
+            assert lbg.template.degree(u) == lbg.template.n - 1 - 0 - (
+                lbg.template.n - (4 * 2 + 2)
+            )
+
+
+class TestLemma18:
+    @pytest.mark.parametrize("ell,n_f", [(4, 6), (5, 6), (6, 6), (7, 4), (8, 6)])
+    def test_verified(self, ell, n_f):
+        lbg = cycle_lower_bound_graph(ell, n_f, rng=random.Random(ell))
+        assert verify_lower_bound_graph(lbg) == []
+
+    def test_odd_uses_complete_bipartite(self):
+        lbg = cycle_lower_bound_graph(5, 8)
+        assert lbg.universe_size == 16  # (N/2)²
+        assert bipartition(lbg.f_graph) is not None
+
+    def test_even_f_is_cycle_free(self):
+        lbg = cycle_lower_bound_graph(6, 10, rng=random.Random(2))
+        assert not contains_subgraph(lbg.f_graph, cycle_graph(6))
+
+    def test_sparse_cut(self):
+        """δ-sparsity: exactly N cut edges — the CONGEST half of
+        Theorem 19 (cut grows linearly while |E_F| grows faster)."""
+        for n_f in (4, 8, 12):
+            lbg = cycle_lower_bound_graph(5, n_f)
+            assert lbg.cut_edges == n_f
+        # and the cut really separates alice/bob ownership:
+        lbg = cycle_lower_bound_graph(5, 6)
+        crossing = sum(
+            1
+            for u, v in lbg.template.edges()
+            if (u in lbg.alice_nodes) != (v in lbg.alice_nodes)
+        )
+        assert crossing == lbg.cut_edges
+
+    def test_path_lengths_by_side(self):
+        """Paths: ⌊ℓ/2⌋−1 edges for low indices, ⌈ℓ/2⌉−1 for high — so
+        a mixed F-edge closes a cycle of length exactly ℓ."""
+        ell, n_f = 5, 6
+        lbg = cycle_lower_bound_graph(ell, n_f)
+        # low side: direct edges (length 1); high side: length 2
+        for i in range(3):
+            assert lbg.template.has_edge(i, n_f + i)
+        for i in range(3, 6):
+            assert not lbg.template.has_edge(i, n_f + i)
+
+    def test_odd_needs_bipartite_f(self):
+        from repro.graphs.generators import complete_graph
+
+        with pytest.raises(ValueError):
+            cycle_lower_bound_graph(5, 4, f_graph=complete_graph(4))
+
+    def test_odd_n_rejected(self):
+        with pytest.raises(ValueError):
+            cycle_lower_bound_graph(4, 5)
+
+
+class TestLemma21:
+    @pytest.mark.parametrize("left,right", [(2, 2), (2, 3), (3, 3), (3, 4)])
+    def test_verified(self, left, right):
+        lbg = biclique_lower_bound_graph(left, right, q=2)
+        assert verify_lower_bound_graph(lbg) == []
+
+    def test_erratum_unequal_sides_use_matching_f(self):
+        """|l-m| = 1 is only sound with a degree-1 F (see the erratum
+        in repro.lower_bounds.bipartite): the incidence graph F yields
+        stray copies, which the verifier must catch."""
+        from repro.graphs.extremal import incidence_graph
+
+        broken = biclique_lower_bound_graph(
+            2, 3, f_graph=incidence_graph(2)
+        )
+        violations = verify_lower_bound_graph(broken)
+        assert any("stray" in v for v in violations)
+
+    def test_erratum_wide_gap_rejected(self):
+        """m >= l+2: the template itself contains input-independent
+        copies; the constructor must refuse."""
+        with pytest.raises(ValueError):
+            biclique_lower_bound_graph(2, 4, q=2)
+
+    def test_universe_is_incidence_edges(self):
+        """|E_F| = (q+1)(q²+q+1) = Θ(N^{3/2}) — Theorem 22's Ω(√n/b)."""
+        lbg = biclique_lower_bound_graph(2, 2, q=3)
+        assert lbg.universe_size == 4 * 13
+
+    def test_f_is_bipartite_c4_free(self):
+        lbg = biclique_lower_bound_graph(2, 2, q=2)
+        assert bipartition(lbg.f_graph) is not None
+        assert not contains_subgraph(lbg.f_graph, cycle_graph(4))
+
+    def test_sides_validation(self):
+        with pytest.raises(ValueError):
+            biclique_lower_bound_graph(1, 3)
+        with pytest.raises(ValueError):
+            biclique_lower_bound_graph(2, 2, q=4)
+
+    def test_custom_f_graph(self):
+        from repro.graphs.generators import matching_graph
+
+        # a perfect matching is bipartite and C4-free (weak but valid)
+        lbg = biclique_lower_bound_graph(2, 2, f_graph=matching_graph(4))
+        assert verify_lower_bound_graph(lbg) == []
+        assert lbg.universe_size == 4

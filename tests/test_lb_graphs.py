@@ -1,0 +1,120 @@
+"""Definition 10 machinery: the verifier itself and Observation 11."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graphs import contains_subgraph
+from repro.lower_bounds import (
+    biclique_lower_bound_graph,
+    clique_lower_bound_graph,
+    cycle_lower_bound_graph,
+    verify_lower_bound_graph,
+)
+
+
+@pytest.fixture(scope="module")
+def k4_lbg():
+    return clique_lower_bound_graph(4, 3)
+
+
+class TestVerifier:
+    def test_accepts_good_construction(self, k4_lbg):
+        assert verify_lower_bound_graph(k4_lbg) == []
+
+    def test_detects_missing_f_edge(self, k4_lbg):
+        import copy
+
+        broken = copy.copy(k4_lbg)
+        broken.template = k4_lbg.template.copy()
+        broken.template.remove_edge(*k4_lbg.alice_edge(0))
+        violations = verify_lower_bound_graph(broken)
+        assert any("drops F-edge" in v for v in violations)
+
+    def test_detects_stray_copy(self, k4_lbg):
+        """Adding a rogue K4 inside Alice's side violates clause II."""
+        import copy
+
+        broken = copy.copy(k4_lbg)
+        broken.template = k4_lbg.template.copy()
+        # make the first four vertices of S1 ∪ S3 a clique
+        quad = sorted(broken.alice_nodes)[:4]
+        for i, u in enumerate(quad):
+            for v in quad[i + 1 :]:
+                broken.template.add_edge(u, v)
+        violations = verify_lower_bound_graph(broken)
+        assert any("stray" in v for v in violations)
+
+    def test_detects_bad_partition(self, k4_lbg):
+        import copy
+
+        broken = copy.copy(k4_lbg)
+        broken.alice_nodes = set(k4_lbg.alice_nodes) | {
+            next(iter(k4_lbg.bob_nodes))
+        }
+        violations = verify_lower_bound_graph(broken)
+        assert any("partition" in v for v in violations)
+
+    def test_detects_noninjective_phi(self, k4_lbg):
+        import copy
+
+        broken = copy.copy(k4_lbg)
+        phi = dict(k4_lbg.phi_a)
+        keys = sorted(phi)
+        phi[keys[0]] = phi[keys[1]]
+        broken.phi_a = phi
+        violations = verify_lower_bound_graph(broken)
+        assert violations
+
+
+class TestObservation11:
+    """G contains H iff X ∩ Y ≠ ∅ — on every construction, with random
+    inputs (this is the exact statement Lemma 13's reduction relies on)."""
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: clique_lower_bound_graph(4, 3),
+            lambda: clique_lower_bound_graph(5, 2),
+            lambda: cycle_lower_bound_graph(4, 6, rng=random.Random(0)),
+            lambda: cycle_lower_bound_graph(5, 6),
+            lambda: cycle_lower_bound_graph(6, 6, rng=random.Random(1)),
+            lambda: biclique_lower_bound_graph(2, 2, q=2),
+            lambda: biclique_lower_bound_graph(2, 3, q=2),
+        ],
+    )
+    def test_containment_iff_intersection(self, factory):
+        lbg = factory()
+        rng = random.Random(42)
+        universe = lbg.universe_size
+        assert universe > 0
+        cases = []
+        # random cases plus forced-disjoint and forced-intersecting
+        for _ in range(4):
+            x = {i for i in range(universe) if rng.random() < 0.4}
+            y = {i for i in range(universe) if rng.random() < 0.4}
+            cases.append((x, y))
+        cases.append((set(), set()))
+        cases.append(({0}, {0}))
+        if universe >= 2:
+            cases.append(({0}, {1}))
+        for x, y in cases:
+            instance = lbg.instance_graph(x, y)
+            expected = bool(x & y)
+            assert contains_subgraph(instance, lbg.pattern) == expected, (
+                lbg.name,
+                sorted(x),
+                sorted(y),
+            )
+
+    def test_full_inputs_give_template(self, k4_lbg):
+        universe = set(range(k4_lbg.universe_size))
+        assert k4_lbg.instance_graph(universe, universe) == k4_lbg.template
+
+    def test_input_edges_removed(self, k4_lbg):
+        instance = k4_lbg.instance_graph(set(), set())
+        for index in range(k4_lbg.universe_size):
+            assert not instance.has_edge(*k4_lbg.alice_edge(index))
+            assert not instance.has_edge(*k4_lbg.bob_edge(index))

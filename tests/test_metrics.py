@@ -1,0 +1,115 @@
+"""Graph metrics, cross-checked against networkx."""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    Graph,
+    complete_bipartite,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    random_graph,
+    star_graph,
+)
+from repro.graphs.extremal import incidence_graph, polarity_graph
+from repro.graphs.metrics import (
+    average_clustering,
+    bfs_distances,
+    diameter,
+    girth,
+    is_connected,
+    local_clustering,
+)
+
+
+def to_nx(graph: Graph) -> nx.Graph:
+    g = nx.Graph()
+    g.add_nodes_from(graph.vertices())
+    g.add_edges_from(graph.edges())
+    return g
+
+
+graph_strategy = st.builds(
+    lambda n, seed, p: random_graph(n, p, random.Random(seed)),
+    st.integers(min_value=1, max_value=16),
+    st.integers(min_value=0, max_value=10**6),
+    st.floats(min_value=0.1, max_value=0.7),
+)
+
+
+class TestDistances:
+    def test_path(self):
+        assert bfs_distances(path_graph(5), 0) == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+        assert diameter(path_graph(5)) == 4
+
+    def test_cycle(self):
+        assert diameter(cycle_graph(8)) == 4
+        assert diameter(cycle_graph(7)) == 3
+
+    def test_star_and_clique(self):
+        assert diameter(star_graph(6)) == 2
+        assert diameter(complete_graph(6)) == 1
+
+    def test_disconnected(self):
+        g = Graph(4)
+        g.add_edge(0, 1)
+        assert diameter(g) is None
+        assert not is_connected(g)
+
+    @given(graph_strategy)
+    def test_diameter_matches_networkx(self, g):
+        oracle = to_nx(g)
+        if nx.is_connected(oracle) if g.n else True:
+            expected = nx.diameter(oracle) if g.n > 1 else 0
+            assert diameter(g) == expected
+        else:
+            assert diameter(g) is None
+
+
+class TestGirth:
+    def test_known_girths(self):
+        assert girth(cycle_graph(7)) == 7
+        assert girth(complete_graph(4)) == 3
+        assert girth(complete_bipartite(3, 3)) == 4
+        assert girth(path_graph(6)) is None
+
+    def test_incidence_graph_girth_six(self):
+        """PG(2,q) incidence graphs have girth exactly 6 — the property
+        that makes them C4-free for Lemma 21."""
+        assert girth(incidence_graph(2)) == 6
+        assert girth(incidence_graph(3)) == 6
+
+    def test_polarity_graph_no_c4(self):
+        g = polarity_graph(3)
+        assert girth(g) in (3, 5, 6)  # anything but 4
+        assert girth(g) != 4
+
+    @given(graph_strategy)
+    def test_girth_matches_networkx(self, g):
+        oracle = to_nx(g)
+        try:
+            expected = nx.girth(oracle)
+            expected = None if expected == float("inf") else expected
+        except AttributeError:  # pragma: no cover - very old networkx
+            pytest.skip("networkx without girth")
+        assert girth(g) == expected
+
+
+class TestClustering:
+    def test_triangle_full(self):
+        assert local_clustering(complete_graph(3), 0) == 1.0
+
+    def test_star_zero(self):
+        assert local_clustering(star_graph(5), 0) == 0.0
+
+    @given(graph_strategy)
+    def test_average_matches_networkx(self, g):
+        expected = nx.average_clustering(to_nx(g)) if g.n else 0.0
+        assert average_clustering(g) == pytest.approx(expected)

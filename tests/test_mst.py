@@ -1,0 +1,110 @@
+"""Borůvka MST on CLIQUE-BCAST vs Kruskal and networkx."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import networkx as nx
+import pytest
+
+from repro.graphs import Graph, complete_graph, cycle_graph, path_graph, random_graph
+from repro.mst import WeightedGraph, boruvka_mst, mst_reference
+
+
+def weighted(graph, rng, max_w=100):
+    weights = {e: rng.randint(0, max_w) for e in graph.edges()}
+    return WeightedGraph(graph=graph, weights=weights)
+
+
+def nx_mst_weight(wg: WeightedGraph) -> int:
+    g = nx.Graph()
+    g.add_nodes_from(wg.graph.vertices())
+    for (u, v), w in wg.weights.items():
+        g.add_edge(u, v, weight=w)
+    forest = nx.minimum_spanning_edges(g, data=True)
+    return sum(d["weight"] for _u, _v, d in forest)
+
+
+class TestReference:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_kruskal_matches_networkx_weight(self, seed):
+        rng = random.Random(seed)
+        wg = weighted(random_graph(14, 0.3, rng), rng)
+        ours = sum(wg.weights[e] for e in mst_reference(wg))
+        assert ours == nx_mst_weight(wg)
+
+    def test_validation(self):
+        g = path_graph(3)
+        with pytest.raises(ValueError):
+            WeightedGraph(graph=g, weights={(0, 1): 1})  # missing weight
+        with pytest.raises(ValueError):
+            WeightedGraph(graph=g, weights={(0, 1): 1, (1, 2): 1, (0, 2): 5})
+
+
+class TestBoruvkaProtocol:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_kruskal_exactly(self, seed):
+        """With the shared tie-breaking total order the MST is unique,
+        so the protocol must output the identical edge set."""
+        rng = random.Random(seed)
+        graph = random_graph(12, 0.35, rng)
+        for v in range(1, 12):
+            graph.add_edge(v - 1, v)
+        wg = weighted(graph, rng)
+        tree, result = boruvka_mst(wg, bandwidth=16)
+        assert tree == mst_reference(wg)
+
+    def test_path_is_its_own_mst(self):
+        rng = random.Random(9)
+        wg = weighted(path_graph(8), rng)
+        tree, _ = boruvka_mst(wg, bandwidth=16)
+        assert tree == set(path_graph(8).edges())
+
+    def test_cycle_drops_heaviest(self):
+        graph = cycle_graph(6)
+        weights = {e: i for i, e in enumerate(sorted(graph.edges()))}
+        wg = WeightedGraph(graph=graph, weights=weights)
+        tree, _ = boruvka_mst(wg, bandwidth=16)
+        heaviest = max(wg.weights, key=lambda e: wg.weights[e])
+        assert heaviest not in tree
+        assert len(tree) == 5
+
+    def test_disconnected_gives_forest(self):
+        graph = Graph(6)
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 2)
+        graph.add_edge(3, 4)
+        wg = WeightedGraph(
+            graph=graph, weights={e: 1 for e in graph.edges()}
+        )
+        tree, _ = boruvka_mst(wg, bandwidth=8)
+        assert tree == mst_reference(wg)
+        assert len(tree) == 3
+
+    def test_duplicate_weights_resolved_consistently(self):
+        rng = random.Random(3)
+        graph = complete_graph(9)
+        wg = WeightedGraph(
+            graph=graph, weights={e: 7 for e in graph.edges()}
+        )
+        tree, _ = boruvka_mst(wg, bandwidth=16)
+        assert len(tree) == 8
+        assert tree == mst_reference(wg)
+
+    def test_round_complexity_logarithmic(self):
+        """O(log n) phases of one O(log n + log W)-bit broadcast each."""
+        rng = random.Random(4)
+        for n in (8, 16, 32):
+            graph = complete_graph(n)
+            wg = weighted(graph, rng)
+            _, result = boruvka_mst(wg, bandwidth=32)
+            phases = math.ceil(math.log2(n))
+            message = 1 + 7 + 2 * max(1, (n - 1).bit_length())
+            per_phase = -(-(message + message.bit_length()) // 32) + 1
+            assert result.rounds <= phases * per_phase
+
+    def test_single_node(self):
+        wg = WeightedGraph(graph=Graph(1), weights={})
+        tree, result = boruvka_mst(wg, bandwidth=8)
+        assert tree == set()

@@ -1,0 +1,225 @@
+"""Engine semantics: modes, bandwidth, rounds, transcripts, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bits import Bits
+from repro.core.errors import (
+    BandwidthExceededError,
+    MaxRoundsExceededError,
+    ProtocolError,
+    TopologyError,
+)
+from repro.core.network import Mode, Network, Outbox, run_protocol
+
+
+def bit(x: int) -> Bits:
+    return Bits.from_uint(x, 1)
+
+
+class TestUnicast:
+    def test_pairwise_exchange(self):
+        def program(ctx):
+            msgs = {v: bit(ctx.node_id % 2) for v in ctx.neighbors}
+            inbox = yield Outbox.unicast(msgs)
+            return sum(m.to_uint() for _, m in inbox.items())
+
+        result = run_protocol(program, n=4, bandwidth=1)
+        assert result.rounds == 1
+        # Each node sums the other three parities: 0,2 send 0; 1,3 send 1.
+        assert result.outputs == [2, 1, 2, 1]
+        assert result.total_bits == 12
+
+    def test_bandwidth_enforced(self):
+        def program(ctx):
+            yield Outbox.unicast({1 - ctx.node_id: Bits.from_uint(3, 2)})
+
+        with pytest.raises(BandwidthExceededError):
+            run_protocol(program, n=2, bandwidth=1)
+
+    def test_self_send_rejected(self):
+        def program(ctx):
+            yield Outbox.unicast({ctx.node_id: bit(1)})
+
+        with pytest.raises(TopologyError):
+            run_protocol(program, n=3, bandwidth=1)
+
+    def test_out_of_range_rejected(self):
+        def program(ctx):
+            yield Outbox.unicast({99: bit(1)})
+
+        with pytest.raises(TopologyError):
+            run_protocol(program, n=3, bandwidth=1)
+
+    def test_broadcast_outbox_rejected_in_unicast(self):
+        def program(ctx):
+            yield Outbox.broadcast(bit(1))
+
+        with pytest.raises(ProtocolError):
+            run_protocol(program, n=3, bandwidth=1)
+
+    def test_multi_round_counting(self):
+        def program(ctx):
+            for _ in range(5):
+                yield Outbox.unicast({(ctx.node_id + 1) % ctx.n: bit(1)})
+            return None
+
+        result = run_protocol(program, n=3, bandwidth=1)
+        assert result.rounds == 5
+        assert result.total_bits == 15
+
+
+class TestBroadcast:
+    def test_blackboard_visibility(self):
+        def program(ctx):
+            inbox = yield Outbox.broadcast(Bits.from_uint(ctx.node_id, 4))
+            return sorted((s, m.to_uint()) for s, m in inbox.items())
+
+        result = run_protocol(program, n=4, bandwidth=4, mode=Mode.BROADCAST)
+        for v, output in enumerate(result.outputs):
+            assert output == [(u, u) for u in range(4) if u != v]
+
+    def test_blackboard_bits_counted_once(self):
+        def program(ctx):
+            yield Outbox.broadcast(Bits.from_uint(ctx.node_id % 2, 1))
+
+        result = run_protocol(program, n=5, bandwidth=1, mode=Mode.BROADCAST)
+        assert result.total_bits == 5  # one bit per writer, not per reader
+
+    def test_unicast_outbox_rejected(self):
+        def program(ctx):
+            yield Outbox.unicast({0: bit(1)})
+
+        with pytest.raises(ProtocolError):
+            run_protocol(program, n=3, bandwidth=1, mode=Mode.BROADCAST)
+
+    def test_broadcast_bandwidth(self):
+        def program(ctx):
+            yield Outbox.broadcast(Bits.from_uint(0, 9))
+
+        with pytest.raises(BandwidthExceededError):
+            run_protocol(program, n=3, bandwidth=8, mode=Mode.BROADCAST)
+
+
+class TestCongest:
+    def test_topology_respected(self):
+        topo = [[1], [0, 2], [1]]  # a path
+
+        def program(ctx):
+            msgs = {v: bit(1) for v in ctx.neighbors}
+            inbox = yield Outbox.unicast(msgs)
+            return sorted(inbox.senders())
+
+        result = run_protocol(
+            program, n=3, bandwidth=1, mode=Mode.CONGEST, topology=topo
+        )
+        assert result.outputs == [[1], [0, 2], [1]]
+
+    def test_non_neighbor_rejected(self):
+        topo = [[1], [0], []]
+
+        def program(ctx):
+            if ctx.node_id == 0:
+                yield Outbox.unicast({2: bit(1)})
+            else:
+                yield Outbox.silent()
+
+        with pytest.raises(TopologyError):
+            run_protocol(
+                program, n=3, bandwidth=1, mode=Mode.CONGEST, topology=topo
+            )
+
+    def test_topology_required(self):
+        with pytest.raises(TopologyError):
+            Network(n=3, bandwidth=1, mode=Mode.CONGEST)
+
+
+class TestLifecycle:
+    def test_zero_round_protocol(self):
+        def program(ctx):
+            return ctx.node_id * 2
+            yield  # pragma: no cover - makes this a generator
+
+        result = run_protocol(program, n=3, bandwidth=1)
+        assert result.rounds == 0
+        assert result.outputs == [0, 2, 4]
+
+    def test_staggered_termination(self):
+        def program(ctx):
+            for _ in range(ctx.node_id + 1):
+                yield Outbox.silent()
+            return ctx.node_id
+
+        result = run_protocol(program, n=3, bandwidth=1)
+        assert result.rounds == 3
+        assert result.outputs == [0, 1, 2]
+
+    def test_max_rounds_guard(self):
+        def program(ctx):
+            while True:
+                yield Outbox.silent()
+
+        with pytest.raises(MaxRoundsExceededError):
+            run_protocol(program, n=2, bandwidth=1, max_rounds=10)
+
+    def test_non_outbox_yield_rejected(self):
+        def program(ctx):
+            yield "hello"
+
+        with pytest.raises(ProtocolError):
+            run_protocol(program, n=2, bandwidth=1)
+
+    def test_inputs_delivered(self):
+        def program(ctx):
+            return ctx.input + 1
+            yield  # pragma: no cover
+
+        result = run_protocol(program, n=3, bandwidth=1, inputs=[10, 20, 30])
+        assert result.outputs == [11, 21, 31]
+
+
+class TestDeterminismAndTranscripts:
+    def test_private_rng_deterministic(self):
+        def program(ctx):
+            value = ctx.rng.randrange(1000)
+            inbox = yield Outbox.broadcast(Bits.from_uint(value, 10))
+            return value
+
+        a = run_protocol(program, n=4, bandwidth=10, mode=Mode.BROADCAST, seed=5)
+        b = run_protocol(program, n=4, bandwidth=10, mode=Mode.BROADCAST, seed=5)
+        c = run_protocol(program, n=4, bandwidth=10, mode=Mode.BROADCAST, seed=6)
+        assert a.outputs == b.outputs
+        assert a.outputs != c.outputs
+
+    def test_shared_rng_agrees_across_nodes(self):
+        def program(ctx):
+            return [ctx.shared_rng.randrange(100) for _ in range(5)]
+            yield  # pragma: no cover
+
+        result = run_protocol(program, n=4, bandwidth=1, seed=9)
+        assert all(out == result.outputs[0] for out in result.outputs)
+
+    def test_transcript_records_broadcasts(self):
+        def program(ctx):
+            yield Outbox.broadcast(Bits.from_uint(ctx.node_id % 2, 1))
+
+        result = run_protocol(
+            program,
+            n=3,
+            bandwidth=1,
+            mode=Mode.BROADCAST,
+            record_transcript=True,
+        )
+        assert len(result.transcript) == 1
+        senders = sorted(s for s, r, _ in result.transcript[0].sends)
+        assert senders == [0, 1, 2]
+        assert all(r is None for _, r, _ in result.transcript[0].sends)
+
+    def test_transcript_records_unicasts(self):
+        def program(ctx):
+            yield Outbox.unicast({(ctx.node_id + 1) % ctx.n: bit(1)})
+
+        result = run_protocol(program, n=3, bandwidth=1, record_transcript=True)
+        hops = {(s, r) for s, r, _ in result.transcript[0].sends}
+        assert hops == {(0, 1), (1, 2), (2, 0)}

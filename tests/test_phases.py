@@ -1,0 +1,154 @@
+"""The phase/fragmentation layer: honest chunking into b-bit frames."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bits import Bits
+from repro.core.network import Mode, run_protocol
+from repro.core.phases import (
+    header_width,
+    idle,
+    phase_length,
+    transmit_broadcast,
+    transmit_unicast,
+)
+
+
+class TestPhaseLength:
+    def test_small_payload_single_round(self):
+        assert phase_length(3, 8) == 1
+
+    def test_exact_multiples(self):
+        # 10 payload bits + 4 header bits = 14 -> 2 rounds at b=7.
+        assert phase_length(10, 7) == 2
+
+    @given(
+        st.integers(min_value=0, max_value=5000),
+        st.integers(min_value=1, max_value=64),
+    )
+    def test_formula(self, max_bits, b):
+        total = header_width(max_bits) + max_bits
+        assert phase_length(max_bits, b) == -(-total // b)
+
+    @given(st.integers(min_value=1, max_value=10**6))
+    def test_header_fits_length(self, max_bits):
+        assert max_bits < (1 << header_width(max_bits))
+
+
+class TestBroadcastPhase:
+    @pytest.mark.parametrize("bandwidth", [1, 2, 3, 8, 64])
+    def test_roundtrip_all_to_all(self, bandwidth):
+        payload_bits = 20
+
+        def program(ctx):
+            payload = Bits.from_uint(ctx.node_id * 7 + 3, payload_bits)
+            got = yield from transmit_broadcast(ctx, payload, payload_bits)
+            return {s: p.to_uint() for s, p in got.items()}
+
+        result = run_protocol(
+            program, n=4, bandwidth=bandwidth, mode=Mode.BROADCAST
+        )
+        assert result.rounds == phase_length(payload_bits, bandwidth)
+        for v, got in enumerate(result.outputs):
+            assert got == {u: u * 7 + 3 for u in range(4) if u != v}
+
+    def test_variable_lengths_with_common_bound(self):
+        def program(ctx):
+            payload = Bits.from_uint(ctx.node_id, ctx.node_id + 1)
+            got = yield from transmit_broadcast(ctx, payload, max_bits=8)
+            return {s: (len(p), p.to_uint()) for s, p in got.items()}
+
+        result = run_protocol(program, n=4, bandwidth=3, mode=Mode.BROADCAST)
+        assert result.outputs[0] == {1: (2, 1), 2: (3, 2), 3: (4, 3)}
+
+    def test_silent_nodes_receive(self):
+        def program(ctx):
+            payload = (
+                Bits.from_uint(42, 8) if ctx.node_id == 0 else None
+            )
+            got = yield from transmit_broadcast(ctx, payload, max_bits=8)
+            return sorted(got)
+
+        result = run_protocol(program, n=3, bandwidth=4, mode=Mode.BROADCAST)
+        assert result.outputs[1] == [0] and result.outputs[2] == [0]
+        assert result.outputs[0] == []
+
+    def test_payload_over_bound_rejected(self):
+        def program(ctx):
+            yield from transmit_broadcast(ctx, Bits.zeros(9), max_bits=8)
+
+        with pytest.raises(ValueError):
+            run_protocol(program, n=2, bandwidth=4, mode=Mode.BROADCAST)
+
+    def test_empty_payload_distinct_from_silence(self):
+        def program(ctx):
+            payload = Bits.empty() if ctx.node_id == 0 else None
+            got = yield from transmit_broadcast(ctx, payload, max_bits=4)
+            return sorted(got)
+
+        result = run_protocol(program, n=3, bandwidth=4, mode=Mode.BROADCAST)
+        assert result.outputs[1] == [0]  # empty message still arrives
+
+
+class TestUnicastPhase:
+    @pytest.mark.parametrize("bandwidth", [1, 4, 16])
+    def test_ring_roundtrip(self, bandwidth):
+        def program(ctx):
+            dest = (ctx.node_id + 1) % ctx.n
+            payload = Bits.from_uint(ctx.node_id + 100, 12)
+            got = yield from transmit_unicast(ctx, {dest: payload}, max_bits=12)
+            return {s: p.to_uint() for s, p in got.items()}
+
+        result = run_protocol(program, n=5, bandwidth=bandwidth)
+        for v, got in enumerate(result.outputs):
+            assert got == {(v - 1) % 5: (v - 1) % 5 + 100}
+
+    def test_fan_in(self):
+        def program(ctx):
+            if ctx.node_id != 0:
+                payloads = {0: Bits.from_uint(ctx.node_id, 6)}
+            else:
+                payloads = {}
+            got = yield from transmit_unicast(ctx, payloads, max_bits=6)
+            return {s: p.to_uint() for s, p in got.items()}
+
+        result = run_protocol(program, n=4, bandwidth=2)
+        assert result.outputs[0] == {1: 1, 2: 2, 3: 3}
+        assert result.outputs[1] == {}
+
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.lists(
+            st.integers(min_value=0, max_value=255), min_size=2, max_size=5
+        ),
+    )
+    def test_property_roundtrip(self, bandwidth, values):
+        n = len(values)
+
+        def program(ctx):
+            payloads = {
+                v: Bits.from_uint(values[ctx.node_id], 8)
+                for v in range(n)
+                if v != ctx.node_id
+            }
+            got = yield from transmit_unicast(ctx, payloads, max_bits=8)
+            return {s: p.to_uint() for s, p in got.items()}
+
+        result = run_protocol(program, n=n, bandwidth=bandwidth)
+        for v in range(n):
+            expected = {u: values[u] for u in range(n) if u != v}
+            assert result.outputs[v] == expected
+
+
+class TestIdle:
+    def test_idle_consumes_rounds(self):
+        def program(ctx):
+            yield from idle(4)
+            return "done"
+
+        result = run_protocol(program, n=2, bandwidth=1)
+        assert result.rounds == 4
+        assert result.outputs == ["done", "done"]

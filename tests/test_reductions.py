@@ -1,0 +1,169 @@
+"""Lemma 13 and Theorem 24: the reductions, executed and audited."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.lower_bounds import (
+    DisjointnessReduction,
+    NOFTriangleReduction,
+    biclique_lower_bound_graph,
+    clique_lower_bound_graph,
+    cycle_lower_bound_graph,
+    deterministic_disj_bits_lower_bound,
+    implied_round_lower_bound,
+    implied_triangle_rounds,
+    nof_disj_deterministic_bits,
+    nof_disj_randomized_bits,
+    nof_instance_graph,
+    sets_disjoint,
+)
+from repro.graphs.ruzsa_szemeredi import rs_graph
+from repro.matmul.boolean import has_triangle
+
+
+def random_sets(universe, rng, density=0.35):
+    x = {i for i in range(universe) if rng.random() < density}
+    y = {i for i in range(universe) if rng.random() < density}
+    return x, y
+
+
+class TestLemma13:
+    @pytest.fixture(scope="class")
+    def reduction(self):
+        lbg = clique_lower_bound_graph(4, 3)
+        return DisjointnessReduction(lbg, bandwidth=8)
+
+    def test_correct_on_random_instances(self, reduction):
+        rng = random.Random(11)
+        for _ in range(8):
+            x, y = random_sets(reduction.lbg.universe_size, rng)
+            run = reduction.solve(x, y)
+            assert run.disjoint == sets_disjoint(x, y)
+
+    def test_forced_cases(self, reduction):
+        m = reduction.lbg.universe_size
+        assert reduction.solve(set(), set()).disjoint
+        assert reduction.solve(set(range(m)), set()).disjoint
+        assert not reduction.solve({2}, {2}).disjoint
+        assert reduction.solve({0}, {1}).disjoint
+
+    def test_bits_accounting(self, reduction):
+        """Every blackboard bit is attributed to exactly one party, and
+        the per-round ceiling n·b is respected — the arithmetic behind
+        R >= m/(n·b)."""
+        rng = random.Random(3)
+        x, y = random_sets(reduction.lbg.universe_size, rng)
+        run = reduction.solve(x, y)
+        assert run.alice_bits + run.bob_bits == run.blackboard_bits
+        n = reduction.lbg.template.n
+        assert run.blackboard_bits <= n * 8 * run.rounds
+
+    def test_full_detector_variant(self):
+        lbg = clique_lower_bound_graph(4, 2)
+        reduction = DisjointnessReduction(lbg, bandwidth=8, detector="full")
+        assert not reduction.solve({1}, {1}).disjoint
+        assert reduction.solve({1}, {2}).disjoint
+
+    def test_unknown_detector_rejected(self):
+        lbg = clique_lower_bound_graph(4, 2)
+        with pytest.raises(ValueError):
+            DisjointnessReduction(lbg, bandwidth=8, detector="magic")
+
+    def test_element_out_of_universe_rejected(self, reduction):
+        with pytest.raises(ValueError):
+            reduction.solve({10**6}, set())
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: cycle_lower_bound_graph(4, 6, rng=random.Random(0)),
+            lambda: cycle_lower_bound_graph(5, 6),
+            lambda: biclique_lower_bound_graph(2, 2, q=2),
+        ],
+    )
+    def test_other_constructions(self, factory):
+        lbg = factory()
+        reduction = DisjointnessReduction(lbg, bandwidth=16)
+        rng = random.Random(5)
+        for _ in range(4):
+            x, y = random_sets(lbg.universe_size, rng)
+            assert reduction.solve(x, y).disjoint == sets_disjoint(x, y)
+
+    def test_implied_bound_formulas(self):
+        assert deterministic_disj_bits_lower_bound(100) == 100
+        # BCAST: m/(n·b); CONGEST (sparse cut): m/(cut·b).
+        assert implied_round_lower_bound(1000, 10, 5) == 20
+        assert implied_round_lower_bound(1000, 10, 5, cut_edges=2) == 100
+
+    def test_theorem15_scaling(self):
+        """|E_F|=N² with n=Θ(N) players: the implied bound grows
+        linearly in n at fixed b — the Ω(n/b) of Theorem 15."""
+        bounds = []
+        for side in (4, 8, 16):
+            lbg = clique_lower_bound_graph(4, side)
+            bounds.append(
+                implied_round_lower_bound(lbg.universe_size, lbg.template.n, 1)
+            )
+        assert bounds[1] >= 1.8 * bounds[0]
+        assert bounds[2] >= 1.8 * bounds[1]
+
+
+class TestTheorem24:
+    @pytest.fixture(scope="class")
+    def reduction(self):
+        return NOFTriangleReduction(5, bandwidth=8)
+
+    def test_instance_graph_rule(self, reduction):
+        """Edge membership follows the forehead rule exactly."""
+        rs = reduction.rs
+        m = rs.triangle_count
+        x_a, x_b, x_c = {0}, {1 % m}, {2 % m}
+        g = nof_instance_graph(rs, x_a, x_b, x_c)
+        for t, (a, b, c) in enumerate(rs.triangles):
+            assert g.has_edge(a, b) == (t in x_c)
+            assert g.has_edge(b, c) == (t in x_a)
+            assert g.has_edge(a, c) == (t in x_b)
+
+    def test_triangle_iff_three_way_intersection(self, reduction):
+        rs = reduction.rs
+        m = rs.triangle_count
+        rng = random.Random(2)
+        for _ in range(8):
+            x_a = {i for i in range(m) if rng.random() < 0.5}
+            x_b = {i for i in range(m) if rng.random() < 0.5}
+            x_c = {i for i in range(m) if rng.random() < 0.5}
+            g = nof_instance_graph(rs, x_a, x_b, x_c)
+            assert has_triangle(g) == bool(x_a & x_b & x_c)
+
+    def test_reduction_answers(self, reduction):
+        m = reduction.universe_size
+        rng = random.Random(4)
+        for _ in range(4):
+            x_a = {i for i in range(m) if rng.random() < 0.5}
+            x_b = {i for i in range(m) if rng.random() < 0.5}
+            x_c = {i for i in range(m) if rng.random() < 0.5}
+            run = reduction.solve(x_a, x_b, x_c)
+            assert run.disjoint == (not (x_a & x_b & x_c))
+
+    def test_costs_attributed_to_parties(self, reduction):
+        m = reduction.universe_size
+        run = reduction.solve({0}, {0}, {0})
+        assert sum(run.bits_by_party) == run.blackboard_bits
+        assert not run.disjoint
+
+    def test_bound_functions(self):
+        assert nof_disj_deterministic_bits(400) == 400
+        assert nof_disj_randomized_bits(400) == 20
+        assert implied_triangle_rounds(1000, 10, 1) == 100
+        assert implied_triangle_rounds(
+            1000, 10, 1, deterministic=False
+        ) == max(1, 31 // 10)
+
+    def test_universe_grows_superlinearly(self):
+        """m(n) = N·|S(N)| — the Claim 23 density at toy scale."""
+        small = NOFTriangleReduction(4, bandwidth=8).universe_size
+        large = NOFTriangleReduction(16, bandwidth=8).universe_size
+        assert large >= 4 * small

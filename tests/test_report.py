@@ -1,0 +1,34 @@
+"""The self-check report: every miniature claim passes, output is sane."""
+
+from __future__ import annotations
+
+import io
+
+from repro.report import CHECKS, run_report
+
+
+def test_all_checks_pass():
+    buffer = io.StringIO()
+    assert run_report(out=buffer)
+    text = buffer.getvalue()
+    assert text.count("PASS") == len(CHECKS)
+    assert "FAIL" not in text
+    assert "all claims reproduced" in text
+
+
+def test_check_inventory_covers_families():
+    names = " ".join(name for name, _ in CHECKS)
+    for token in (
+        "Theorem 2",
+        "Theorem 7",
+        "Theorem 9",
+        "Lemma 13",
+        "Lemma 14",
+        "Lemma 18",
+        "Lemma 21",
+        "Theorem 24",
+        "Counting",
+        "CONGEST",
+        "MST",
+    ):
+        assert token in names

@@ -1,0 +1,101 @@
+"""Claim 23: Behrend sets and Ruzsa–Szemerédi graphs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graphs.ruzsa_szemeredi import (
+    ap_free_set,
+    behrend_set,
+    greedy_ap_free_set,
+    has_three_term_ap,
+    rs_graph,
+)
+from repro.matmul.boolean import triangle_count
+
+
+class TestAPFreeSets:
+    def test_detector_known_cases(self):
+        assert has_three_term_ap({1, 2, 3})
+        assert has_three_term_ap({0, 5, 10})
+        assert not has_three_term_ap({0, 1, 3, 4})
+        assert not has_three_term_ap(set())
+        assert not has_three_term_ap({7})
+
+    @given(st.integers(min_value=1, max_value=300))
+    def test_greedy_is_ap_free(self, limit):
+        assert not has_three_term_ap(greedy_ap_free_set(limit))
+
+    @pytest.mark.parametrize("limit", [10, 50, 200, 1000])
+    @pytest.mark.parametrize("dim", [1, 2, 3])
+    def test_behrend_is_ap_free(self, limit, dim):
+        s = behrend_set(limit, dim)
+        assert not has_three_term_ap(s)
+        assert all(0 <= x < limit for x in s)
+
+    @pytest.mark.parametrize("limit", [16, 64, 256, 1024])
+    def test_combined_is_ap_free_and_dense(self, limit):
+        s = ap_free_set(limit)
+        assert not has_three_term_ap(s)
+        # Behrend/greedy sets are far denser than the trivial singleton:
+        # the greedy (ternary digits) set alone has ~limit^{log3(2)}.
+        assert len(s) >= limit ** 0.6
+
+    def test_known_greedy_prefix(self):
+        # The greedy set on {0..8} is the no-2-digit ternary set.
+        assert greedy_ap_free_set(9) == {0, 1, 3, 4}
+
+
+class TestRSGraph:
+    @pytest.mark.parametrize("class_size", [2, 4, 8, 12])
+    def test_parts_are_independent_and_sized(self, class_size):
+        rs = rs_graph(class_size)
+        a, b, c = rs.parts
+        assert len(a) == class_size
+        assert len(b) == 2 * class_size
+        assert len(c) == 3 * class_size
+        for part in rs.parts:
+            assert rs.graph.is_independent_set(part)
+
+    @pytest.mark.parametrize("class_size", [2, 4, 8, 12])
+    def test_triangles_are_exactly_planted(self, class_size):
+        """The heart of Claim 23(2): the planted triangles are the only
+        triangles (AP-freeness at work)."""
+        rs = rs_graph(class_size)
+        assert triangle_count(rs.graph) == rs.triangle_count
+
+    @pytest.mark.parametrize("class_size", [2, 4, 8])
+    def test_each_edge_in_exactly_one_triangle(self, class_size):
+        rs = rs_graph(class_size)
+        usage = {}
+        for tri in rs.triangles:
+            a, b, c = tri
+            for e in ((a, b), (b, c), (a, c)):
+                key = (min(e), max(e))
+                usage[key] = usage.get(key, 0) + 1
+        assert set(usage) == rs.graph.edge_set()
+        assert all(count == 1 for count in usage.values())
+
+    def test_triangle_of_edge_lookup(self):
+        rs = rs_graph(5)
+        for tri in rs.triangles:
+            a, b, c = tri
+            assert rs.triangle_of_edge(a, b) == tri
+            assert rs.triangle_of_edge(c, b) == tri
+            assert rs.triangle_of_edge(a, c) == tri
+
+    def test_planted_triangles_valid(self):
+        rs = rs_graph(6)
+        for a, b, c in rs.triangles:
+            assert rs.graph.has_edge(a, b)
+            assert rs.graph.has_edge(b, c)
+            assert rs.graph.has_edge(a, c)
+
+    def test_triangle_density_grows(self):
+        """m(n) = N·|S(N)| grows superlinearly in N (the n²/e^{O(√log n)}
+        of Claim 23, at toy scale)."""
+        small = rs_graph(8).triangle_count
+        large = rs_graph(32).triangle_count
+        assert large >= 4 * small

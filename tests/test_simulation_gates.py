@@ -1,0 +1,126 @@
+"""Theorem 2 with the *full* gate zoo: weighted thresholds, generic
+gates, mixed pools — the simulation must be correct for every
+b-separable gate class the paper names, not just the friendly ones."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import (
+    AND,
+    OR,
+    XOR,
+    Circuit,
+    GenericGate,
+    MajorityGate,
+    ModGate,
+    ThresholdGate,
+    builders,
+)
+from repro.simulation import simulate_circuit
+
+
+def exotic_pool(rng):
+    return [
+        AND,
+        OR,
+        XOR,
+        ModGate(rng.choice([2, 3, 5, 7])),
+        ThresholdGate(rng.randint(1, 3)),
+        ThresholdGate(
+            rng.randint(1, 9),
+            weights=tuple(rng.randint(0, 4) for _ in range(4)),
+        ),
+        GenericGate(lambda xs: xs.count(True) % 3 == 1, 4, "count%3"),
+        GenericGate(lambda xs: xs[0] != xs[-1], 4, "ends-differ"),
+    ]
+
+
+class TestExoticGates:
+    @given(
+        st.integers(min_value=0, max_value=10**6),
+        st.integers(min_value=2, max_value=7),
+    )
+    @settings(max_examples=25)
+    def test_random_exotic_circuits(self, seed, n_players):
+        rng = random.Random(seed)
+        pool = exotic_pool(rng)
+        circuit = Circuit()
+        inputs = circuit.add_inputs(8)
+        reachable = list(inputs)
+        for _ in range(rng.randint(2, 12)):
+            gate = rng.choice(pool)
+            arity = gate.arity() or rng.randint(1, 4)
+            sources = [rng.choice(reachable) for _ in range(arity)]
+            reachable.append(circuit.add_gate(gate, sources))
+        circuit.mark_output(reachable[-1])
+        xs = [rng.random() < 0.5 for _ in range(8)]
+        outputs, _, _ = simulate_circuit(circuit, n_players, xs)
+        assert [outputs[g] for g in circuit.outputs] == circuit.evaluate_outputs(xs)
+
+    def test_weighted_threshold_heavy_gate(self):
+        """A single huge weighted-threshold gate goes heavy; summaries
+        must carry partial *weighted* sums."""
+        circuit = Circuit()
+        inputs = circuit.add_inputs(48)
+        weights = tuple((i * 7) % 13 for i in range(48))
+        gate = ThresholdGate(sum(weights) // 2, weights=weights)
+        circuit.mark_output(circuit.add_gate(gate, inputs))
+        rng = random.Random(4)
+        for _ in range(5):
+            xs = [rng.random() < 0.5 for _ in range(48)]
+            outputs, _, plan = simulate_circuit(circuit, 6, xs)
+            assert outputs[circuit.outputs[0]] == circuit.evaluate_outputs(xs)[0]
+        # bandwidth reflects the weighted sum's width, not the fan-in
+        assert plan.bandwidth >= sum(weights).bit_length()
+
+    def test_generic_gate_heavy(self):
+        """A generic gate's fallback decomposition ships raw positions;
+        summary width 2·fan-in must still simulate correctly."""
+        circuit = Circuit()
+        inputs = circuit.add_inputs(24)
+        gate = GenericGate(
+            lambda xs: sum(xs) in (3, 7, 11), 24, "membership"
+        )
+        circuit.mark_output(circuit.add_gate(gate, inputs))
+        rng = random.Random(5)
+        for _ in range(5):
+            xs = [rng.random() < 0.5 for _ in range(24)]
+            outputs, _, _ = simulate_circuit(circuit, 4, xs)
+            assert outputs[circuit.outputs[0]] == circuit.evaluate_outputs(xs)[0]
+
+    def test_duplicate_wire_inputs(self):
+        """The same gate feeding one consumer twice (multi-edges)."""
+        circuit = Circuit()
+        x, y = circuit.add_inputs(2)
+        g = circuit.add_gate(XOR, [x, x, y])  # x twice
+        circuit.mark_output(g)
+        for xs in ([True, True], [True, False], [False, True]):
+            outputs, _, _ = simulate_circuit(circuit, 2, list(xs))
+            assert outputs[g] == circuit.evaluate_outputs(list(xs))[0]
+
+    def test_mod_gate_chain_mixed_moduli(self):
+        circuit = Circuit()
+        inputs = circuit.add_inputs(12)
+        m3 = circuit.add_gate(ModGate(3), inputs[:6])
+        m5 = circuit.add_gate(ModGate(5), inputs[6:])
+        maj = circuit.add_gate(MajorityGate(2), [m3, m5])
+        circuit.mark_output(maj)
+        rng = random.Random(6)
+        for _ in range(5):
+            xs = [rng.random() < 0.5 for _ in range(12)]
+            outputs, _, _ = simulate_circuit(circuit, 4, xs)
+            assert outputs[maj] == circuit.evaluate_outputs(xs)[0]
+
+    @pytest.mark.parametrize("n_players", [2, 3, 5, 8, 13])
+    def test_player_count_sweep(self, n_players):
+        """The same circuit across many clique sizes."""
+        circuit = builders.threshold_parity_circuit(10)
+        rng = random.Random(n_players)
+        xs = [rng.random() < 0.5 for _ in range(10)]
+        outputs, _, _ = simulate_circuit(circuit, n_players, xs)
+        assert [outputs[g] for g in circuit.outputs] == circuit.evaluate_outputs(xs)

@@ -1,0 +1,57 @@
+"""Clique sorting ([28]'s second primitive) on the engine."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.routing.sorting import clique_sort
+
+
+def random_instance(n, k, key_bits, rng):
+    return [
+        [rng.randrange(1 << key_bits) for _ in range(k)] for _ in range(n)
+    ]
+
+
+class TestCliqueSort:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_sorted_blocks(self, seed):
+        rng = random.Random(seed)
+        n, k, key_bits = 6, 6, 10
+        lists = random_instance(n, k, key_bits, rng)
+        blocks, result = clique_sort(lists, key_bits, bandwidth=16)
+        flat = sorted(x for keys in lists for x in keys)
+        expected = [flat[i * k : (i + 1) * k] for i in range(n)]
+        assert blocks == expected
+
+    def test_duplicate_keys(self):
+        lists = [[5, 5, 5], [5, 5, 5], [1, 9, 5]]
+        blocks, _ = clique_sort(lists, key_bits=4, bandwidth=8)
+        flat = sorted(x for keys in lists for x in keys)
+        assert blocks == [flat[0:3], flat[3:6], flat[6:9]]
+
+    def test_already_sorted_input(self):
+        lists = [[0, 1, 2], [3, 4, 5], [6, 7, 8]]
+        blocks, result = clique_sort(lists, key_bits=4, bandwidth=8)
+        assert blocks == lists  # nothing moves
+        # phase B routes nothing; only phase A's announcements cost.
+
+    def test_reverse_sorted_input(self):
+        lists = [[6, 7, 8], [3, 4, 5], [0, 1, 2]]
+        blocks, _ = clique_sort(lists, key_bits=4, bandwidth=8)
+        assert blocks == [[0, 1, 2], [3, 4, 5], [6, 7, 8]]
+
+    def test_unequal_key_counts_rejected(self):
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            clique_sort([[1, 2], [3]], key_bits=4, bandwidth=8)
+
+    def test_rounds_shrink_with_bandwidth(self):
+        rng = random.Random(1)
+        lists = random_instance(5, 5, 8, rng)
+        _, r_small = clique_sort(lists, key_bits=8, bandwidth=4)
+        _, r_large = clique_sort(lists, key_bits=8, bandwidth=64)
+        assert r_small.rounds > r_large.rounds

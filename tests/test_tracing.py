@@ -1,0 +1,80 @@
+"""Transcript rendering and traffic accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Bits, Mode, Outbox, run_protocol
+from repro.core.tracing import render_timeline, traffic_by_node, traffic_matrix
+
+
+def two_round_protocol(ctx):
+    yield Outbox.broadcast(Bits.from_uint(ctx.node_id % 2, 1))
+    yield Outbox.broadcast(Bits.from_uint(1, 1))
+    return None
+
+
+def ring_protocol(ctx):
+    dest = (ctx.node_id + 1) % ctx.n
+    yield Outbox.unicast({dest: Bits.from_uint(3, 2)})
+    return None
+
+
+class TestTimeline:
+    def test_requires_transcript(self):
+        result = run_protocol(two_round_protocol, n=3, bandwidth=1, mode=Mode.BROADCAST)
+        with pytest.raises(ValueError):
+            render_timeline(result)
+
+    def test_renders_rounds_and_bits(self):
+        result = run_protocol(
+            two_round_protocol, n=3, bandwidth=1, mode=Mode.BROADCAST,
+            record_transcript=True,
+        )
+        text = render_timeline(result)
+        assert "round 1: 3 bits" in text
+        assert "round 2: 3 bits" in text
+        assert "-> *" in text  # broadcast marker
+
+    def test_round_truncation(self):
+        result = run_protocol(
+            two_round_protocol, n=3, bandwidth=1, mode=Mode.BROADCAST,
+            record_transcript=True,
+        )
+        text = render_timeline(result, max_rounds=1)
+        assert "1 more rounds" in text
+
+    def test_event_truncation(self):
+        result = run_protocol(
+            two_round_protocol, n=12, bandwidth=1, mode=Mode.BROADCAST,
+            record_transcript=True,
+        )
+        text = render_timeline(result, max_events=2)
+        assert "more sends" in text
+
+
+class TestTraffic:
+    def test_by_node(self):
+        result = run_protocol(
+            ring_protocol, n=4, bandwidth=2, record_transcript=True
+        )
+        assert traffic_by_node(result) == {0: 2, 1: 2, 2: 2, 3: 2}
+
+    def test_matrix_unicast(self):
+        result = run_protocol(
+            ring_protocol, n=3, bandwidth=2, record_transcript=True
+        )
+        matrix = traffic_matrix(result, 3)
+        assert matrix[0][1] == 2 and matrix[1][2] == 2 and matrix[2][0] == 2
+        assert matrix[0][2] == 0
+
+    def test_matrix_broadcast_fanout(self):
+        result = run_protocol(
+            two_round_protocol, n=3, bandwidth=1, mode=Mode.BROADCAST,
+            record_transcript=True,
+        )
+        matrix = traffic_matrix(result, 3)
+        # each node broadcast 2 bits, charged to both other columns
+        for v in range(3):
+            assert sum(matrix[v]) == 4
+            assert matrix[v][v] == 0

@@ -1,0 +1,120 @@
+"""Circuit transformations: behavioural equivalence + shrinkage."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import AND, NOT, OR, XOR, Circuit, builders
+from repro.circuits.transforms import eliminate_dead_gates, fold_constants, optimize
+
+
+def equivalent(a: Circuit, b: Circuit, trials: int, rng) -> bool:
+    assert a.num_inputs == b.num_inputs
+    for _ in range(trials):
+        xs = [rng.random() < 0.5 for _ in range(a.num_inputs)]
+        if a.evaluate_outputs(xs) != b.evaluate_outputs(xs):
+            return False
+    return True
+
+
+class TestDeadGateElimination:
+    def test_drops_unused_gates(self):
+        c = Circuit()
+        x, y = c.add_inputs(2)
+        used = c.add_gate(AND, [x, y])
+        c.add_gate(OR, [x, y])  # dead
+        c.add_gate(XOR, [x, y])  # dead
+        c.mark_output(used)
+        slim = eliminate_dead_gates(c)
+        assert len(slim) == 3  # two inputs + one gate
+        assert equivalent(c, slim, 8, random.Random(0))
+
+    def test_keeps_all_inputs(self):
+        c = Circuit()
+        xs = c.add_inputs(4)
+        c.mark_output(c.add_gate(AND, [xs[0], xs[1]]))
+        slim = eliminate_dead_gates(c)
+        assert slim.num_inputs == 4
+
+    def test_preserves_output_order(self):
+        c = Circuit()
+        x, y = c.add_inputs(2)
+        g1 = c.add_gate(AND, [x, y])
+        g2 = c.add_gate(OR, [x, y])
+        c.mark_output(g2)
+        c.mark_output(g1)
+        slim = eliminate_dead_gates(c)
+        rng = random.Random(1)
+        assert equivalent(c, slim, 8, rng)
+
+
+class TestConstantFolding:
+    def test_and_with_false(self):
+        c = Circuit()
+        x = c.add_input()
+        f = c.add_const(False)
+        c.mark_output(c.add_gate(AND, [x, f]))
+        folded = fold_constants(c)
+        assert folded.evaluate_outputs([True]) == [False]
+        assert folded.evaluate_outputs([False]) == [False]
+        assert all(node.kind != "gate" for node in folded.nodes)
+
+    def test_or_with_true(self):
+        c = Circuit()
+        x = c.add_input()
+        t = c.add_const(True)
+        c.mark_output(c.add_gate(OR, [x, t]))
+        folded = fold_constants(c)
+        assert all(node.kind != "gate" for node in folded.nodes)
+
+    def test_full_constant_subcircuit(self):
+        c = Circuit()
+        t = c.add_const(True)
+        f = c.add_const(False)
+        g = c.add_gate(XOR, [t, f])
+        h = c.add_gate(NOT, [g])
+        x = c.add_input()
+        c.mark_output(c.add_gate(AND, [h, x]))
+        folded = optimize(c)
+        # h == False, so the AND folds to False and x is unused.
+        assert folded.evaluate_outputs([True]) == [False]
+
+    def test_partial_constants_preserved(self):
+        c = Circuit()
+        x, y = c.add_inputs(2)
+        t = c.add_const(True)
+        c.mark_output(c.add_gate(AND, [x, y, t]))
+        folded = fold_constants(c)
+        rng = random.Random(2)
+        assert equivalent(c, folded, 8, rng)
+
+
+class TestOptimizeProperty:
+    @given(
+        st.integers(min_value=0, max_value=10**6),
+        st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=30)
+    def test_equivalence_on_random_circuits(self, seed, depth):
+        rng = random.Random(seed)
+        c = builders.random_layered_circuit(6, depth=depth, width=5, rng=rng)
+        slim = optimize(c)
+        assert len(slim) <= len(c)
+        assert slim.wire_count() <= c.wire_count()
+        assert equivalent(c, slim, 10, rng)
+
+    def test_simulation_of_optimized_circuit(self):
+        """The optimised circuit still simulates correctly (integration
+        with Theorem 2)."""
+        from repro.simulation import simulate_circuit
+
+        rng = random.Random(5)
+        c = builders.random_layered_circuit(8, depth=3, width=6, rng=rng)
+        slim = optimize(c)
+        xs = [rng.random() < 0.5 for _ in range(8)]
+        outputs, _, _ = simulate_circuit(slim, 4, xs)
+        assert [outputs[g] for g in slim.outputs] == c.evaluate_outputs(xs)

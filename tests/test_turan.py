@@ -1,0 +1,129 @@
+"""Turán machinery: exact values, certified upper bounds, dispatch."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import (
+    complete_bipartite,
+    complete_graph,
+    contains_subgraph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+    turan_graph,
+)
+from repro.graphs.extremal import incidence_graph, polarity_graph
+from repro.graphs.turan import (
+    degeneracy_guess,
+    ex_c4,
+    ex_clique,
+    ex_complete_bipartite_upper,
+    ex_cycle_upper,
+    ex_forest_upper,
+    ex_odd_cycle,
+    ex_upper,
+    turan_graph_edges,
+)
+
+
+class TestTuranGraph:
+    @pytest.mark.parametrize("n,r", [(5, 2), (10, 3), (13, 4), (7, 7), (9, 1)])
+    def test_edge_formula_matches_construction(self, n, r):
+        assert turan_graph(n, r).m == turan_graph_edges(n, r)
+
+    @pytest.mark.parametrize("n,l", [(6, 3), (10, 4), (12, 5)])
+    def test_exactness_of_clique_bound(self, n, l):
+        """The Turán graph T(n, l-1) is K_l-free and meets the bound."""
+        t = turan_graph(n, l - 1)
+        assert not contains_subgraph(t, complete_graph(l))
+        assert t.m == ex_clique(n, l)
+
+    def test_k3_is_bipartite_bound(self):
+        assert ex_clique(8, 3) == 16  # K_{4,4}
+
+
+class TestCycleBounds:
+    def test_odd_cycle_formula(self):
+        assert ex_odd_cycle(10, 5) == 25
+
+    def test_odd_cycle_witness(self):
+        """K_{n/2,n/2} has no odd cycles and achieves the bound."""
+        g = complete_bipartite(5, 5)
+        assert g.m == ex_odd_cycle(10, 5)
+        assert not contains_subgraph(g, cycle_graph(5))
+
+    def test_c4_bound_respected_by_polarity_graph(self):
+        g = polarity_graph(5)  # 31 vertices, C4-free
+        assert not contains_subgraph(g, cycle_graph(4))
+        assert g.m <= ex_c4(g.n)
+        # and it is dense: within a factor ~2 of the bound.
+        assert g.m >= ex_c4(g.n) // 3
+
+    def test_even_cycle_dispatch(self):
+        assert ex_cycle_upper(100, 4) == ex_c4(100)
+        assert ex_cycle_upper(100, 6) > ex_cycle_upper(100, 4) // 2
+
+    def test_bad_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            ex_odd_cycle(10, 4)
+        from repro.graphs.turan import ex_even_cycle_upper
+
+        with pytest.raises(ValueError):
+            ex_even_cycle_upper(10, 5)
+
+
+class TestBipartiteAndForest:
+    def test_kst_bound_respected_by_incidence_graph(self):
+        g = incidence_graph(3)  # bipartite, C4-free = K_{2,2}-free
+        assert g.m <= ex_complete_bipartite_upper(g.n, 2, 2)
+
+    def test_star_bound(self):
+        # K_{1,3}-free graphs have max degree <= 2: at most n edges.
+        assert ex_complete_bipartite_upper(10, 1, 3) >= 10
+
+    def test_forest_bound_paths(self):
+        # A path on k vertices: graphs with > (k-2)n edges contain it.
+        assert ex_forest_upper(20, 4) == 40
+
+
+class TestDispatcher:
+    @pytest.mark.parametrize(
+        "pattern,expected_kind",
+        [
+            (complete_graph(4), "clique"),
+            (cycle_graph(5), "odd-cycle"),
+            (cycle_graph(4), "C4"),
+            (path_graph(4), "forest"),
+            (complete_bipartite(2, 3), "bipartite"),
+        ],
+    )
+    def test_certified_upper_bound(self, pattern, expected_kind):
+        """Whatever the classification, the bound must dominate the edge
+        count of *every* pattern-free graph we can exhibit."""
+        n = 16
+        bound = ex_upper(n, pattern)
+        assert bound >= 0
+        if expected_kind == "clique":
+            assert bound == ex_clique(n, pattern.n)
+        if expected_kind == "forest":
+            assert bound == ex_forest_upper(n, pattern.n)
+
+    def test_empty_pattern(self):
+        assert ex_upper(10, complete_graph(1)) == 0
+
+    def test_nonbipartite_noncycle_fallback(self):
+        from repro.graphs.graph import Graph
+
+        # K4 minus an edge plus a pendant makes an odd-cyclic non-clique.
+        pattern = Graph.from_edges(4, [(0, 1), (1, 2), (0, 2), (2, 3), (1, 3)])
+        assert ex_upper(12, pattern) == 12 * 11 // 2
+
+    def test_degeneracy_guess_claim6(self):
+        """Claim 6 on concrete H-free graphs: degeneracy <= 4 ex(n,H)/n."""
+        from repro.graphs.degeneracy import degeneracy
+
+        pattern = cycle_graph(4)
+        g = polarity_graph(5)
+        guess = degeneracy_guess(g.n, pattern)
+        assert degeneracy(g) <= guess

@@ -1,0 +1,112 @@
+"""Exact two-party communication complexity (the classical substrate
+behind Lemma 13's citations), verified against textbook values."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lower_bounds.two_party import (
+    canonical_disj_fooling_set,
+    disj_table,
+    eq_table,
+    exact_cc,
+    fooling_set_bound,
+    gt_table,
+    ip_table,
+    log_rank_bound,
+)
+
+
+class TestGadgets:
+    def test_eq_diagonal(self):
+        table = eq_table(2)
+        for x in range(4):
+            for y in range(4):
+                assert table[x][y] == (1 if x == y else 0)
+
+    def test_disj_semantics(self):
+        table = disj_table(2)
+        assert table[0b01][0b10] == 1
+        assert table[0b01][0b01] == 0
+        assert table[0][0b11] == 1
+
+    def test_ip_parity(self):
+        table = ip_table(2)
+        assert table[0b11][0b11] == 0  # two overlaps
+        assert table[0b01][0b01] == 1
+
+    def test_gt(self):
+        table = gt_table(2)
+        assert table[3][1] == 1 and table[1][3] == 0 and table[2][2] == 0
+
+
+class TestExactCC:
+    def test_constant_function(self):
+        assert exact_cc([[1, 1], [1, 1]]) == 0
+
+    def test_alice_function(self):
+        # f depends only on x: one Alice bit decides it.
+        assert exact_cc([[0, 0], [1, 1]]) == 1
+
+    @pytest.mark.parametrize("bits,expected", [(1, 2), (2, 3)])
+    def test_equality_textbook_value(self, bits, expected):
+        """D(EQ_n) = n + 1 (Kushilevitz–Nisan, Example 1.21)."""
+        assert exact_cc(eq_table(bits)) == expected
+
+    @pytest.mark.parametrize("bits,expected", [(1, 2), (2, 3)])
+    def test_disjointness_textbook_value(self, bits, expected):
+        """D(DISJ_n) = n + 1."""
+        assert exact_cc(disj_table(bits)) == expected
+
+    def test_ip_value(self):
+        assert exact_cc(ip_table(2)) == 3
+
+    def test_greater_than(self):
+        assert exact_cc(gt_table(2)) == 3
+
+    def test_monotone_under_submatrix(self):
+        """Restricting to a submatrix never increases D."""
+        full = exact_cc(eq_table(2))
+        sub = [row[:2] for row in eq_table(2)[:2]]
+        assert exact_cc(sub) <= full
+
+
+class TestLowerBoundTools:
+    def test_fooling_set_verifies_and_bounds(self):
+        pairs = canonical_disj_fooling_set(2)
+        bound = fooling_set_bound(disj_table(2), pairs)
+        assert bound == 2
+        assert bound <= exact_cc(disj_table(2))
+
+    def test_bad_fooling_set_rejected(self):
+        with pytest.raises(ValueError):
+            fooling_set_bound(disj_table(2), [(0, 0), (1, 0)])
+
+    def test_wrong_value_rejected(self):
+        with pytest.raises(ValueError):
+            fooling_set_bound(eq_table(2), [(0, 1)])
+
+    def test_eq_identity_fooling_set(self):
+        pairs = [(x, x) for x in range(4)]
+        assert fooling_set_bound(eq_table(2), pairs) == 2
+
+    @pytest.mark.parametrize(
+        "table_fn", [eq_table, disj_table, ip_table, gt_table]
+    )
+    def test_log_rank_is_a_lower_bound(self, table_fn):
+        table = table_fn(2)
+        assert log_rank_bound(table) <= exact_cc(table)
+
+    def test_log_rank_eq_is_full(self):
+        # the identity matrix has full rank 2^n
+        assert log_rank_bound(eq_table(2)) == 2
+
+    def test_bounds_sandwich_disj(self):
+        """fooling/log-rank <= D <= trivial n+1: all three computed."""
+        table = disj_table(2)
+        lower = max(
+            fooling_set_bound(table, canonical_disj_fooling_set(2)),
+            log_rank_bound(table),
+        )
+        exact = exact_cc(table)
+        assert lower <= exact <= 3
