@@ -1,0 +1,258 @@
+"""Engine throughput benchmark: rounds/sec and messages/sec.
+
+Measures the message-passing engine itself (no protocol logic) across
+all three communication models and all engine paths:
+
+* ``legacy``        — the original per-round-allocation reference loop;
+* ``fast``          — the zero-churn scalar loop (reused inbox buffers,
+                      hoisted validation);
+* ``fast+fixedlane``— the fast loop fed by fixed-width outboxes, so
+                      whole rounds are delivered through numpy bulk
+                      writes.
+
+Workloads (width-32 payloads):
+
+* ``unicast``   — all-to-all on the clique: n·(n-1) messages per round;
+* ``broadcast`` — every node writes the blackboard: n·(n-1) deliveries
+                  per round;
+* ``congest``   — a ring topology: 2n messages per round (dominated by
+                  per-round overhead, i.e. a rounds/sec probe).
+
+Run from the repo root (writes ``BENCH_engine.json`` there)::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py            # full sweep
+    PYTHONPATH=src python benchmarks/bench_engine.py --quick    # CI smoke
+
+The JSON keeps a per-config table plus ``speedups`` and an
+``acceptance`` block (fixed-lane vs. legacy messages/sec at the largest
+unicast size) so future engine changes have a trajectory to beat.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+if "repro" not in sys.modules:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np
+
+from repro.core.bits import Bits
+from repro.core.fastlane import FixedWidthSchedule
+from repro.core.network import Mode, Network, Outbox
+
+WIDTH = 32
+MASK = (1 << WIDTH) - 1
+
+
+# -- node programs ------------------------------------------------------
+
+
+def unicast_dict_program(rounds):
+    def program(ctx):
+        me = ctx.node_id
+        payloads = {
+            v: Bits.from_uint((me * 2654435761 + v) & MASK, WIDTH)
+            for v in ctx.neighbors
+        }
+        for _ in range(rounds):
+            yield Outbox.unicast(payloads)
+        return None
+
+    return program
+
+
+def unicast_fixed_program(rounds):
+    schedule = FixedWidthSchedule(WIDTH)
+
+    def program(ctx):
+        me = ctx.node_id
+        dests = np.fromiter(ctx.neighbors, dtype=np.intp, count=len(ctx.neighbors))
+        values = (dests.astype(np.uint64) + np.uint64(me * 2654435761)) & np.uint64(MASK)
+        outbox = schedule.outbox(dests, values)
+        for _ in range(rounds):
+            yield outbox
+        return None
+
+    return program
+
+
+def broadcast_program(rounds):
+    def program(ctx):
+        payload = Bits.from_uint((ctx.node_id * 2654435761) & MASK, WIDTH)
+        for _ in range(rounds):
+            yield Outbox.broadcast(payload)
+        return None
+
+    return program
+
+
+# -- harness ------------------------------------------------------------
+
+
+def ring_topology(n):
+    return [[(v - 1) % n, (v + 1) % n] for v in range(n)]
+
+
+def time_run(network, program, repeats):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = network.run(program)
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return best, result
+
+
+def bench_config(mode, n, engine, lane, rounds, repeats):
+    """One (mode, n, engine-path) measurement; returns the record."""
+    if mode == "unicast":
+        network = Network(n=n, bandwidth=WIDTH, mode=Mode.UNICAST, engine=engine)
+        maker = unicast_fixed_program if lane else unicast_dict_program
+        messages_per_round = n * (n - 1)
+    elif mode == "broadcast":
+        network = Network(n=n, bandwidth=WIDTH, mode=Mode.BROADCAST, engine=engine)
+        maker = broadcast_program
+        messages_per_round = n * (n - 1)  # deliveries; bits charged once/writer
+    elif mode == "congest":
+        network = Network(
+            n=n,
+            bandwidth=WIDTH,
+            mode=Mode.CONGEST,
+            topology=ring_topology(n),
+            engine=engine,
+        )
+        maker = unicast_fixed_program if lane else unicast_dict_program
+        messages_per_round = 2 * n
+    else:  # pragma: no cover - config typo guard
+        raise ValueError(mode)
+    seconds, result = time_run(network, maker(rounds), repeats)
+    assert result.rounds == rounds
+    messages = messages_per_round * rounds
+    return {
+        "mode": mode,
+        "n": n,
+        "engine": "fast+fixedlane" if lane else engine,
+        "rounds": rounds,
+        "messages": messages,
+        "total_bits": result.total_bits,
+        "seconds": round(seconds, 6),
+        "rounds_per_sec": round(rounds / seconds, 2),
+        "messages_per_sec": round(messages / seconds, 1),
+    }
+
+
+def rounds_for(mode, n, quick):
+    if mode == "congest":
+        budget = 4_000 if quick else 100_000
+        return max(10, min(400, budget // (2 * n)))
+    budget = 10_000 if quick else 400_000
+    return max(3, min(100, budget // (n * (n - 1))))
+
+
+def engine_paths(mode):
+    paths = [("legacy", False), ("fast", False)]
+    if mode != "broadcast":
+        paths.append(("fast", True))
+    return paths
+
+
+def run_sweep(sizes, quick, repeats):
+    configs = []
+    for mode in ("unicast", "broadcast", "congest"):
+        for n in sizes:
+            rounds = rounds_for(mode, n, quick)
+            per_engine = {}
+            for engine, lane in engine_paths(mode):
+                record = bench_config(mode, n, engine, lane, rounds, repeats)
+                configs.append(record)
+                per_engine[record["engine"]] = record
+                print(
+                    f"{mode:>9}  n={n:<4} {record['engine']:<14} "
+                    f"{record['rounds_per_sec']:>10.1f} rounds/s  "
+                    f"{record['messages_per_sec']:>12.0f} msgs/s"
+                )
+            # Same protocol, same accounting — engines must agree.
+            bit_totals = {rec["total_bits"] for rec in per_engine.values()}
+            assert len(bit_totals) == 1, f"engines disagree on bits: {per_engine}"
+    return configs
+
+
+def summarize(configs):
+    speedups = {}
+    for record in configs:
+        if record["engine"] == "legacy":
+            continue
+        legacy = next(
+            c
+            for c in configs
+            if c["engine"] == "legacy"
+            and c["mode"] == record["mode"]
+            and c["n"] == record["n"]
+        )
+        key = f"{record['mode']}/n={record['n']}"
+        speedups.setdefault(key, {})[record["engine"]] = round(
+            record["messages_per_sec"] / legacy["messages_per_sec"], 2
+        )
+    return speedups
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=None, help="node counts to sweep"
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="small sizes / few rounds (CI smoke)"
+    )
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=REPO_ROOT / "BENCH_engine.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+    if args.sizes and min(args.sizes) < 2:
+        parser.error("--sizes values must be >= 2 (a 1-node clique has no links)")
+    sizes = args.sizes or ([16, 32] if args.quick else [32, 64, 128, 256])
+    repeats = args.repeats or (1 if args.quick else 3)
+
+    configs = run_sweep(sizes, args.quick, repeats)
+    speedups = summarize(configs)
+
+    top_n = max(sizes)
+    acceptance_key = f"unicast/n={top_n}"
+    acceptance = {
+        "mode": "unicast",
+        "n": top_n,
+        "fast_vs_legacy_msgs_per_sec": speedups[acceptance_key].get("fast"),
+        "fixedlane_vs_legacy_msgs_per_sec": speedups[acceptance_key].get(
+            "fast+fixedlane"
+        ),
+    }
+    report = {
+        "generated_by": "benchmarks/bench_engine.py",
+        "width_bits": WIDTH,
+        "quick": args.quick,
+        "repeats": repeats,
+        "configs": configs,
+        "speedups": speedups,
+        "acceptance": acceptance,
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nspeedups vs legacy (messages/sec):")
+    for key, values in speedups.items():
+        print(f"  {key:<18} {values}")
+    print(f"\nwrote {args.out}")
+    return report
+
+
+if __name__ == "__main__":
+    main()

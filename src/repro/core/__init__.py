@@ -16,9 +16,15 @@ from repro.core.network import (
     Network,
     Outbox,
     RunResult,
+    inbox_uints,
     run_protocol,
 )
-from repro.core.tracing import render_timeline, traffic_by_node, traffic_matrix
+from repro.core.tracing import (
+    render_timeline,
+    traffic_by_node,
+    traffic_matrix,
+    transcript_stats,
+)
 from repro.core.phases import (
     idle,
     phase_length,
@@ -43,6 +49,7 @@ __all__ = [
     "Outbox",
     "RunResult",
     "run_protocol",
+    "inbox_uints",
     "phase_length",
     "transmit_unicast",
     "transmit_broadcast",
@@ -50,4 +57,5 @@ __all__ = [
     "render_timeline",
     "traffic_by_node",
     "traffic_matrix",
+    "transcript_stats",
 ]

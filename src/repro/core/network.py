@@ -17,6 +17,26 @@ an :class:`Outbox` to end its round and is resumed with the
 is the node's output.  The engine enforces bandwidth per the model,
 counts rounds and bits, and can record a full transcript (needed by the
 communication-complexity reductions of Section 3).
+
+Engine implementations
+----------------------
+
+Two interchangeable round loops produce identical :class:`RunResult`\\ s:
+
+* ``engine="fast"`` (default) keeps per-node inbox buffers alive across
+  rounds (cleared, never reconstructed), reuses :class:`Inbox` wrappers,
+  hoists model-invariant validation out of the per-message loop, and
+  skips all transcript bookkeeping when recording is off.  Rounds in
+  which every sender uses a fixed-width outbox
+  (:meth:`Outbox.fixed_width`) are delivered in bulk through numpy array
+  writes — see :mod:`repro.core.fastlane`.
+* ``engine="legacy"`` is the original per-round-allocation loop, kept as
+  the executable reference semantics; the equivalence test suite pins
+  the fast engine to it byte-for-byte.
+
+Inboxes are only valid for the round in which they are delivered: the
+fast engine recycles the underlying buffers, so a program must not stash
+an :class:`Inbox` and read it in a later round (copy what you need).
 """
 
 from __future__ import annotations
@@ -43,6 +63,8 @@ __all__ = [
     "RunResult",
     "Network",
     "run_protocol",
+    "inbox_uints",
+    "EMPTY_INBOX",
 ]
 
 
@@ -55,27 +77,50 @@ class Mode(enum.Enum):
 
 
 class Inbox:
-    """Messages delivered to one node in one round, keyed by sender id."""
+    """Messages delivered to one node in one round, keyed by sender id.
 
-    __slots__ = ("_by_sender",)
+    Inboxes are immutable once delivered, so the sorted views produced by
+    :meth:`senders` and :meth:`items` are computed once and cached.
+    """
+
+    __slots__ = ("_by_sender", "_senders", "_items")
 
     def __init__(self, by_sender: Dict[int, Bits]) -> None:
         self._by_sender = by_sender
+        self._senders: Optional[Tuple[int, ...]] = None
+        self._items: Optional[Tuple[Tuple[int, Bits], ...]] = None
 
     def get(self, sender: int) -> Optional[Bits]:
         return self._by_sender.get(sender)
 
     def senders(self) -> Tuple[int, ...]:
-        return tuple(sorted(self._by_sender))
+        cached = self._senders
+        if cached is None:
+            cached = self._senders = tuple(sorted(self._by_sender))
+        return cached
 
-    def items(self):
-        return sorted(self._by_sender.items())
+    def items(self) -> Tuple[Tuple[int, Bits], ...]:
+        cached = self._items
+        if cached is None:
+            cached = self._items = tuple(sorted(self._by_sender.items()))
+        return cached
+
+    def uint_items(self) -> List[Tuple[int, int]]:
+        """``(sender, payload-as-uint)`` pairs sorted by sender — the same
+        accessor the fast lane's array inbox provides."""
+        return [(sender, payload.to_uint()) for sender, payload in self.items()]
 
     def __len__(self) -> int:
         return len(self._by_sender)
 
     def __contains__(self, sender: int) -> bool:
         return sender in self._by_sender
+
+    def _reset(self) -> None:
+        """Drop cached views; the engine calls this when it recycles the
+        underlying buffer for a new round."""
+        self._senders = None
+        self._items = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Inbox({self._by_sender!r})"
@@ -84,19 +129,54 @@ class Inbox:
 EMPTY_INBOX = Inbox({})
 
 
+def inbox_uints(inbox: Any) -> List[Tuple[int, int]]:
+    """``(sender, payload-as-uint)`` pairs sorted by sender, for either
+    inbox flavour (dict-backed :class:`Inbox` or the fast lane's
+    array-backed :class:`~repro.core.fastlane.FixedWidthInbox`)."""
+    return inbox.uint_items()
+
+
 class Outbox:
     """What one node sends in one round.
 
-    Construct with :meth:`unicast`, :meth:`broadcast` or :meth:`silent`;
-    the engine validates the kind against the network's :class:`Mode`.
+    Construct with :meth:`unicast`, :meth:`broadcast`, :meth:`silent`,
+    or the bulk fixed-width constructors :meth:`fixed_width` /
+    :meth:`fixed_width_map`; the engine validates the kind against the
+    network's :class:`Mode`.
     """
 
-    __slots__ = ("kind", "messages", "payload")
+    __slots__ = (
+        "kind",
+        "messages",
+        "payload",
+        "dests",
+        "values",
+        "width",
+        "trusted_unique",
+        "_validated_for",
+    )
 
-    def __init__(self, kind: str, messages: Optional[Dict[int, Bits]], payload: Optional[Bits]):
+    def __init__(
+        self,
+        kind: str,
+        messages: Optional[Dict[int, Bits]],
+        payload: Optional[Bits],
+        dests: Any = None,
+        values: Any = None,
+        width: int = 0,
+        trusted_unique: bool = False,
+    ):
         self.kind = kind
         self.messages = messages
         self.payload = payload
+        self.dests = dests
+        self.values = values
+        self.width = width
+        self.trusted_unique = trusted_unique
+        # Outboxes are immutable after construction, so a fixed-width
+        # outbox yielded round after round (the zero-churn pattern) is
+        # vector-validated once per (network, sender), not once per round.
+        self._validated_for: Any = None
 
     @classmethod
     def unicast(cls, messages: Mapping[int, Bits]) -> "Outbox":
@@ -108,12 +188,66 @@ class Outbox:
 
     @classmethod
     def silent(cls) -> "Outbox":
-        return cls("silent", None, None)
+        return _SILENT_OUTBOX
+
+    @classmethod
+    def fixed_width(cls, dests: Sequence[int], values: Sequence[int], width: int) -> "Outbox":
+        """Bulk unicast of fixed-width unsigned-integer payloads:
+        ``values[i]`` (exactly ``width`` bits on the wire) goes to
+        ``dests[i]``.  Rounds in which every sender yields a fixed-width
+        outbox of the same width are delivered through the numpy fast
+        lane; otherwise the messages are materialized as ordinary
+        ``width``-bit :class:`~repro.core.bits.Bits` unicasts."""
+        from repro.core import fastlane
+
+        d, v = fastlane.coerce_fixed(dests, values, width)
+        return cls("fixed", None, None, dests=d, values=v, width=width)
+
+    @classmethod
+    def fixed_width_map(cls, messages: Mapping[int, int], width: int) -> "Outbox":
+        """:meth:`fixed_width` from a ``{dest: uint}`` mapping (mapping
+        keys are unique by construction, so the duplicate-destination
+        check is skipped)."""
+        from repro.core import fastlane
+
+        d, v = fastlane.coerce_fixed(list(messages.keys()), list(messages.values()), width)
+        out = cls("fixed", None, None, dests=d, values=v, width=width)
+        out.trusted_unique = True
+        return out
+
+    def _materialize(self) -> Dict[int, Bits]:
+        """A fixed-width outbox as an ordinary ``{dest: Bits}`` dict (the
+        scalar fallback for sparse/mixed rounds and the legacy engine).
+        Memoized in the otherwise-unused ``messages`` slot, so a reused
+        outbox pays the Bits construction once, not once per round."""
+        cached = self.messages
+        if cached is None:
+            width = self.width
+            cached = self.messages = {
+                int(dest): Bits(int(value), width)
+                for dest, value in zip(self.dests, self.values)
+            }
+        return cached
+
+
+_SILENT_OUTBOX = Outbox("silent", None, None)
 
 
 @dataclass
 class Context:
-    """Per-node view of the network, handed to each node program."""
+    """Per-node view of the network, handed to each node program.
+
+    ``rng`` is this node's private coin.  ``shared_rng`` is the public
+    coin: every node receives its *own* ``random.Random`` instance, but
+    all of them are seeded identically, so node ``v``'s k-th draw equals
+    node ``u``'s k-th draw no matter how the engine interleaves node
+    executions.  The contract is per-node-identical *streams*: nodes
+    agree on shared randomness as long as they make the same sequence of
+    draw calls (the natural lockstep discipline of a synchronous
+    protocol).  A single genuinely shared instance would break exactly
+    this — interleaved draws would hand each node a disjoint slice of
+    one stream.
+    """
 
     node_id: int
     n: int
@@ -154,6 +288,11 @@ class RunResult:
 
 NodeProgram = Callable[[Context], Any]
 
+# A fixed-width round rides the bulk lane only when it averages at least
+# this many messages per sender; sparser rounds are cheaper through the
+# scalar dict path than through per-sender array operations.
+_LANE_DENSITY = 8
+
 
 class Network:
     """Synchronous round-based network for ``n`` nodes.
@@ -178,6 +317,10 @@ class Network:
     record_transcript:
         When true, the result carries a full per-round transcript (used
         by the lower-bound reductions to charge communication).
+    engine:
+        ``"fast"`` (default) for the zero-churn loop with the
+        fixed-width bulk lane, ``"legacy"`` for the original reference
+        loop.  Both produce identical :class:`RunResult`\\ s.
     """
 
     def __init__(
@@ -189,17 +332,21 @@ class Network:
         seed: int = 0,
         max_rounds: int = 1_000_000,
         record_transcript: bool = False,
+        engine: str = "fast",
     ) -> None:
         if n < 1:
             raise ValueError("need at least one node")
         if bandwidth < 1:
             raise ValueError("bandwidth must be at least 1 bit")
+        if engine not in ("fast", "legacy"):
+            raise ValueError(f"unknown engine {engine!r}")
         self.n = n
         self.bandwidth = bandwidth
         self.mode = mode
         self.seed = seed
         self.max_rounds = max_rounds
         self.record_transcript = record_transcript
+        self.engine = engine
         if mode is Mode.CONGEST:
             if topology is None:
                 raise TopologyError("CONGEST mode requires a topology")
@@ -210,13 +357,38 @@ class Network:
                 for u in nbrs:
                     if not 0 <= u < n:
                         raise TopologyError(f"neighbour {u} out of range")
+            # Membership checks are model-invariant: hoist them into
+            # per-sender frozensets built once, not per message.
+            self._allowed: Optional[List[frozenset]] = [
+                frozenset(nbrs) for nbrs in self._neighbors
+            ]
         else:
             everyone = tuple(range(n))
             self._neighbors = [
                 tuple(u for u in everyone if u != v) for v in range(n)
             ]
+            self._allowed = None
+        # Boolean adjacency rows for vectorized CONGEST validation of
+        # fixed-width outboxes; built lazily on first use.
+        self._adj_mask = None
 
     # -- execution -------------------------------------------------------
+
+    def _make_contexts(self, inputs: Optional[Sequence[Any]]) -> List[Context]:
+        return [
+            Context(
+                node_id=v,
+                n=self.n,
+                bandwidth=self.bandwidth,
+                mode=self.mode,
+                neighbors=self._neighbors[v],
+                rng=random.Random(f"{self.seed}:node:{v}"),
+                # Identically seeded per-node streams — see Context.
+                shared_rng=random.Random(f"{self.seed}:shared"),
+                input=None if inputs is None else inputs[v],
+            )
+            for v in range(self.n)
+        ]
 
     def run(
         self,
@@ -228,24 +400,15 @@ class Network:
 
         ``inputs[v]`` is exposed as ``ctx.input`` on node ``v``.
         """
-        contexts = [
-            Context(
-                node_id=v,
-                n=self.n,
-                bandwidth=self.bandwidth,
-                mode=self.mode,
-                neighbors=self._neighbors[v],
-                rng=random.Random(f"{self.seed}:node:{v}"),
-                shared_rng=random.Random(f"{self.seed}:shared"),
-                input=None if inputs is None else inputs[v],
-            )
-            for v in range(self.n)
-        ]
+        if self.engine == "legacy":
+            return self._run_legacy(program, inputs)
+        return self._run_fast(program, inputs)
 
+    def _start(self, program, inputs):
+        contexts = self._make_contexts(inputs)
         outputs: List[Any] = [None] * self.n
         generators: Dict[int, Any] = {}
         pending_outbox: Dict[int, Outbox] = {}
-
         for v in range(self.n):
             gen = program(contexts[v])
             if not hasattr(gen, "send"):
@@ -257,6 +420,185 @@ class Network:
                 generators[v] = gen
             except StopIteration as stop:
                 outputs[v] = stop.value
+        return outputs, generators, pending_outbox
+
+    # -- fast engine -----------------------------------------------------
+
+    def _run_fast(self, program, inputs) -> RunResult:
+        n = self.n
+        outputs, generators, pending = self._start(program, inputs)
+
+        rounds = 0
+        total_bits = 0
+        max_round_bits = 0
+        recording = self.record_transcript
+        transcript: Optional[List[RoundRecord]] = [] if recording else None
+
+        # Reusable per-round state: buffers live for the whole run and
+        # are cleared, never reconstructed.
+        inbox_dicts: List[Dict[int, Bits]] = [dict() for _ in range(n)]
+        inbox_views: List[Inbox] = [Inbox(d) for d in inbox_dicts]
+        dicts_dirty = False
+        fixed_list: List[Tuple[int, Outbox]] = []
+        lane = None  # FixedLane, allocated on the first bulk round
+
+        while generators:
+            if rounds >= self.max_rounds:
+                raise MaxRoundsExceededError(
+                    f"protocol still running after {rounds} rounds"
+                )
+            rounds += 1
+
+            # Classify the round: it can ride the bulk lane iff every
+            # non-silent sender yielded a fixed-width outbox of one
+            # width AND the round is dense enough that per-sender array
+            # operations beat per-message dict writes.
+            fixed_list.clear()
+            scalar_senders = False
+            lane_width = 0
+            fixed_messages = 0
+            for v, outbox in pending.items():
+                kind = outbox.kind
+                if kind == "silent":
+                    continue
+                if kind == "fixed":
+                    width = outbox.width
+                    if lane_width == 0:
+                        lane_width = width
+                    elif width != lane_width:
+                        scalar_senders = True
+                    fixed_list.append((v, outbox))
+                    fixed_messages += outbox.dests.size
+                else:
+                    scalar_senders = True
+            use_lane = (
+                bool(fixed_list)
+                and not scalar_senders
+                and fixed_messages >= _LANE_DENSITY * len(fixed_list)
+            )
+
+            record = RoundRecord() if recording else None
+            if use_lane:
+                if lane is None:
+                    from repro.core.fastlane import FixedLane
+
+                    lane = FixedLane(n)
+                round_bits = lane.deliver(fixed_list, lane_width, record)
+            else:
+                if dicts_dirty:
+                    for u in range(n):
+                        inbox_dicts[u].clear()
+                        inbox_views[u]._reset()
+                dicts_dirty = True
+                if record is not None:
+                    round_bits = 0
+                    for v, outbox in pending.items():
+                        round_bits += self._deliver(v, outbox, inbox_dicts, record)
+                else:
+                    round_bits = self._deliver_round_fast(pending, inbox_dicts)
+            total_bits += round_bits
+            if round_bits > max_round_bits:
+                max_round_bits = round_bits
+            if record is not None:
+                transcript.append(record)
+
+            pending = {}
+            finished = []
+            if use_lane:
+                for v, gen in generators.items():
+                    try:
+                        pending[v] = self._check_outbox(v, gen.send(lane.inbox(v)))
+                    except StopIteration as stop:
+                        outputs[v] = stop.value
+                        finished.append(v)
+            else:
+                for v, gen in generators.items():
+                    buf = inbox_dicts[v]
+                    inbox = inbox_views[v] if buf else EMPTY_INBOX
+                    try:
+                        pending[v] = self._check_outbox(v, gen.send(inbox))
+                    except StopIteration as stop:
+                        outputs[v] = stop.value
+                        finished.append(v)
+            for v in finished:
+                del generators[v]
+
+        return RunResult(
+            outputs=outputs,
+            rounds=rounds,
+            total_bits=total_bits,
+            max_round_bits=max_round_bits,
+            transcript=transcript,
+        )
+
+    def _deliver_round_fast(
+        self,
+        pending: Dict[int, Outbox],
+        inbox_dicts: List[Dict[int, Bits]],
+    ) -> int:
+        """Scalar delivery of one whole round, transcript off: no record
+        branches in the loop, reused buffers, hoisted lookups."""
+        n = self.n
+        bandwidth = self.bandwidth
+        neighbors = self._neighbors
+        allowed_sets = self._allowed
+        bits = 0
+        for sender, outbox in pending.items():
+            kind = outbox.kind
+            if kind == "silent":
+                continue
+            if kind == "broadcast":
+                payload = outbox.payload
+                if payload.__class__ is not Bits and not isinstance(payload, Bits):
+                    raise ProtocolError(f"node {sender} broadcast a non-Bits payload")
+                plen = len(payload)
+                if plen > bandwidth:
+                    raise BandwidthExceededError(
+                        f"node {sender} broadcast {plen} bits "
+                        f"(bandwidth {bandwidth})"
+                    )
+                if plen == 0:
+                    continue
+                for dest in neighbors[sender]:
+                    inbox_dicts[dest][sender] = payload
+                bits += plen
+                continue
+            if kind == "fixed":
+                # Sparse or mixed round: this outbox was vector-validated
+                # at yield time; deliver its messages check-free.
+                for dest, payload in outbox._materialize().items():
+                    inbox_dicts[dest][sender] = payload
+                bits += outbox.width * outbox.dests.size
+                continue
+            # unicast / CONGEST
+            allowed = allowed_sets[sender] if allowed_sets is not None else None
+            for dest, payload in outbox.messages.items():
+                if payload.__class__ is not Bits and not isinstance(payload, Bits):
+                    raise ProtocolError(f"node {sender} sent a non-Bits payload")
+                if dest == sender:
+                    raise TopologyError(f"node {sender} sent a message to itself")
+                if not 0 <= dest < n:
+                    raise TopologyError(f"node {sender} sent to out-of-range {dest}")
+                if allowed is not None and dest not in allowed:
+                    raise TopologyError(
+                        f"node {sender} sent to non-neighbour {dest} in CONGEST"
+                    )
+                plen = len(payload)
+                if plen > bandwidth:
+                    raise BandwidthExceededError(
+                        f"node {sender} sent {plen} bits to {dest} "
+                        f"(bandwidth {bandwidth})"
+                    )
+                if plen == 0:
+                    continue
+                inbox_dicts[dest][sender] = payload
+                bits += plen
+        return bits
+
+    # -- legacy engine (reference semantics) -----------------------------
+
+    def _run_legacy(self, program, inputs) -> RunResult:
+        outputs, generators, pending_outbox = self._start(program, inputs)
 
         rounds = 0
         total_bits = 0
@@ -303,32 +645,57 @@ class Network:
 
     def _check_outbox(self, sender: int, yielded: Any) -> Outbox:
         if yielded is None:
-            return Outbox.silent()
+            return _SILENT_OUTBOX
         if not isinstance(yielded, Outbox):
             raise ProtocolError(
                 f"node {sender} yielded {type(yielded).__name__}, expected Outbox"
             )
-        if yielded.kind == "broadcast" and self.mode is not Mode.BROADCAST:
+        kind = yielded.kind
+        if kind == "broadcast" and self.mode is not Mode.BROADCAST:
             raise ProtocolError(
                 f"node {sender} broadcast in a {self.mode.value} network"
             )
-        if yielded.kind == "unicast" and self.mode is Mode.BROADCAST:
+        if kind in ("unicast", "fixed") and self.mode is Mode.BROADCAST:
             raise ProtocolError(
                 f"node {sender} unicast in a broadcast network"
             )
+        if kind == "fixed" and yielded._validated_for != (self, sender):
+            # Whole-outbox vectorized validation, hoisted out of delivery
+            # (and out of the round loop entirely for reused outboxes).
+            from repro.core import fastlane
+
+            adj_row = None
+            allowed_set = None
+            if self._allowed is not None:
+                # Small outboxes check against the per-sender frozenset;
+                # the dense n×n mask is only worth building (O(n²)
+                # memory) for genuinely bulk senders.
+                if yielded.dests.size < 32:
+                    allowed_set = self._allowed[sender]
+                else:
+                    if self._adj_mask is None:
+                        self._adj_mask = fastlane.adjacency_mask(
+                            self.n, self._neighbors
+                        )
+                    adj_row = self._adj_mask[sender]
+            fastlane.validate_fixed(
+                yielded, sender, self.n, self.bandwidth, adj_row, allowed_set
+            )
+            yielded._validated_for = (self, sender)
         return yielded
 
     def _deliver(
         self,
         sender: int,
         outbox: Outbox,
-        inboxes: Dict[int, Dict[int, Bits]],
+        inboxes,
         record: Optional[RoundRecord],
     ) -> int:
         bits_sent = 0
-        if outbox.kind == "silent":
+        kind = outbox.kind
+        if kind == "silent":
             return 0
-        if outbox.kind == "broadcast":
+        if kind == "broadcast":
             payload = outbox.payload
             if not isinstance(payload, Bits):
                 raise ProtocolError(f"node {sender} broadcast a non-Bits payload")
@@ -345,11 +712,12 @@ class Network:
             if record is not None:
                 record.sends.append((sender, None, payload))
             return bits_sent
-        # unicast / CONGEST
+        # unicast / CONGEST (fixed-width outboxes are materialized first)
+        messages = outbox.messages if kind == "unicast" else outbox._materialize()
         allowed = None
         if self.mode is Mode.CONGEST:
-            allowed = set(self._neighbors[sender])
-        for dest, payload in outbox.messages.items():
+            allowed = self._allowed[sender]
+        for dest, payload in messages.items():
             if not isinstance(payload, Bits):
                 raise ProtocolError(f"node {sender} sent a non-Bits payload")
             if dest == sender:

@@ -25,7 +25,7 @@ from __future__ import annotations
 from typing import Dict, Mapping, Optional
 
 from repro.core.bits import BitReader, Bits, BitWriter
-from repro.core.network import Context, Outbox
+from repro.core.network import Context, Outbox, inbox_uints
 
 __all__ = [
     "header_width",
@@ -68,6 +68,12 @@ def _parse_frames(frames: list, max_bits: int) -> Bits:
     return reader.read_bits(length)
 
 
+def _parse_concat(stream: Bits, max_bits: int) -> Bits:
+    reader = BitReader(stream)
+    length = reader.read_uint(header_width(max_bits))
+    return reader.read_bits(length)
+
+
 def transmit_unicast(
     ctx: Context,
     payloads: Mapping[int, Bits],
@@ -75,26 +81,35 @@ def transmit_unicast(
 ):
     """Send each ``payloads[dest]`` (each at most ``max_bits`` bits) to its
     destination over one globally scheduled phase; return a dict mapping
-    each sender that transmitted to us to its reassembled payload."""
+    each sender that transmitted to us to its reassembled payload.
+
+    Every frame of the phase is exactly ``b`` bits (the payload is
+    padded to a whole number of frames), so the exchange rides the
+    engine's fixed-width fast lane."""
     rounds = phase_length(max_bits, ctx.bandwidth)
+    bandwidth = ctx.bandwidth
     framed = {
-        dest: _frame_payload(payload, max_bits, rounds, ctx.bandwidth)
+        dest: [frame.to_uint() for frame in _frame_payload(payload, max_bits, rounds, bandwidth)]
         for dest, payload in payloads.items()
     }
-    received: Dict[int, list] = {}
+    received: Dict[int, int] = {}
+    counts: Dict[int, int] = {}
     for r in range(rounds):
         outbox = (
-            Outbox.unicast({dest: frames[r] for dest, frames in framed.items()})
+            Outbox.fixed_width_map(
+                {dest: frames[r] for dest, frames in framed.items()}, bandwidth
+            )
             if framed
             else Outbox.silent()
         )
         inbox = yield outbox
-        for sender, frame in inbox.items():
-            received.setdefault(sender, []).append(frame)
+        for sender, value in inbox_uints(inbox):
+            received[sender] = (received.get(sender, 0) << bandwidth) | value
+            counts[sender] = counts.get(sender, 0) + 1
     return {
-        sender: _parse_frames(frames, max_bits)
-        for sender, frames in received.items()
-        if len(frames) == rounds
+        sender: _parse_concat(Bits(stream, rounds * bandwidth), max_bits)
+        for sender, stream in received.items()
+        if counts[sender] == rounds
     }
 
 

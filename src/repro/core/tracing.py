@@ -12,7 +12,21 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.network import RunResult
 
-__all__ = ["render_timeline", "traffic_by_node", "traffic_matrix"]
+__all__ = ["render_timeline", "traffic_by_node", "traffic_matrix", "transcript_stats"]
+
+
+def transcript_stats(result: RunResult) -> Dict[str, int]:
+    """Aggregate counts from a recorded transcript: rounds, messages
+    (sends; a broadcast counts once) and bits.  Useful for cross-checking
+    the engine's own accounting and for benchmark sanity checks."""
+    if result.transcript is None:
+        raise ValueError("run the network with record_transcript=True")
+    messages = 0
+    bits = 0
+    for record in result.transcript:
+        messages += len(record.sends)
+        bits += record.bits()
+    return {"rounds": len(result.transcript), "messages": messages, "bits": bits}
 
 
 def render_timeline(

@@ -142,13 +142,24 @@ class Graph:
 
     def adjacency_matrix(self):
         """Adjacency matrix as a numpy uint8 array (import deferred so the
-        core library stays numpy-free unless you ask for matrices)."""
+        core library stays numpy-free unless you ask for matrices).
+
+        Both triangles of the matrix are filled with two fancy-indexed
+        writes over a flat edge array rather than a per-edge Python
+        loop."""
         import numpy as np
 
         mat = np.zeros((self._n, self._n), dtype=np.uint8)
-        for u, v in self.edges():
-            mat[u, v] = 1
-            mat[v, u] = 1
+        if self._m:
+            flat = np.fromiter(
+                (x for edge in self.edges() for x in edge),
+                dtype=np.intp,
+                count=2 * self._m,
+            )
+            us = flat[0::2]
+            vs = flat[1::2]
+            mat[us, vs] = 1
+            mat[vs, us] = 1
         return mat
 
     # -- dunder -------------------------------------------------------------

@@ -29,53 +29,79 @@ def adjacency(graph: Graph) -> np.ndarray:
     return graph.adjacency_matrix().astype(np.int64)
 
 
+def _as_f2_u8(m: np.ndarray) -> np.ndarray:
+    return (np.asarray(m) & 1).astype(np.uint8)
+
+
+def _f2_matmul_u8(a8: np.ndarray, b8: np.ndarray) -> np.ndarray:
+    # uint8 accumulation wraps mod 256, which preserves parity — the
+    # whole product stays in one byte per entry, no int64 round-trip.
+    return (a8 @ b8) & np.uint8(1)
+
+
 def f2_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    return (a.astype(np.int64) @ b.astype(np.int64)) % 2
+    return _f2_matmul_u8(_as_f2_u8(a), _as_f2_u8(b)).astype(np.int64)
 
 
 def boolean_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    return ((a.astype(np.int64) @ b.astype(np.int64)) > 0).astype(np.int64)
+    # Path counts can reach n, so accumulate in int32 (not uint8); the
+    # inputs still travel as compact int32 instead of int64.
+    a32 = (np.asarray(a) != 0).astype(np.int32)
+    b32 = (np.asarray(b) != 0).astype(np.int32)
+    return ((a32 @ b32) > 0).astype(np.int64)
 
 
 def strassen_f2(a: np.ndarray, b: np.ndarray, cutoff: int = 16) -> np.ndarray:
     """Strassen's algorithm over F2 (numpy reference implementation)."""
+    return _strassen_u8(_as_f2_u8(a), _as_f2_u8(b), cutoff).astype(np.int64)
+
+
+def _strassen_u8(a: np.ndarray, b: np.ndarray, cutoff: int) -> np.ndarray:
     n = a.shape[0]
     if n <= cutoff:
-        return f2_matmul(a, b)
+        return _f2_matmul_u8(a, b)
     if n % 2:
         padded = n + 1
-        ap = np.zeros((padded, padded), dtype=np.int64)
-        bp = np.zeros((padded, padded), dtype=np.int64)
+        ap = np.zeros((padded, padded), dtype=np.uint8)
+        bp = np.zeros((padded, padded), dtype=np.uint8)
         ap[:n, :n] = a
         bp[:n, :n] = b
-        return strassen_f2(ap, bp, cutoff)[:n, :n]
+        return _strassen_u8(ap, bp, cutoff)[:n, :n]
     h = n // 2
     a11, a12, a21, a22 = a[:h, :h], a[:h, h:], a[h:, :h], a[h:, h:]
     b11, b12, b21, b22 = b[:h, :h], b[:h, h:], b[h:, :h], b[h:, h:]
-    m1 = strassen_f2((a11 + a22) % 2, (b11 + b22) % 2, cutoff)
-    m2 = strassen_f2((a21 + a22) % 2, b11, cutoff)
-    m3 = strassen_f2(a11, (b12 + b22) % 2, cutoff)
-    m4 = strassen_f2(a22, (b21 + b11) % 2, cutoff)
-    m5 = strassen_f2((a11 + a12) % 2, b22, cutoff)
-    m6 = strassen_f2((a21 + a11) % 2, (b11 + b12) % 2, cutoff)
-    m7 = strassen_f2((a12 + a22) % 2, (b21 + b22) % 2, cutoff)
-    c11 = (m1 + m4 + m5 + m7) % 2
-    c12 = (m3 + m5) % 2
-    c21 = (m2 + m4) % 2
-    c22 = (m1 + m2 + m3 + m6) % 2
+    one = np.uint8(1)
+    m1 = _strassen_u8((a11 + a22) & one, (b11 + b22) & one, cutoff)
+    m2 = _strassen_u8((a21 + a22) & one, b11, cutoff)
+    m3 = _strassen_u8(a11, (b12 + b22) & one, cutoff)
+    m4 = _strassen_u8(a22, (b21 + b11) & one, cutoff)
+    m5 = _strassen_u8((a11 + a12) & one, b22, cutoff)
+    m6 = _strassen_u8((a21 + a11) & one, (b11 + b12) & one, cutoff)
+    m7 = _strassen_u8((a12 + a22) & one, (b21 + b22) & one, cutoff)
+    c11 = (m1 + m4 + m5 + m7) & one
+    c12 = (m3 + m5) & one
+    c21 = (m2 + m4) & one
+    c22 = (m1 + m2 + m3 + m6) & one
     return np.vstack(
         (np.hstack((c11, c12)), np.hstack((c21, c22)))
     )
 
 
 def triangle_count(graph: Graph) -> int:
-    a = adjacency(graph)
-    return int(np.trace(a @ a @ a)) // 6
+    # Work straight off the uint8 adjacency; a closed-walk count is at
+    # most n^3 < 2^31 for any n this library simulates, so int32
+    # accumulation suffices (int64 as a guard for absurd sizes).
+    a8 = graph.adjacency_matrix()
+    dtype = np.int64 if graph.n > 1290 else np.int32
+    a = a8.astype(dtype)
+    closed = np.einsum("ij,ji->", a @ a, a)
+    return int(closed) // 6
 
 
 def has_triangle(graph: Graph) -> bool:
-    a = adjacency(graph)
-    return bool(((a @ a) * a).any())
+    a8 = graph.adjacency_matrix()
+    a = a8.astype(np.int32)
+    return bool(((a @ a) * a8).any())
 
 
 def find_triangle(graph: Graph) -> Optional[Tuple[int, int, int]]:

@@ -18,6 +18,12 @@ Protocol per trial (mask r drawn from the shared public coin):
 3. Output entries C[i][j] are routed to player i (Remark 3's output
    redistribution), who checks A_ij ∧ C_ij — a triangle witness.
 4. One unicast round aggregates the flags at player 0.
+
+All heavy exchanges here — the circuit simulation's payload routing and
+the output redistribution, both via :func:`route_payloads`, and the
+final aggregation via :func:`transmit_unicast` — move fixed-width
+frames, so on the default engine they ride the batched numpy fast lane
+(:mod:`repro.core.fastlane`) instead of per-message dict delivery.
 """
 
 from __future__ import annotations
@@ -165,6 +171,8 @@ def detect_triangle_mm(
     bandwidth: Optional[int] = None,
     seed: int = 0,
     plan: Optional[SimulationPlan] = None,
+    record_transcript: bool = False,
+    engine: str = "fast",
 ) -> Tuple[TriangleMMOutcome, RunResult, SimulationPlan]:
     """Full pipeline: build the matmul circuit, simulate, detect.
 
@@ -181,7 +189,12 @@ def detect_triangle_mm(
             circuit, size, matmul_input_partition(size), bandwidth
         )
     network = Network(
-        n=size, bandwidth=plan.bandwidth, mode=Mode.UNICAST, seed=seed
+        n=size,
+        bandwidth=plan.bandwidth,
+        mode=Mode.UNICAST,
+        seed=seed,
+        record_transcript=record_transcript,
+        engine=engine,
     )
     rows = [
         [1 if graph.has_edge(v, u) else 0 for u in range(size)]

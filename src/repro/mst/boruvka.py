@@ -89,6 +89,8 @@ def boruvka_mst(
     wg: WeightedGraph,
     bandwidth: int,
     seed: int = 0,
+    record_transcript: bool = False,
+    engine: str = "fast",
 ) -> Tuple[Set[Edge], RunResult]:
     """Run Borůvka on CLIQUE-BCAST; every node outputs the same MST
     (minimum spanning forest if disconnected)."""
@@ -171,7 +173,14 @@ def boruvka_mst(
                         component[w] = low
         return frozenset(tree)
 
-    network = Network(n=n, bandwidth=bandwidth, mode=Mode.BROADCAST, seed=seed)
+    network = Network(
+        n=n,
+        bandwidth=bandwidth,
+        mode=Mode.BROADCAST,
+        seed=seed,
+        record_transcript=record_transcript,
+        engine=engine,
+    )
     result = network.run(program)
     first = result.outputs[0]
     assert all(out == first for out in result.outputs)

@@ -15,10 +15,10 @@ frames and truncated by the receiver.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Tuple
+from typing import Dict, Mapping, Optional, Tuple
 
 from repro.core.bits import Bits
-from repro.core.network import Context, Outbox
+from repro.core.network import Context, Outbox, inbox_uints
 from repro.routing.schedule import FrameRef, RoutingSchedule, build_schedule
 
 __all__ = ["route_frames", "payload_demand", "route_payloads"]
@@ -28,10 +28,19 @@ def route_frames(
     ctx: Context,
     schedule: RoutingSchedule,
     my_frames: Mapping[FrameRef, Bits],
+    frame_size: Optional[int] = None,
 ):
     """Drive ``schedule`` for this node; returns the frames delivered
     here (keyed by :data:`FrameRef`).  Sub-generator: use ``yield from``.
+
+    When ``frame_size`` is given, every frame must be exactly that many
+    bits and the whole exchange rides the engine's fixed-width fast lane
+    (frames travel as uints, delivered via bulk array writes).  Without
+    it, frames may have arbitrary lengths and travel as plain Bits.
     """
+    if frame_size is not None:
+        result = yield from _route_frames_fixed(ctx, schedule, my_frames, frame_size)
+        return result
     holding: Dict[FrameRef, Bits] = dict(my_frames)
     delivered: Dict[FrameRef, Bits] = {}
     for r in range(schedule.num_rounds):
@@ -52,6 +61,47 @@ def route_frames(
             else:
                 holding[frame] = payload
     return delivered
+
+
+def _route_frames_fixed(
+    ctx: Context,
+    schedule: RoutingSchedule,
+    my_frames: Mapping[FrameRef, Bits],
+    frame_size: int,
+):
+    """Fixed-width body of :func:`route_frames`: frames held and
+    forwarded as raw uints, converted back to Bits only on delivery."""
+    me = ctx.node_id
+    holding: Dict[FrameRef, int] = {}
+    for ref, frame in my_frames.items():
+        if len(frame) != frame_size:
+            raise ValueError(
+                f"frame {ref} has {len(frame)} bits, expected {frame_size}"
+            )
+        holding[ref] = frame.to_uint()
+    delivered: Dict[FrameRef, int] = {}
+    for r in range(schedule.num_rounds):
+        sends = schedule.send_plan[r].get(me, ())
+        if sends:
+            messages: Dict[int, int] = {}
+            for recipient, frame in sends:
+                if recipient in messages:
+                    raise AssertionError(
+                        "schedule placed two frames on one link in one round"
+                    )
+                messages[recipient] = holding.pop(frame)
+            outbox = Outbox.fixed_width_map(messages, frame_size)
+        else:
+            outbox = Outbox.silent()
+        inbox = yield outbox
+        recv = schedule.recv_plan[r]
+        for sender, value in inbox_uints(inbox):
+            frame, is_final = recv[(sender, me)]
+            if is_final:
+                delivered[frame] = value
+            else:
+                holding[frame] = value
+    return {ref: Bits(value, frame_size) for ref, value in delivered.items()}
 
 
 def payload_demand(
@@ -97,7 +147,7 @@ def route_payloads(
         padded = payload.pad_to(count * frame_size)
         for idx, chunk in enumerate(padded.chunks(frame_size)):
             my_frames[(ctx.node_id, dst, idx)] = chunk
-    delivered = yield from route_frames(ctx, schedule, my_frames)
+    delivered = yield from route_frames(ctx, schedule, my_frames, frame_size=frame_size)
     by_source: Dict[int, Dict[int, Bits]] = {}
     for (src, _dst, idx), chunk in delivered.items():
         by_source.setdefault(src, {})[idx] = chunk

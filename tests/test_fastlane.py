@@ -1,0 +1,205 @@
+"""The fixed-width bulk lane: semantics, validation, accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bits import Bits
+from repro.core.errors import (
+    BandwidthExceededError,
+    ProtocolError,
+    TopologyError,
+)
+from repro.core.fastlane import FixedWidthSchedule
+from repro.core.network import Mode, Outbox, run_protocol
+
+
+class TestDelivery:
+    def test_all_to_all_uints(self):
+        n, width = 6, 8
+        schedule = FixedWidthSchedule(width)
+
+        def program(ctx):
+            dests = list(ctx.neighbors)
+            values = [(ctx.node_id * 10 + d) % 256 for d in dests]
+            inbox = yield schedule.outbox(dests, values)
+            return dict(schedule.uints(inbox))
+
+        result = run_protocol(program, n=n, bandwidth=width)
+        assert result.rounds == 1
+        assert result.total_bits == n * (n - 1) * width
+        assert result.max_round_bits == result.total_bits
+        for v, got in enumerate(result.outputs):
+            assert got == {u: (u * 10 + v) % 256 for u in range(n) if u != v}
+
+    def test_inbox_api_matches_dict_inbox(self):
+        def program(ctx):
+            if ctx.node_id == 0:
+                inbox = yield Outbox.fixed_width([1, 2], [5, 6], 4)
+            else:
+                inbox = yield Outbox.fixed_width([0], [7 + ctx.node_id], 4)
+            return {
+                "senders": inbox.senders(),
+                "items": [(s, p.to_str()) for s, p in inbox.items()],
+                "len": len(inbox),
+                "has0": 0 in inbox,
+                "get0": None if inbox.get(0) is None else inbox.get(0).to_uint(),
+                "get99": inbox.get(99),
+            }
+
+        result = run_protocol(program, n=3, bandwidth=4)
+        at0 = result.outputs[0]
+        assert at0["senders"] == (1, 2)
+        assert at0["items"] == [(1, "1000"), (2, "1001")]
+        assert at0["len"] == 2
+        assert not at0["has0"]
+        assert at0["get0"] is None and at0["get99"] is None
+        at1 = result.outputs[1]
+        assert at1["senders"] == (0,)
+        assert at1["get0"] == 5
+
+    def test_numpy_array_inputs(self):
+        def program(ctx):
+            dests = np.array(list(ctx.neighbors), dtype=np.intp)
+            values = np.full(dests.size, ctx.node_id, dtype=np.uint64)
+            inbox = yield Outbox.fixed_width(dests, values, 7)
+            return sorted(inbox.uint_items())
+
+        result = run_protocol(program, n=4, bandwidth=7)
+        for v, got in enumerate(result.outputs):
+            assert got == [(u, u) for u in range(4) if u != v]
+
+    def test_empty_fixed_outbox_is_silent(self):
+        def program(ctx):
+            inbox = yield Outbox.fixed_width([], [], 4)
+            return len(inbox)
+
+        result = run_protocol(program, n=3, bandwidth=4)
+        assert result.total_bits == 0
+        assert result.outputs == [0, 0, 0]
+
+    def test_transcript_records_fixed_sends(self):
+        def program(ctx):
+            yield Outbox.fixed_width([(ctx.node_id + 1) % ctx.n], [3], 2)
+
+        result = run_protocol(program, n=3, bandwidth=2, record_transcript=True)
+        sends = result.transcript[0].sends
+        assert sends == [
+            (0, 1, Bits.from_uint(3, 2)),
+            (1, 2, Bits.from_uint(3, 2)),
+            (2, 0, Bits.from_uint(3, 2)),
+        ]
+
+    def test_congest_respects_topology(self):
+        topo = [[1], [0, 2], [1]]
+
+        def program(ctx):
+            inbox = yield Outbox.fixed_width(
+                list(ctx.neighbors), [1] * len(ctx.neighbors), 1
+            )
+            return sorted(inbox.senders())
+
+        result = run_protocol(
+            program, n=3, bandwidth=1, mode=Mode.CONGEST, topology=topo
+        )
+        assert result.outputs == [[1], [0, 2], [1]]
+
+
+class TestValidation:
+    def run_single(self, outbox_builder, **kwargs):
+        def program(ctx):
+            if ctx.node_id == 0:
+                yield outbox_builder(ctx)
+            else:
+                yield Outbox.silent()
+
+        kwargs.setdefault("n", 3)
+        kwargs.setdefault("bandwidth", 8)
+        return run_protocol(program, **kwargs)
+
+    def test_width_over_bandwidth(self):
+        with pytest.raises(BandwidthExceededError):
+            self.run_single(lambda ctx: Outbox.fixed_width([1], [0], 9))
+
+    def test_value_too_wide(self):
+        with pytest.raises(ProtocolError):
+            self.run_single(lambda ctx: Outbox.fixed_width([1], [256], 8))
+
+    def test_wide_value_too_wide(self):
+        with pytest.raises(ProtocolError):
+            self.run_single(
+                lambda ctx: Outbox.fixed_width([1], [1 << 100], 70),
+                bandwidth=70,
+            )
+
+    def test_self_send_rejected(self):
+        with pytest.raises(TopologyError):
+            self.run_single(lambda ctx: Outbox.fixed_width([0], [1], 4))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(TopologyError):
+            self.run_single(lambda ctx: Outbox.fixed_width([17], [1], 4))
+
+    def test_duplicate_destination_rejected(self):
+        with pytest.raises(ProtocolError):
+            self.run_single(lambda ctx: Outbox.fixed_width([1, 1], [2, 3], 4))
+
+    def test_congest_non_neighbour_rejected(self):
+        topo = [[1], [0], []]
+        with pytest.raises(TopologyError):
+            self.run_single(
+                lambda ctx: Outbox.fixed_width([2], [1], 4),
+                mode=Mode.CONGEST,
+                topology=topo,
+            )
+
+    def test_rejected_in_broadcast_mode(self):
+        with pytest.raises(ProtocolError):
+            self.run_single(
+                lambda ctx: Outbox.fixed_width([1], [1], 4),
+                mode=Mode.BROADCAST,
+            )
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ProtocolError):
+            Outbox.fixed_width([1, 2], [1], 4)
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            Outbox.fixed_width([1], [0], 0)
+        with pytest.raises(ValueError):
+            FixedWidthSchedule(0)
+
+    def test_outbox_arrays_are_frozen_copies(self):
+        # Validation is memoized per (network, sender); aliasing a
+        # caller array that is mutated in place would smuggle
+        # unvalidated data onto the wire — so the outbox must own
+        # frozen copies.
+        dests = np.array([1, 2], dtype=np.intp)
+        values = np.array([3, 4], dtype=np.uint64)
+        outbox = Outbox.fixed_width(dests, values, 4)
+        values[:] = 999  # caller mutation must not reach the outbox
+        assert list(outbox.values) == [3, 4]
+        with pytest.raises(ValueError):
+            outbox.values[0] = 5
+        with pytest.raises(ValueError):
+            outbox.dests[0] = 0
+
+
+class TestSchedule:
+    def test_outbox_map_and_uints_on_dict_inbox(self):
+        schedule = FixedWidthSchedule(5)
+
+        def program(ctx):
+            # Force the scalar path for one node so schedule.uints must
+            # decode an ordinary dict-backed Inbox too.
+            if ctx.node_id == 0:
+                inbox = yield Outbox.unicast({1: Bits.from_uint(9, 5)})
+            else:
+                inbox = yield schedule.outbox_map({0: 20 + ctx.node_id})
+            return sorted(schedule.uints(inbox))
+
+        result = run_protocol(program, n=3, bandwidth=5)
+        assert result.outputs[0] == [(1, 21), (2, 22)]
+        assert result.outputs[1] == [(0, 9)]

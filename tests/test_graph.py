@@ -122,6 +122,20 @@ class TestDerived:
         assert mat.sum() == 8  # symmetric: 2 per edge
         assert (mat == mat.T).all()
 
+    def test_adjacency_matrix_matches_edges(self):
+        g = random_graph(17, 0.4, random.Random(23))
+        mat = g.adjacency_matrix()
+        assert mat.dtype.name == "uint8"
+        assert mat.sum() == 2 * g.m
+        for u in range(g.n):
+            for v in range(g.n):
+                assert bool(mat[u, v]) == g.has_edge(u, v)
+
+    def test_adjacency_matrix_empty(self):
+        mat = Graph(3).adjacency_matrix()
+        assert mat.shape == (3, 3)
+        assert not mat.any()
+
     def test_independent_set(self):
         g = complete_bipartite(3, 3)
         assert g.is_independent_set([0, 1, 2])

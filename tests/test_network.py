@@ -200,6 +200,72 @@ class TestDeterminismAndTranscripts:
         result = run_protocol(program, n=4, bandwidth=1, seed=9)
         assert all(out == result.outputs[0] for out in result.outputs)
 
+    def test_shared_rng_immune_to_interleaving(self):
+        # The public-coin contract: node v's k-th draw equals node u's
+        # k-th draw, regardless of how draws interleave with rounds.
+        # Here each node splits its 8 draws across rounds differently.
+        def program(ctx):
+            draws = [ctx.shared_rng.randrange(1000) for _ in range(ctx.node_id)]
+            yield Outbox.silent()
+            draws += [
+                ctx.shared_rng.randrange(1000)
+                for _ in range(8 - ctx.node_id)
+            ]
+            return draws
+
+        result = run_protocol(program, n=5, bandwidth=1, seed=3)
+        assert all(out == result.outputs[0] for out in result.outputs)
+
+    def test_shared_rng_independent_of_private_rng(self):
+        def program(ctx):
+            # Private draws must not perturb the shared stream.
+            for _ in range(ctx.node_id * 3):
+                ctx.rng.random()
+            return [ctx.shared_rng.getrandbits(16) for _ in range(4)]
+            yield  # pragma: no cover
+
+        result = run_protocol(program, n=4, bandwidth=1, seed=12)
+        assert all(out == result.outputs[0] for out in result.outputs)
+
+
+class TestInboxCaching:
+    def test_sorted_views_cached(self):
+        observed = {}
+
+        def program(ctx):
+            inbox = yield Outbox.unicast(
+                {v: bit(1) for v in ctx.neighbors}
+            )
+            if ctx.node_id == 0:
+                observed["items_a"] = inbox.items()
+                observed["items_b"] = inbox.items()
+                observed["senders_a"] = inbox.senders()
+                observed["senders_b"] = inbox.senders()
+            return None
+
+        run_protocol(program, n=4, bandwidth=1)
+        assert observed["items_a"] is observed["items_b"]
+        assert observed["senders_a"] is observed["senders_b"]
+        assert observed["senders_a"] == (1, 2, 3)
+        assert [s for s, _ in observed["items_a"]] == [1, 2, 3]
+
+    def test_recycled_inboxes_refresh_between_rounds(self):
+        # The fast engine reuses inbox buffers; the cached views must not
+        # leak across rounds.
+        def program(ctx):
+            me = ctx.node_id
+            inbox = yield Outbox.unicast({(me + 1) % ctx.n: bit(1)})
+            first = inbox.senders()
+            inbox = yield Outbox.unicast({(me + 2) % ctx.n: bit(1)})
+            second = inbox.senders()
+            yield Outbox.silent()
+            return (first, second)
+
+        result = run_protocol(program, n=5, bandwidth=1)
+        for v, (first, second) in enumerate(result.outputs):
+            assert first == ((v - 1) % 5,)
+            assert second == ((v - 2) % 5,)
+
     def test_transcript_records_broadcasts(self):
         def program(ctx):
             yield Outbox.broadcast(Bits.from_uint(ctx.node_id % 2, 1))
