@@ -6,9 +6,11 @@ all three communication models and all engine paths:
 * ``legacy``        — the original per-round-allocation reference loop;
 * ``fast``          — the zero-churn scalar loop (reused inbox buffers,
                       hoisted validation);
-* ``fast+fixedlane``— the fast loop fed by fixed-width outboxes, so
-                      whole rounds are delivered through numpy bulk
-                      writes.
+* ``fast+fixedlane``— the fast loop fed by fixed-width outboxes
+                      (``Outbox.fixed_width`` for unicast/CONGEST,
+                      ``Outbox.broadcast_uint`` on the blackboard —
+                      reported as ``fast+bcastlane``), so whole rounds
+                      are delivered through numpy bulk writes.
 
 Workloads (width-32 payloads):
 
@@ -17,6 +19,12 @@ Workloads (width-32 payloads):
                   per round;
 * ``congest``   — a ring topology: 2n messages per round (dominated by
                   per-round overhead, i.e. a rounds/sec probe).
+
+On top of the raw engine sweep, a ``protocols`` section times two
+broadcast-heavy real protocols end to end (the ``transmit_broadcast``
+phase and full-learning subgraph detection at n=128) under both
+engines, so the broadcast lane's effect on actual workloads is tracked
+alongside the synthetic numbers.
 
 Run from the repo root (writes ``BENCH_engine.json`` there)::
 
@@ -45,6 +53,7 @@ import numpy as np
 from repro.core.bits import Bits
 from repro.core.fastlane import FixedWidthSchedule
 from repro.core.network import Mode, Network, Outbox
+from repro.core.phases import transmit_broadcast
 
 WIDTH = 32
 MASK = (1 << WIDTH) - 1
@@ -92,6 +101,16 @@ def broadcast_program(rounds):
     return program
 
 
+def broadcast_fixed_program(rounds):
+    def program(ctx):
+        outbox = Outbox.broadcast_uint((ctx.node_id * 2654435761) & MASK, WIDTH)
+        for _ in range(rounds):
+            yield outbox
+        return None
+
+    return program
+
+
 # -- harness ------------------------------------------------------------
 
 
@@ -118,7 +137,7 @@ def bench_config(mode, n, engine, lane, rounds, repeats):
         messages_per_round = n * (n - 1)
     elif mode == "broadcast":
         network = Network(n=n, bandwidth=WIDTH, mode=Mode.BROADCAST, engine=engine)
-        maker = broadcast_program
+        maker = broadcast_fixed_program if lane else broadcast_program
         messages_per_round = n * (n - 1)  # deliveries; bits charged once/writer
     elif mode == "congest":
         network = Network(
@@ -135,10 +154,14 @@ def bench_config(mode, n, engine, lane, rounds, repeats):
     seconds, result = time_run(network, maker(rounds), repeats)
     assert result.rounds == rounds
     messages = messages_per_round * rounds
+    if lane:
+        label = "fast+bcastlane" if mode == "broadcast" else "fast+fixedlane"
+    else:
+        label = engine
     return {
         "mode": mode,
         "n": n,
-        "engine": "fast+fixedlane" if lane else engine,
+        "engine": label,
         "rounds": rounds,
         "messages": messages,
         "total_bits": result.total_bits,
@@ -157,10 +180,7 @@ def rounds_for(mode, n, quick):
 
 
 def engine_paths(mode):
-    paths = [("legacy", False), ("fast", False)]
-    if mode != "broadcast":
-        paths.append(("fast", True))
-    return paths
+    return [("legacy", False), ("fast", False), ("fast", True)]
 
 
 def run_sweep(sizes, quick, repeats):
@@ -182,6 +202,105 @@ def run_sweep(sizes, quick, repeats):
             bit_totals = {rec["total_bits"] for rec in per_engine.values()}
             assert len(bit_totals) == 1, f"engines disagree on bits: {per_engine}"
     return configs
+
+
+# -- protocol scenarios -------------------------------------------------
+
+
+def bench_protocols(quick, repeats):
+    """Broadcast-heavy protocols end to end, legacy vs fast.
+
+    The raw sweep isolates the engine; these scenarios check that the
+    broadcast lane's win survives contact with real protocol logic.
+    """
+    import random as _random
+
+    from repro.graphs import random_graph
+    from repro.graphs.graph import Graph
+    from repro.subgraphs.detection import full_learning_detect
+
+    def measure(record, runner):
+        bit_totals = set()
+        for engine in ("legacy", "fast"):
+            best = float("inf")
+            result = None
+            for _ in range(repeats):
+                start = time.perf_counter()
+                result = runner(engine)
+                best = min(best, time.perf_counter() - start)
+            writes = result.total_bits // record["bandwidth"]
+            record[engine] = {
+                "seconds": round(best, 6),
+                "rounds": result.rounds,
+                "total_bits": result.total_bits,
+                "broadcasts_per_sec": round(writes / best, 1),
+            }
+            bit_totals.add(result.total_bits)
+        assert len(bit_totals) == 1, f"engines disagree on bits: {record}"
+        record["speedup_vs_legacy"] = round(
+            record["fast"]["broadcasts_per_sec"]
+            / record["legacy"]["broadcasts_per_sec"],
+            2,
+        )
+        print(
+            f"{record['name']:>26}  n={record['n']:<4} "
+            f"legacy {record['legacy']['seconds']:.3f}s  "
+            f"fast {record['fast']['seconds']:.3f}s  "
+            f"({record['speedup_vs_legacy']}x msgs/s)"
+        )
+        return record
+
+    # 1. transmit_broadcast phase: every node streams a long payload
+    #    through b-bit blackboard frames (pure phase-layer traffic).
+    n_phase = 32 if quick else 128
+    payload_bits = 64 if quick else 256
+    phase_bw = 16
+
+    def run_phase(engine):
+        def program(ctx):
+            payload = Bits.from_uint(
+                (ctx.node_id * 0x9E3779B97F4A7C15) % (1 << payload_bits),
+                payload_bits,
+            )
+            got = yield from transmit_broadcast(
+                ctx, payload, max_bits=payload_bits
+            )
+            return len(got)
+
+        network = Network(
+            n=n_phase, bandwidth=phase_bw, mode=Mode.BROADCAST, engine=engine
+        )
+        return network.run(program)
+
+    phase_record = measure(
+        {
+            "name": "transmit_broadcast_phase",
+            "n": n_phase,
+            "bandwidth": phase_bw,
+            "payload_bits": payload_bits,
+        },
+        run_phase,
+    )
+
+    # 2. full-learning subgraph detection (triangle) — the Theorem 7
+    #    baseline, whose rounds are all blackboard frames.
+    n_det = 32 if quick else 128
+    det_bw = 8
+    det_graph = random_graph(n_det, 0.3, _random.Random(1))
+    triangle = Graph.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+
+    def run_detection(engine):
+        _outcome, result = full_learning_detect(
+            det_graph, triangle, bandwidth=det_bw, engine=engine
+        )
+        return result
+
+    det_record = measure(
+        {"name": "subgraph_detection_full", "n": n_det, "bandwidth": det_bw},
+        run_detection,
+    )
+
+    return [phase_record, det_record]
 
 
 def summarize(configs):
@@ -226,9 +345,11 @@ def main(argv=None):
 
     configs = run_sweep(sizes, args.quick, repeats)
     speedups = summarize(configs)
+    protocols = bench_protocols(args.quick, repeats)
 
     top_n = max(sizes)
     acceptance_key = f"unicast/n={top_n}"
+    bcast_key = f"broadcast/n={top_n}"
     acceptance = {
         "mode": "unicast",
         "n": top_n,
@@ -236,6 +357,12 @@ def main(argv=None):
         "fixedlane_vs_legacy_msgs_per_sec": speedups[acceptance_key].get(
             "fast+fixedlane"
         ),
+        "bcastlane_vs_legacy_msgs_per_sec": speedups[bcast_key].get(
+            "fast+bcastlane"
+        ),
+        "protocol_speedups_vs_legacy": {
+            rec["name"]: rec["speedup_vs_legacy"] for rec in protocols
+        },
     }
     report = {
         "generated_by": "benchmarks/bench_engine.py",
@@ -244,6 +371,7 @@ def main(argv=None):
         "repeats": repeats,
         "configs": configs,
         "speedups": speedups,
+        "protocols": protocols,
         "acceptance": acceptance,
     }
     args.out.write_text(json.dumps(report, indent=2) + "\n")

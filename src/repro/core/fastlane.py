@@ -7,23 +7,38 @@ sorted keys.  For those rounds the scalar engine path — one Python dict
 write plus per-message validation for each of up to n² messages — is
 pure overhead.
 
-This module provides the bulk alternative.  A sender declares one
-destination vector and one value vector per round
-(:meth:`~repro.core.network.Outbox.fixed_width`); the engine validates
-the whole outbox with a handful of vectorized checks and delivers it
-with two fancy-indexed writes into an ``n × n`` send matrix that is
-allocated once per run and merely masked clean between rounds.
-Receivers read their column through an array-backed
-:class:`FixedWidthInbox` that mirrors the :class:`~repro.core.network.Inbox`
-API.  Round and bit accounting is identical to the scalar path: a
-``width``-bit message costs ``width`` bits, a round is a round.
+This module provides the bulk alternatives, one per direction of the
+model:
 
-Widths up to :data:`NUMERIC_WIDTH_LIMIT` (63) bits ride a ``uint64``
-matrix; wider payloads fall back to an object-dtype matrix — the same
+* **Unicast lane** — a sender declares one destination vector and one
+  value vector per round (:meth:`~repro.core.network.Outbox.fixed_width`);
+  the engine validates the whole outbox with a handful of vectorized
+  checks and delivers it with two fancy-indexed writes into an ``n × n``
+  send matrix that is allocated once per run and merely masked clean
+  between rounds.  Receivers read their column through an array-backed
+  :class:`FixedWidthInbox` that mirrors the
+  :class:`~repro.core.network.Inbox` API.
+* **Broadcast lane** — a sender declares one fixed-width blackboard
+  write (:meth:`~repro.core.network.Outbox.broadcast_uint`); rounds in
+  which every non-silent sender broadcasts the same width are delivered
+  with one n-vector write into a per-run column buffer, and receivers
+  read an array-backed :class:`BroadcastInbox` (the same view for every
+  receiver, minus its own row — a broadcast never echoes back to its
+  writer).
+
+Round and bit accounting is identical to the scalar path: a
+``width``-bit message costs ``width`` bits, one broadcast of ``width``
+bits costs ``width`` (counted once per writer, as
+``RunResult.blackboard_bits`` expects), a round is a round.
+
+Widths up to :data:`NUMERIC_WIDTH_LIMIT` (63) bits ride ``uint64``
+storage; wider payloads fall back to object-dtype arrays — the same
 bulk indexing, with Python ints as storage.
 """
 
 from __future__ import annotations
+
+import operator
 
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -37,12 +52,55 @@ __all__ = [
     "FixedWidthInbox",
     "FixedWidthSchedule",
     "FixedLane",
+    "BroadcastInbox",
+    "BroadcastLane",
     "coerce_fixed",
+    "coerce_broadcast",
     "validate_fixed",
     "adjacency_mask",
 ]
 
 NUMERIC_WIDTH_LIMIT = 63
+
+
+def _index_array(seq: Sequence[int], dtype, what: str) -> np.ndarray:
+    """A 1-D sequence of *true* integers as a fresh ``dtype`` array.
+
+    Floats (and anything else without ``__index__``) are rejected with
+    :class:`ProtocolError` instead of being silently truncated the way a
+    plain ``np.array(seq, dtype=...)`` cast would truncate ``1.7`` to
+    ``1``."""
+    if not isinstance(seq, (np.ndarray, list, tuple)):
+        seq = list(seq)
+    try:
+        arr = np.asarray(seq)
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"bad fixed-width {what}: {exc}") from exc
+    if arr.ndim != 1:
+        raise ProtocolError(f"fixed-width {what} must be a flat sequence")
+    if arr.dtype.kind in "iu":
+        if (
+            arr.dtype.kind == "i"
+            and np.issubdtype(dtype, np.unsignedinteger)
+            and arr.size
+            and int(arr.min()) < 0
+        ):
+            # astype would silently wrap -1 to 2**64-1.
+            raise ProtocolError(f"fixed-width {what} must be non-negative")
+        return arr.astype(dtype, copy=True)
+    # Anything else (a float array, or a mixed list numpy promoted to
+    # float/object): accept only exact integers, re-read from the
+    # original items so promotion cannot launder 3 into 3.0.
+    try:
+        items = [operator.index(x) for x in seq]
+    except TypeError as exc:
+        raise ProtocolError(
+            f"fixed-width {what} must be integers, not {exc}"
+        ) from exc
+    try:
+        return np.array(items, dtype=dtype)
+    except (TypeError, ValueError, OverflowError) as exc:
+        raise ProtocolError(f"bad fixed-width {what}: {exc}") from exc
 
 
 def coerce_fixed(
@@ -56,19 +114,18 @@ def coerce_fixed(
     wire."""
     if width < 1:
         raise ValueError("fixed-width messages need width >= 1 bit")
-    try:
-        dest_arr = np.array(dests, dtype=np.intp)
-    except (TypeError, ValueError, OverflowError) as exc:
-        raise ProtocolError(f"bad fixed-width destinations: {exc}") from exc
-    if dest_arr.ndim != 1:
-        raise ProtocolError("fixed-width destinations must be a flat sequence")
+    dest_arr = _index_array(dests, np.intp, "destinations")
     if width <= NUMERIC_WIDTH_LIMIT:
-        try:
-            value_arr = np.array(values, dtype=np.uint64)
-        except (TypeError, ValueError, OverflowError) as exc:
-            raise ProtocolError(f"bad fixed-width values: {exc}") from exc
+        value_arr = _index_array(values, np.uint64, "values")
     else:
-        seq = [int(v) for v in values]
+        try:
+            seq = [operator.index(v) for v in values]
+        except TypeError as exc:
+            raise ProtocolError(
+                f"fixed-width values must be integers, not {exc}"
+            ) from exc
+        if any(v < 0 for v in seq):
+            raise ProtocolError("fixed-width values must be non-negative")
         value_arr = np.empty(len(seq), dtype=object)
         value_arr[:] = seq
     if value_arr.shape != dest_arr.shape:
@@ -78,6 +135,27 @@ def coerce_fixed(
     dest_arr.flags.writeable = False
     value_arr.flags.writeable = False
     return dest_arr, value_arr
+
+
+def coerce_broadcast(value: int, width: int) -> int:
+    """Validate one fixed-width broadcast payload (a plain uint).
+
+    The whole check is network-independent (only the bandwidth bound is
+    left for the engine), so a broadcast outbox is fully validated at
+    construction and can be reused round after round for free."""
+    if width < 1:
+        raise ValueError("fixed-width messages need width >= 1 bit")
+    try:
+        value = operator.index(value)
+    except TypeError as exc:
+        raise ProtocolError(
+            f"broadcast_uint payload must be an integer, not {exc}"
+        ) from exc
+    if value < 0 or value >> width:
+        raise ProtocolError(
+            f"broadcast_uint payload {value} does not fit in {width} bits"
+        )
+    return value
 
 
 def validate_fixed(
@@ -289,6 +367,177 @@ class FixedLane:
         return box
 
 
+class BroadcastInbox:
+    """Array-backed inbox over the shared broadcast column buffer.
+
+    All receivers of a bulk broadcast round see the *same* blackboard;
+    each receiver's view only differs in masking out its own row (a
+    broadcast is never echoed back to its writer).  The lane exploits
+    that: the writer-id list and their outboxes are collected **once per
+    round** at delivery and shared by all n views, so the sorted
+    accessors cost O(#writers) per receiver with no per-element numpy
+    round-trips; random access (``get`` / ``in``) reads the column
+    buffer directly.  Mirrors the :class:`~repro.core.network.Inbox` API
+    plus the zero-copy uint accessors, like :class:`FixedWidthInbox`.
+    Like every inbox, it is only valid for the round in which it was
+    delivered.
+    """
+
+    __slots__ = ("_buf", "_me", "_width", "_senders", "_items")
+
+    def __init__(self, buf: "_BcastBuffers", me: int) -> None:
+        self._buf = buf
+        self._me = me
+        self._width = 0
+        self._senders: Optional[Tuple[int, ...]] = None
+        self._items = None
+
+    def _reset(self, width: int) -> None:
+        self._width = width
+        self._senders = None
+        self._items = None
+
+    @property
+    def width(self) -> int:
+        """Bit-width shared by every message in this inbox."""
+        return self._width
+
+    def senders(self) -> Tuple[int, ...]:
+        cached = self._senders
+        if cached is None:
+            me = self._me
+            cached = self._senders = tuple(
+                s for s in self._buf.round_ids if s != me
+            )
+        return cached
+
+    def items(self) -> Tuple[Tuple[int, Bits], ...]:
+        cached = self._items
+        if cached is None:
+            me = self._me
+            buf = self._buf
+            # _materialize_broadcast is memoized per outbox, so the Bits
+            # is built once per writer per run, not once per receiver.
+            cached = self._items = tuple(
+                (s, o._materialize_broadcast())
+                for s, o in zip(buf.round_ids, buf.round_outboxes)
+                if s != me
+            )
+        return cached
+
+    def uint_items(self) -> List[Tuple[int, int]]:
+        me = self._me
+        buf = self._buf
+        return [
+            (s, o.values)
+            for s, o in zip(buf.round_ids, buf.round_outboxes)
+            if s != me
+        ]
+
+    def get(self, sender: int) -> Optional[Bits]:
+        if sender in self:
+            return Bits(int(self._buf.values[sender]), self._width)
+        return None
+
+    def get_uint(self, sender: int) -> Optional[int]:
+        if sender in self:
+            return int(self._buf.values[sender])
+        return None
+
+    def __len__(self) -> int:
+        return len(self.senders())
+
+    def __contains__(self, sender: int) -> bool:
+        buf = self._buf
+        return (
+            sender != self._me
+            and 0 <= sender < buf.present.shape[0]
+            and bool(buf.present[sender])
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BroadcastInbox({dict(self.uint_items())!r}, width={self._width})"
+
+
+class _BcastBuffers:
+    """One dtype's worth of per-run broadcast vectors and receiver views."""
+
+    __slots__ = (
+        "values",
+        "present",
+        "inboxes",
+        "touched",
+        "round_ids",
+        "round_outboxes",
+    )
+
+    def __init__(self, n: int, dtype) -> None:
+        self.values = np.zeros(n, dtype=dtype)
+        self.present = np.zeros(n, dtype=bool)
+        self.inboxes = [BroadcastInbox(self, u) for u in range(n)]
+        self.touched: List[int] = []  # writer slots filled last bulk round
+        self.round_ids: List[int] = []  # this round's writers, node order
+        self.round_outboxes: List[Any] = []  # their outboxes, same order
+
+
+class BroadcastLane:
+    """Per-run reusable state for bulk broadcast rounds (engine internal)."""
+
+    __slots__ = ("n", "width", "_numeric", "_object", "_active")
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self.width = 0
+        self._numeric: Optional[_BcastBuffers] = None
+        self._object: Optional[_BcastBuffers] = None
+        self._active: Optional[_BcastBuffers] = None
+
+    def _buffers(self, width: int) -> _BcastBuffers:
+        if width <= NUMERIC_WIDTH_LIMIT:
+            if self._numeric is None:
+                self._numeric = _BcastBuffers(self.n, np.uint64)
+            return self._numeric
+        if self._object is None:
+            self._object = _BcastBuffers(self.n, object)
+        return self._object
+
+    def deliver(self, senders, width: int, record=None) -> int:
+        """Deliver one homogeneous broadcast round; returns the bits
+        written to the blackboard (``width`` per writer, counted once).
+
+        ``senders`` is a list of ``(node_id, outbox)`` in node order, as
+        required for sorted-view and transcript order parity with the
+        scalar path.
+        """
+        buf = self._buffers(width)
+        touched = buf.touched
+        if touched:
+            # Zero-churn clear: mask out only last round's writer slots.
+            buf.present[touched] = False
+            touched.clear()
+        ids = [s for s, _ in senders]
+        outboxes = [o for _, o in senders]
+        # One n-vector write into the per-run column buffer.
+        buf.values[ids] = [o.values for o in outboxes]
+        buf.present[ids] = True
+        touched.extend(ids)
+        buf.round_ids = ids
+        buf.round_outboxes = outboxes
+        if record is not None:
+            sends = record.sends
+            for sender, outbox in senders:
+                # A broadcast is recorded once, with receiver=None.
+                sends.append((sender, None, outbox._materialize_broadcast()))
+        self.width = width
+        self._active = buf
+        return len(ids) * width
+
+    def inbox(self, receiver: int) -> BroadcastInbox:
+        box = self._active.inboxes[receiver]
+        box._reset(self.width)
+        return box
+
+
 class FixedWidthSchedule:
     """Protocol-facing declaration of a fixed-width exchange.
 
@@ -321,6 +570,11 @@ class FixedWidthSchedule:
         from repro.core.network import Outbox
 
         return Outbox.fixed_width_map(messages, self.width)
+
+    def broadcast_outbox(self, value: int):
+        from repro.core.network import Outbox
+
+        return Outbox.broadcast_uint(value, self.width)
 
     @staticmethod
     def uints(inbox: Any) -> List[Tuple[int, int]]:

@@ -28,7 +28,8 @@ Two interchangeable round loops produce identical :class:`RunResult`\\ s:
   hoists model-invariant validation out of the per-message loop, and
   skips all transcript bookkeeping when recording is off.  Rounds in
   which every sender uses a fixed-width outbox
-  (:meth:`Outbox.fixed_width`) are delivered in bulk through numpy array
+  (:meth:`Outbox.fixed_width` for unicast, :meth:`Outbox.broadcast_uint`
+  for the blackboard) are delivered in bulk through numpy array
   writes — see :mod:`repro.core.fastlane`.
 * ``engine="legacy"`` is the original per-round-allocation loop, kept as
   the executable reference semantics; the equivalence test suite pins
@@ -43,6 +44,7 @@ from __future__ import annotations
 
 import enum
 import random
+import weakref
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -141,8 +143,8 @@ class Outbox:
 
     Construct with :meth:`unicast`, :meth:`broadcast`, :meth:`silent`,
     or the bulk fixed-width constructors :meth:`fixed_width` /
-    :meth:`fixed_width_map`; the engine validates the kind against the
-    network's :class:`Mode`.
+    :meth:`fixed_width_map` / :meth:`broadcast_uint`; the engine
+    validates the kind against the network's :class:`Mode`.
     """
 
     __slots__ = (
@@ -175,8 +177,35 @@ class Outbox:
         self.trusted_unique = trusted_unique
         # Outboxes are immutable after construction, so a fixed-width
         # outbox yielded round after round (the zero-churn pattern) is
-        # vector-validated once per (network, sender), not once per round.
+        # vector-validated once per (network, sender), not once per
+        # round.  The memo maps id(network) -> (weakref, {senders}):
+        # weakly referenced so a long-lived outbox never pins a network
+        # alive, and per-sender so one outbox shared by several senders
+        # (also a natural zero-churn pattern) keeps every entry instead
+        # of thrashing a single slot.
         self._validated_for: Any = None
+
+    def _is_validated(self, network: Any, sender: int) -> bool:
+        memo = self._validated_for
+        if memo is None:
+            return False
+        entry = memo.get(id(network))
+        return entry is not None and entry[0]() is network and sender in entry[1]
+
+    def _mark_validated(self, network: Any, sender: int) -> None:
+        memo = self._validated_for
+        if memo is None:
+            memo = self._validated_for = {}
+        key = id(network)
+        entry = memo.get(key)
+        if entry is not None and entry[0]() is network:
+            entry[1].add(sender)
+            return
+        if len(memo) >= 8:
+            # Drop entries whose network is gone (ids may be reused).
+            for stale in [k for k, e in memo.items() if e[0]() is None]:
+                del memo[stale]
+        memo[key] = (weakref.ref(network), {sender})
 
     @classmethod
     def unicast(cls, messages: Mapping[int, Bits]) -> "Outbox":
@@ -185,6 +214,20 @@ class Outbox:
     @classmethod
     def broadcast(cls, payload: Bits) -> "Outbox":
         return cls("broadcast", None, payload)
+
+    @classmethod
+    def broadcast_uint(cls, value: int, width: int) -> "Outbox":
+        """Fixed-width broadcast: write ``value`` as exactly ``width``
+        bits on the blackboard.  Rounds in which every non-silent sender
+        yields a fixed-width broadcast of one width are delivered
+        through the numpy broadcast lane (one vector write, array-backed
+        inboxes — see :mod:`repro.core.fastlane`); mixed rounds
+        materialize the payload as an ordinary :class:`Bits` broadcast.
+        Either way one broadcast of ``width`` bits costs ``width``."""
+        from repro.core import fastlane
+
+        coerced = fastlane.coerce_broadcast(value, width)
+        return cls("bfixed", None, None, values=coerced, width=width)
 
     @classmethod
     def silent(cls) -> "Outbox":
@@ -227,6 +270,15 @@ class Outbox:
                 int(dest): Bits(int(value), width)
                 for dest, value in zip(self.dests, self.values)
             }
+        return cached
+
+    def _materialize_broadcast(self) -> Bits:
+        """A fixed-width broadcast outbox's payload as :class:`Bits` (the
+        scalar fallback for mixed rounds, the legacy engine, and the
+        transcript).  Memoized in the otherwise-unused ``payload`` slot."""
+        cached = self.payload
+        if cached is None:
+            cached = self.payload = Bits(self.values, self.width)
         return cached
 
 
@@ -400,6 +452,12 @@ class Network:
 
         ``inputs[v]`` is exposed as ``ctx.input`` on node ``v``.
         """
+        if inputs is not None and len(inputs) != self.n:
+            raise ProtocolError(
+                f"got {len(inputs)} inputs for {self.n} nodes; "
+                "Network.run needs exactly one input per node "
+                "(pass inputs=None for input-free protocols)"
+            )
         if self.engine == "legacy":
             return self._run_legacy(program, inputs)
         return self._run_fast(program, inputs)
@@ -440,7 +498,9 @@ class Network:
         inbox_views: List[Inbox] = [Inbox(d) for d in inbox_dicts]
         dicts_dirty = False
         fixed_list: List[Tuple[int, Outbox]] = []
+        bcast_list: List[Tuple[int, Outbox]] = []
         lane = None  # FixedLane, allocated on the first bulk round
+        blane = None  # BroadcastLane, allocated on the first bulk round
 
         while generators:
             if rounds >= self.max_rounds:
@@ -449,13 +509,19 @@ class Network:
                 )
             rounds += 1
 
-            # Classify the round: it can ride the bulk lane iff every
-            # non-silent sender yielded a fixed-width outbox of one
+            # Classify the round: it can ride the unicast bulk lane iff
+            # every non-silent sender yielded a fixed-width outbox of one
             # width AND the round is dense enough that per-sender array
-            # operations beat per-message dict writes.
+            # operations beat per-message dict writes; it can ride the
+            # broadcast lane iff every non-silent sender yielded a
+            # fixed-width broadcast of one width (a broadcast write is
+            # always denser than its n-1 scalar deliveries, so there is
+            # no density threshold).
             fixed_list.clear()
+            bcast_list.clear()
             scalar_senders = False
             lane_width = 0
+            bcast_width = 0
             fixed_messages = 0
             for v, outbox in pending.items():
                 kind = outbox.kind
@@ -469,12 +535,23 @@ class Network:
                         scalar_senders = True
                     fixed_list.append((v, outbox))
                     fixed_messages += outbox.dests.size
+                elif kind == "bfixed":
+                    width = outbox.width
+                    if bcast_width == 0:
+                        bcast_width = width
+                    elif width != bcast_width:
+                        scalar_senders = True
+                    bcast_list.append((v, outbox))
                 else:
                     scalar_senders = True
             use_lane = (
                 bool(fixed_list)
                 and not scalar_senders
+                and not bcast_list
                 and fixed_messages >= _LANE_DENSITY * len(fixed_list)
+            )
+            use_bcast_lane = (
+                bool(bcast_list) and not scalar_senders and not fixed_list
             )
 
             record = RoundRecord() if recording else None
@@ -484,6 +561,12 @@ class Network:
 
                     lane = FixedLane(n)
                 round_bits = lane.deliver(fixed_list, lane_width, record)
+            elif use_bcast_lane:
+                if blane is None:
+                    from repro.core.fastlane import BroadcastLane
+
+                    blane = BroadcastLane(n)
+                round_bits = blane.deliver(bcast_list, bcast_width, record)
             else:
                 if dicts_dirty:
                     for u in range(n):
@@ -508,6 +591,13 @@ class Network:
                 for v, gen in generators.items():
                     try:
                         pending[v] = self._check_outbox(v, gen.send(lane.inbox(v)))
+                    except StopIteration as stop:
+                        outputs[v] = stop.value
+                        finished.append(v)
+            elif use_bcast_lane:
+                for v, gen in generators.items():
+                    try:
+                        pending[v] = self._check_outbox(v, gen.send(blane.inbox(v)))
                     except StopIteration as stop:
                         outputs[v] = stop.value
                         finished.append(v)
@@ -547,8 +637,12 @@ class Network:
             kind = outbox.kind
             if kind == "silent":
                 continue
-            if kind == "broadcast":
-                payload = outbox.payload
+            if kind == "broadcast" or kind == "bfixed":
+                payload = (
+                    outbox.payload
+                    if kind == "broadcast"
+                    else outbox._materialize_broadcast()
+                )
                 if payload.__class__ is not Bits and not isinstance(payload, Bits):
                     raise ProtocolError(f"node {sender} broadcast a non-Bits payload")
                 plen = len(payload)
@@ -651,7 +745,7 @@ class Network:
                 f"node {sender} yielded {type(yielded).__name__}, expected Outbox"
             )
         kind = yielded.kind
-        if kind == "broadcast" and self.mode is not Mode.BROADCAST:
+        if kind in ("broadcast", "bfixed") and self.mode is not Mode.BROADCAST:
             raise ProtocolError(
                 f"node {sender} broadcast in a {self.mode.value} network"
             )
@@ -659,7 +753,14 @@ class Network:
             raise ProtocolError(
                 f"node {sender} unicast in a broadcast network"
             )
-        if kind == "fixed" and yielded._validated_for != (self, sender):
+        if kind == "bfixed" and yielded.width > self.bandwidth:
+            # The payload itself was validated at construction; only the
+            # network-dependent bandwidth bound is checked here.
+            raise BandwidthExceededError(
+                f"node {sender} broadcast {yielded.width} bits "
+                f"(bandwidth {self.bandwidth})"
+            )
+        if kind == "fixed" and not yielded._is_validated(self, sender):
             # Whole-outbox vectorized validation, hoisted out of delivery
             # (and out of the round loop entirely for reused outboxes).
             from repro.core import fastlane
@@ -681,7 +782,7 @@ class Network:
             fastlane.validate_fixed(
                 yielded, sender, self.n, self.bandwidth, adj_row, allowed_set
             )
-            yielded._validated_for = (self, sender)
+            yielded._mark_validated(self, sender)
         return yielded
 
     def _deliver(
@@ -695,8 +796,12 @@ class Network:
         kind = outbox.kind
         if kind == "silent":
             return 0
-        if kind == "broadcast":
-            payload = outbox.payload
+        if kind == "broadcast" or kind == "bfixed":
+            payload = (
+                outbox.payload
+                if kind == "broadcast"
+                else outbox._materialize_broadcast()
+            )
             if not isinstance(payload, Bits):
                 raise ProtocolError(f"node {sender} broadcast a non-Bits payload")
             if len(payload) > self.bandwidth:

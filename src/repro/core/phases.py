@@ -62,12 +62,6 @@ def _frame_payload(payload: Bits, max_bits: int, rounds: int, bandwidth: int) ->
     return padded.chunks(bandwidth)
 
 
-def _parse_frames(frames: list, max_bits: int) -> Bits:
-    reader = BitReader(Bits.concat(frames))
-    length = reader.read_uint(header_width(max_bits))
-    return reader.read_bits(length)
-
-
 def _parse_concat(stream: Bits, max_bits: int) -> Bits:
     reader = BitReader(stream)
     length = reader.read_uint(header_width(max_bits))
@@ -119,23 +113,37 @@ def transmit_broadcast(
     max_bits: int,
 ):
     """Broadcast ``payload`` (or stay silent if ``None``) over one phase;
-    return a dict mapping every broadcasting node to its payload."""
+    return a dict mapping every broadcasting node to its payload.
+
+    Every frame of the phase is exactly ``b`` bits (the payload is
+    padded to a whole number of frames), so the exchange rides the
+    engine's broadcast bulk lane."""
     rounds = phase_length(max_bits, ctx.bandwidth)
+    bandwidth = ctx.bandwidth
     frames = (
         None
         if payload is None
-        else _frame_payload(payload, max_bits, rounds, ctx.bandwidth)
+        else [
+            frame.to_uint()
+            for frame in _frame_payload(payload, max_bits, rounds, bandwidth)
+        ]
     )
-    received: Dict[int, list] = {}
+    received: Dict[int, int] = {}
+    counts: Dict[int, int] = {}
     for r in range(rounds):
-        outbox = Outbox.silent() if frames is None else Outbox.broadcast(frames[r])
+        outbox = (
+            Outbox.silent()
+            if frames is None
+            else Outbox.broadcast_uint(frames[r], bandwidth)
+        )
         inbox = yield outbox
-        for sender, frame in inbox.items():
-            received.setdefault(sender, []).append(frame)
+        for sender, value in inbox_uints(inbox):
+            received[sender] = (received.get(sender, 0) << bandwidth) | value
+            counts[sender] = counts.get(sender, 0) + 1
     return {
-        sender: _parse_frames(parts, max_bits)
-        for sender, parts in received.items()
-        if len(parts) == rounds
+        sender: _parse_concat(Bits(stream, rounds * bandwidth), max_bits)
+        for sender, stream in received.items()
+        if counts[sender] == rounds
     }
 
 

@@ -29,7 +29,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.core.bits import BitReader, Bits, BitWriter
+from repro.core.bits import Bits, BitWriter
 from repro.core.network import Context, Mode, Network, RunResult
 from repro.core.phases import transmit_broadcast
 from repro.graphs.graph import Edge, Graph, canonical_edge
@@ -114,13 +114,18 @@ def boruvka_mst(
             writer.write_uint(v, id_bits)
         return writer.getvalue()
 
+    id_mask = (1 << id_bits) - 1
+    weight_mask = (1 << weight_bits) - 1
+
     def decode(payload: Bits) -> Optional[Tuple[int, int, int]]:
-        reader = BitReader(payload)
-        if reader.read_uint(1) == 0:
+        # The message is fixed-width (present flag is the leading bit),
+        # so decode straight off the uint the broadcast lane delivered.
+        raw = payload.to_uint()
+        if raw >> (weight_bits + 2 * id_bits) == 0:
             return None
-        weight = reader.read_uint(weight_bits)
-        u = reader.read_uint(id_bits)
-        v = reader.read_uint(id_bits)
+        weight = (raw >> (2 * id_bits)) & weight_mask
+        u = (raw >> id_bits) & id_mask
+        v = raw & id_mask
         return weight, u, v
 
     def program(ctx: Context):

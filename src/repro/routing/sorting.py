@@ -142,8 +142,17 @@ def _adapt_broadcast(ctx: Context, program_factory):
     except StopIteration as stop:
         return stop.value
     while True:
-        if outbox is not None and outbox.kind == "broadcast":
-            outbox = Outbox.unicast({u: outbox.payload for u in ctx.neighbors})
+        if outbox is not None:
+            if outbox.kind == "broadcast":
+                outbox = Outbox.unicast(
+                    {u: outbox.payload for u in ctx.neighbors}
+                )
+            elif outbox.kind == "bfixed":
+                # A fixed-width broadcast fans out as a fixed-width
+                # unicast, which rides the engine's unicast bulk lane.
+                outbox = Outbox.fixed_width_map(
+                    {u: outbox.values for u in ctx.neighbors}, outbox.width
+                )
         inbox = yield outbox
         try:
             outbox = inner.send(inbox)

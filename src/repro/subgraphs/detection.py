@@ -110,18 +110,22 @@ def full_learning_program(pattern: Graph):
     Theorem 7's bound up to the log factor, as the paper notes."""
 
     def program(ctx):
-        row = Bits.from_bools(
-            [u in ctx.input for u in range(ctx.n)]
-        )
-        received = yield from transmit_broadcast(ctx, row, max_bits=ctx.n)
-        graph = Graph(ctx.n)
-        rows = dict(received)
-        rows[ctx.node_id] = row
-        for v in range(ctx.n):
-            bits = rows[v]
-            for u in range(ctx.n):
-                if bits[u] and u != v:
+        n = ctx.n
+        row = Bits.from_bools([u in ctx.input for u in range(n)])
+        received = yield from transmit_broadcast(ctx, row, max_bits=n)
+        graph = Graph(n)
+        rows = {v: payload.to_uint() for v, payload in received.items()}
+        rows[ctx.node_id] = row.to_uint()
+        for v in range(n):
+            # Walk only the set bits of the row (bit 0 of the Bits
+            # payload is the MSB of its uint, hence u = n-1-position).
+            value = rows[v]
+            while value:
+                low = value & -value
+                u = n - low.bit_length()
+                if u != v:
                     graph.add_edge(v, u)
+                value ^= low
         witness = _witness(graph, pattern)
         return DetectionOutcome(
             contains=witness is not None, witness=witness, via_density=False

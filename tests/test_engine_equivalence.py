@@ -19,7 +19,8 @@ from repro.graphs.graph import Graph
 from repro.matmul.distributed import detect_triangle_mm
 from repro.mst.boruvka import WeightedGraph, boruvka_mst
 from repro.routing import route_payloads
-from repro.subgraphs.detection import detect_subgraph
+from repro.subgraphs.adaptive import adaptive_detect
+from repro.subgraphs.detection import detect_subgraph, full_learning_detect
 
 
 def assert_identical(a, b):
@@ -185,6 +186,244 @@ class TestPhaseEquivalence:
             return program
 
         run_both(factory, n=n, bandwidth=2, mode=Mode.CONGEST, topology=topo)
+
+
+class TestBroadcastLaneEquivalence:
+    def test_broadcast_uint_with_silent_nodes(self):
+        def factory():
+            def program(ctx):
+                seen = []
+                for r in range(3):
+                    if (ctx.node_id + r) % 3 == 0:
+                        inbox = yield Outbox.silent()
+                    else:
+                        inbox = yield Outbox.broadcast_uint(
+                            (ctx.node_id * 13 + r) % 32, 5
+                        )
+                    seen.append(sorted(inbox.uint_items()))
+                return seen
+
+            return program
+
+        run_both(factory, n=6, bandwidth=5, mode=Mode.BROADCAST)
+
+    def test_mixed_width_broadcast_round_falls_back(self):
+        # Different widths in one round: the fast engine must demote the
+        # round to the scalar path and still match legacy exactly.
+        def factory():
+            def program(ctx):
+                width = 3 if ctx.node_id % 2 else 5
+                inbox = yield Outbox.broadcast_uint(ctx.node_id, width)
+                return sorted((s, p.to_str()) for s, p in inbox.items())
+
+            return program
+
+        run_both(factory, n=4, bandwidth=5, mode=Mode.BROADCAST)
+
+    def test_mixed_bfixed_and_bits_broadcast_round(self):
+        def factory():
+            def program(ctx):
+                if ctx.node_id % 2:
+                    inbox = yield Outbox.broadcast_uint(ctx.node_id, 4)
+                else:
+                    inbox = yield Outbox.broadcast(
+                        Bits.from_uint(ctx.node_id, 4)
+                    )
+                return sorted((s, p.to_uint()) for s, p in inbox.items())
+
+            return program
+
+        run_both(factory, n=5, bandwidth=4, mode=Mode.BROADCAST)
+
+    def test_alternating_bcast_lane_and_scalar_rounds(self):
+        # Exercise broadcast buffer recycling across lane -> scalar ->
+        # lane rounds (stale writer slots must be masked out).
+        def factory():
+            def program(ctx):
+                me = ctx.node_id
+                seen = []
+                inbox = yield Outbox.broadcast_uint(me + 1, 4)
+                seen.append(tuple(inbox.senders()))
+                inbox = yield (
+                    Outbox.broadcast(Bits.from_uint(me, 3))
+                    if me == 0
+                    else Outbox.silent()
+                )
+                seen.append(tuple(inbox.senders()))
+                inbox = yield (
+                    Outbox.broadcast_uint(me, 4) if me != 1 else Outbox.silent()
+                )
+                seen.append(tuple(inbox.senders()))
+                return seen
+
+            return program
+
+        result = run_both(factory, n=4, bandwidth=4, mode=Mode.BROADCAST)
+        for v, seen in enumerate(result.outputs):
+            assert seen[0] == tuple(u for u in range(4) if u != v)
+            assert seen[1] == ((0,) if v != 0 else ())
+            assert seen[2] == tuple(u for u in range(4) if u != v and u != 1)
+
+    def test_full_learning_detection(self):
+        graph = random_graph(10, 0.4, random.Random(8))
+        pattern = Graph.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+        out_legacy, res_legacy = full_learning_detect(
+            graph, pattern, bandwidth=4, record_transcript=True, engine="legacy"
+        )
+        out_fast, res_fast = full_learning_detect(
+            graph, pattern, bandwidth=4, record_transcript=True, engine="fast"
+        )
+        assert out_legacy == out_fast
+        assert_identical(res_legacy, res_fast)
+
+    def test_adaptive_detection(self):
+        graph = random_graph(8, 0.5, random.Random(4))
+        pattern = Graph.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+        out_legacy, res_legacy = adaptive_detect(
+            graph, pattern, bandwidth=6, record_transcript=True, engine="legacy"
+        )
+        out_fast, res_fast = adaptive_detect(
+            graph, pattern, bandwidth=6, record_transcript=True, engine="fast"
+        )
+        assert out_legacy == out_fast
+        assert_identical(res_legacy, res_fast)
+
+
+class TestReductionEquivalence:
+    def test_disjointness_reduction(self):
+        from repro.lower_bounds.cliques import clique_lower_bound_graph
+        from repro.lower_bounds.comm import DisjointnessReduction
+
+        lbg = clique_lower_bound_graph(4, 3)
+        alice = {0, 2, 4}
+        bob = {1, 2, 5}
+        runs = [
+            DisjointnessReduction(lbg, bandwidth=8, engine=engine).solve(
+                alice, bob
+            )
+            for engine in ("legacy", "fast")
+        ]
+        assert runs[0] == runs[1]
+
+
+class TestCongestSparseEquivalence:
+    def test_fixed_width_below_density_threshold(self):
+        # A ring keeps every fixed-width outbox at 2 messages, well
+        # under the lane density threshold: the fast engine must take
+        # the scalar fallback and stay byte-identical.
+        n = 8
+        topo = [[(v - 1) % n, (v + 1) % n] for v in range(n)]
+
+        def factory():
+            def program(ctx):
+                seen = []
+                for r in range(3):
+                    outbox = Outbox.fixed_width_map(
+                        {dst: (ctx.node_id * 5 + r) % 16 for dst in ctx.neighbors},
+                        4,
+                    )
+                    inbox = yield outbox
+                    seen.append(sorted(inbox.uint_items()))
+                return seen
+
+            return program
+
+        run_both(factory, n=n, bandwidth=4, mode=Mode.CONGEST, topology=topo)
+
+
+class TestRandomProtocolFuzz:
+    """Seeded random programs, fast vs legacy, byte-for-byte."""
+
+    def _fuzz_unicast(self, seed):
+        master = random.Random(seed)
+        n = master.randint(3, 7)
+        rounds = master.randint(2, 5)
+        width_menu = [2, 3, 5, 9]
+        # One deterministic script per (node, round), drawn up front so
+        # both engines replay the identical protocol.
+        script = {}
+        for v in range(n):
+            for r in range(rounds):
+                kind = master.choice(["silent", "unicast", "fixed", "fixed_map"])
+                dests = [
+                    u
+                    for u in range(n)
+                    if u != v and master.random() < master.random() + 0.3
+                ]
+                width = master.choice(width_menu)
+                values = [master.randrange(1 << width) for _ in dests]
+                script[(v, r)] = (kind, dests, values, width)
+
+        def factory():
+            def program(ctx):
+                transcript = []
+                for r in range(rounds):
+                    kind, dests, values, width = script[(ctx.node_id, r)]
+                    if kind == "silent" or not dests:
+                        inbox = yield Outbox.silent()
+                    elif kind == "unicast":
+                        inbox = yield Outbox.unicast(
+                            {
+                                d: Bits.from_uint(val, width)
+                                for d, val in zip(dests, values)
+                            }
+                        )
+                    elif kind == "fixed":
+                        inbox = yield Outbox.fixed_width(dests, values, width)
+                    else:
+                        inbox = yield Outbox.fixed_width_map(
+                            dict(zip(dests, values)), width
+                        )
+                    transcript.append(
+                        [(s, p.to_str()) for s, p in inbox.items()]
+                    )
+                return transcript
+
+            return program
+
+        run_both(factory, n=n, bandwidth=max(width_menu))
+
+    def _fuzz_broadcast(self, seed):
+        master = random.Random(seed)
+        n = master.randint(3, 7)
+        rounds = master.randint(2, 5)
+        script = {}
+        for v in range(n):
+            for r in range(rounds):
+                kind = master.choice(["silent", "broadcast", "bfixed"])
+                width = master.choice([2, 4, 7])
+                value = master.randrange(1 << width)
+                script[(v, r)] = (kind, value, width)
+
+        def factory():
+            def program(ctx):
+                transcript = []
+                for r in range(rounds):
+                    kind, value, width = script[(ctx.node_id, r)]
+                    if kind == "silent":
+                        inbox = yield Outbox.silent()
+                    elif kind == "broadcast":
+                        inbox = yield Outbox.broadcast(
+                            Bits.from_uint(value, width)
+                        )
+                    else:
+                        inbox = yield Outbox.broadcast_uint(value, width)
+                    transcript.append(
+                        [(s, p.to_str()) for s, p in inbox.items()]
+                    )
+                return transcript
+
+            return program
+
+        run_both(factory, n=n, bandwidth=7, mode=Mode.BROADCAST)
+
+    def test_unicast_fuzz(self):
+        for seed in range(12):
+            self._fuzz_unicast(seed)
+
+    def test_broadcast_fuzz(self):
+        for seed in range(12):
+            self._fuzz_broadcast(seed)
 
 
 class TestLaneEdgeCases:

@@ -11,7 +11,7 @@ from repro.core.errors import (
     ProtocolError,
     TopologyError,
 )
-from repro.core.fastlane import FixedWidthSchedule
+from repro.core.fastlane import FixedWidthSchedule, coerce_fixed
 from repro.core.network import Mode, Outbox, run_protocol
 
 
@@ -185,6 +185,207 @@ class TestValidation:
             outbox.values[0] = 5
         with pytest.raises(ValueError):
             outbox.dests[0] = 0
+
+
+class TestCoercion:
+    def test_non_integral_floats_rejected(self):
+        # Regression: these used to be silently truncated to dest 1 /
+        # value 3 by the numpy dtype cast.
+        with pytest.raises(ProtocolError):
+            coerce_fixed([1.7], [3], 8)
+        with pytest.raises(ProtocolError):
+            coerce_fixed([1], [3.9], 8)
+        with pytest.raises(ProtocolError):
+            coerce_fixed([1.7], [3.9], 8)
+
+    def test_integral_floats_rejected_too(self):
+        # Type discipline, not value discipline: 2.0 == 2 but floats
+        # have no place on the wire.
+        with pytest.raises(ProtocolError):
+            coerce_fixed([2.0], [3], 8)
+        with pytest.raises(ProtocolError):
+            coerce_fixed([1], [2.0], 8)
+
+    def test_numpy_float_arrays_rejected(self):
+        with pytest.raises(ProtocolError):
+            coerce_fixed(np.array([1.5]), np.array([3]), 8)
+        with pytest.raises(ProtocolError):
+            coerce_fixed(np.array([1]), np.array([3.5]), 8)
+
+    def test_wide_width_floats_rejected(self):
+        # The object-dtype (width > 63) path used int(v), which also
+        # truncates; it must reject non-integers the same way.
+        with pytest.raises(ProtocolError):
+            coerce_fixed([1], [3.9], 70)
+
+    def test_integer_like_inputs_still_accepted(self):
+        dests, values = coerce_fixed(
+            np.array([1, 2], dtype=np.int32), [3, np.uint64(4)], 8
+        )
+        assert list(dests) == [1, 2]
+        assert list(values) == [3, 4]
+
+    def test_negative_values_rejected_at_construction(self):
+        # astype(uint64) would silently wrap -1 to 2**64-1.
+        with pytest.raises(ProtocolError):
+            coerce_fixed([1], [-1], 8)
+        with pytest.raises(ProtocolError):
+            coerce_fixed([1], np.array([-1]), 8)
+        with pytest.raises(ProtocolError):
+            coerce_fixed([1], [-1], 70)
+
+    def test_outbox_constructor_rejects_floats(self):
+        with pytest.raises(ProtocolError):
+            Outbox.fixed_width([1.7], [3.9], 8)
+
+
+class TestBroadcastLane:
+    def test_blackboard_delivery_and_accounting(self):
+        n, width = 6, 9
+
+        def program(ctx):
+            inbox = yield Outbox.broadcast_uint(ctx.node_id * 7, width)
+            return dict(inbox.uint_items())
+
+        result = run_protocol(program, n=n, bandwidth=width, mode=Mode.BROADCAST)
+        assert result.rounds == 1
+        # One broadcast of `width` bits costs `width`, counted once.
+        assert result.total_bits == n * width
+        assert result.blackboard_bits() == n * width
+        for v, got in enumerate(result.outputs):
+            assert got == {u: u * 7 for u in range(n) if u != v}
+
+    def test_inbox_api_matches_dict_inbox(self):
+        def program(ctx):
+            if ctx.node_id == 2:
+                inbox = yield Outbox.silent()
+            else:
+                inbox = yield Outbox.broadcast_uint(5 + ctx.node_id, 4)
+            return {
+                "senders": inbox.senders(),
+                "items": [(s, p.to_str()) for s, p in inbox.items()],
+                "len": len(inbox),
+                "has_self": ctx.node_id in inbox,
+                "get1": None if inbox.get(1) is None else inbox.get(1).to_uint(),
+                "get_self": inbox.get(ctx.node_id),
+                "get99": inbox.get(99),
+                "width": inbox.width if hasattr(inbox, "width") else None,
+            }
+
+        result = run_protocol(program, n=3, bandwidth=4, mode=Mode.BROADCAST)
+        at0 = result.outputs[0]
+        assert at0["senders"] == (1,)
+        assert at0["items"] == [(1, "0110")]
+        assert at0["len"] == 1
+        assert not at0["has_self"]
+        assert at0["get1"] == 6
+        assert at0["get_self"] is None and at0["get99"] is None
+        at2 = result.outputs[2]  # the silent node still hears everyone
+        assert at2["senders"] == (0, 1)
+
+    def test_self_broadcast_not_echoed(self):
+        def program(ctx):
+            inbox = yield Outbox.broadcast_uint(1, 1)
+            return ctx.node_id in inbox
+
+        result = run_protocol(program, n=4, bandwidth=1, mode=Mode.BROADCAST)
+        assert result.outputs == [False] * 4
+
+    def test_transcript_records_one_send_per_writer(self):
+        def program(ctx):
+            yield Outbox.broadcast_uint(ctx.node_id, 2)
+
+        result = run_protocol(
+            program, n=3, bandwidth=2, mode=Mode.BROADCAST, record_transcript=True
+        )
+        assert result.transcript[0].sends == [
+            (0, None, Bits.from_uint(0, 2)),
+            (1, None, Bits.from_uint(1, 2)),
+            (2, None, Bits.from_uint(2, 2)),
+        ]
+
+    def test_wide_payloads_use_object_lane(self):
+        width = 130
+
+        def program(ctx):
+            inbox = yield Outbox.broadcast_uint((1 << 129) | ctx.node_id, width)
+            return sorted((s, p.to_uint()) for s, p in inbox.items())
+
+        result = run_protocol(program, n=3, bandwidth=width, mode=Mode.BROADCAST)
+        assert result.total_bits == 3 * width
+        assert result.outputs[0] == [(1, (1 << 129) | 1), (2, (1 << 129) | 2)]
+
+    def test_reused_outbox_across_rounds(self):
+        def program(ctx):
+            outbox = Outbox.broadcast_uint(ctx.node_id + 1, 6)
+            seen = []
+            for _ in range(3):
+                inbox = yield outbox
+                seen.append(sorted(inbox.uint_items()))
+            return seen
+
+        result = run_protocol(program, n=3, bandwidth=6, mode=Mode.BROADCAST)
+        assert result.rounds == 3
+        assert result.total_bits == 3 * 3 * 6
+        for v, seen in enumerate(result.outputs):
+            expected = sorted((u, u + 1) for u in range(3) if u != v)
+            assert seen == [expected] * 3
+
+    def test_schedule_broadcast_outbox(self):
+        schedule = FixedWidthSchedule(5)
+
+        def program(ctx):
+            inbox = yield schedule.broadcast_outbox(ctx.node_id + 10)
+            return sorted(schedule.uints(inbox))
+
+        result = run_protocol(program, n=3, bandwidth=5, mode=Mode.BROADCAST)
+        assert result.outputs[0] == [(1, 11), (2, 12)]
+
+
+class TestBroadcastValidation:
+    def run_single(self, outbox_builder, **kwargs):
+        def program(ctx):
+            if ctx.node_id == 0:
+                yield outbox_builder(ctx)
+            else:
+                yield Outbox.silent()
+
+        kwargs.setdefault("n", 3)
+        kwargs.setdefault("bandwidth", 8)
+        kwargs.setdefault("mode", Mode.BROADCAST)
+        return run_protocol(program, **kwargs)
+
+    def test_width_over_bandwidth(self):
+        with pytest.raises(BandwidthExceededError):
+            self.run_single(lambda ctx: Outbox.broadcast_uint(0, 9))
+
+    def test_value_too_wide(self):
+        with pytest.raises(ProtocolError):
+            Outbox.broadcast_uint(256, 8)
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(ProtocolError):
+            Outbox.broadcast_uint(-1, 8)
+
+    def test_non_integer_value_rejected(self):
+        with pytest.raises(ProtocolError):
+            Outbox.broadcast_uint(3.9, 8)
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            Outbox.broadcast_uint(0, 0)
+
+    def test_rejected_outside_broadcast_mode(self):
+        with pytest.raises(ProtocolError):
+            self.run_single(
+                lambda ctx: Outbox.broadcast_uint(1, 4), mode=Mode.UNICAST
+            )
+        with pytest.raises(ProtocolError):
+            self.run_single(
+                lambda ctx: Outbox.broadcast_uint(1, 4),
+                mode=Mode.CONGEST,
+                topology=[[1], [0], []],
+            )
 
 
 class TestSchedule:

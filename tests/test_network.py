@@ -178,6 +178,78 @@ class TestLifecycle:
         result = run_protocol(program, n=3, bandwidth=1, inputs=[10, 20, 30])
         assert result.outputs == [11, 21, 31]
 
+    @pytest.mark.parametrize("engine", ["fast", "legacy"])
+    def test_wrong_input_count_rejected_up_front(self, engine):
+        # Regression: too-few inputs used to surface as a bare
+        # IndexError from deep inside context construction, and extras
+        # were silently dropped.
+        def program(ctx):
+            return ctx.input
+            yield  # pragma: no cover
+
+        for bad in ([1, 2], [1, 2, 3, 4]):
+            with pytest.raises(ProtocolError, match="one input per node"):
+                run_protocol(
+                    program, n=3, bandwidth=1, inputs=bad, engine=engine
+                )
+
+
+class TestOutboxValidationMemo:
+    def test_outbox_shared_by_several_senders(self):
+        # One module-level outbox yielded by every node must validate
+        # once per sender and then be remembered for all of them, not
+        # thrash a single memo slot.
+        shared = Outbox.fixed_width_map({9: 1}, 4)
+
+        def program(ctx):
+            for _ in range(3):
+                if ctx.node_id == 9:
+                    yield Outbox.silent()
+                else:
+                    yield shared
+            return len(ctx.neighbors)
+
+        result = run_protocol(program, n=10, bandwidth=4)
+        assert result.total_bits == 3 * 9 * 4
+        memo = shared._validated_for
+        assert len(memo) == 1
+        (entry,) = memo.values()
+        assert entry[1] == set(range(9))
+
+    def test_memo_does_not_pin_network_alive(self):
+        import gc
+        import weakref
+
+        outbox = Outbox.fixed_width_map({1: 3}, 4)
+
+        def program(ctx):
+            if ctx.node_id == 0:
+                yield outbox
+            else:
+                yield Outbox.silent()
+
+        network = Network(n=2, bandwidth=4)
+        network.run(program)
+        ref = weakref.ref(network)
+        del network
+        gc.collect()
+        assert ref() is None, "a long-lived outbox must not pin the network"
+
+    def test_revalidated_for_a_new_network(self):
+        # Same outbox, two networks with different bandwidths: the memo
+        # is per network, so the second run must re-validate and fail.
+        outbox = Outbox.fixed_width_map({1: 200}, 8)
+
+        def program(ctx):
+            if ctx.node_id == 0:
+                yield outbox
+            else:
+                yield Outbox.silent()
+
+        run_protocol(program, n=2, bandwidth=8)
+        with pytest.raises(BandwidthExceededError):
+            run_protocol(program, n=2, bandwidth=4)
+
 
 class TestDeterminismAndTranscripts:
     def test_private_rng_deterministic(self):
