@@ -13,21 +13,33 @@ import random
 
 from repro.analysis import Table, theorem2_round_bound
 from repro.circuits import builders
-from repro.simulation import simulate_circuit
+from repro.simulation import simulate_circuit_many
 
 from _util import emit
 
 N_PLAYERS = 8
 INPUTS = 64
+TRIALS = 4
 
 
 def _run(circuit, seed=0):
+    """Evaluate the circuit on TRIALS random input vectors through one
+    ``run_many`` batch (the simulation is oblivious: one compiled round
+    schedule serves every vector) and cross-check each against local
+    evaluation."""
     rng = random.Random(seed)
-    xs = [rng.random() < 0.5 for _ in range(circuit.num_inputs)]
-    outputs, result, plan = simulate_circuit(circuit, N_PLAYERS, xs)
-    expected = circuit.evaluate(xs)
-    assert all(outputs[g] == expected[g] for g in circuit.outputs)
-    return result, plan
+    vectors = [
+        [rng.random() < 0.5 for _ in range(circuit.num_inputs)]
+        for _ in range(TRIALS)
+    ]
+    all_outputs, results, plan = simulate_circuit_many(
+        circuit, N_PLAYERS, vectors
+    )
+    for xs, outputs in zip(vectors, all_outputs):
+        expected = circuit.evaluate(xs)
+        assert all(outputs[g] == expected[g] for g in circuit.outputs)
+    assert len({r.rounds for r in results}) == 1
+    return results[0], plan
 
 
 def test_rounds_track_depth(benchmark, capsys):

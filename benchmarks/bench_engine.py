@@ -26,14 +26,25 @@ phase and full-learning subgraph detection at n=128) under both
 engines, so the broadcast lane's effect on actual workloads is tracked
 alongside the synthetic numbers.
 
+A ``replay`` section measures the *repeated-run* workloads the compiled
+schedule layer targets: the same oblivious protocol executed K times on
+one network, comparing plain per-run execution (the PR 2 fast engine),
+compiled replay (``mark_oblivious`` + K ``run`` calls), and batched
+multi-instance execution (``run_many`` with stacked payload matrices).
+Two protocol trial sweeps (``transmit_broadcast`` over K payload
+instances and full-learning detection over K graphs) are run both as a
+sequential loop and through ``run_many``.
+
 Run from the repo root (writes ``BENCH_engine.json`` there)::
 
     PYTHONPATH=src python benchmarks/bench_engine.py            # full sweep
     PYTHONPATH=src python benchmarks/bench_engine.py --quick    # CI smoke
 
-The JSON keeps a per-config table plus ``speedups`` and an
-``acceptance`` block (fixed-lane vs. legacy messages/sec at the largest
-unicast size) so future engine changes have a trajectory to beat.
+The JSON keeps a per-config table plus ``speedups``, an ``acceptance``
+block (fixed-lane vs. legacy messages/sec at the largest unicast size,
+replay/batched vs. the plain fast engine on the repeated-run
+scenarios), and a ``meta`` block stamping python/numpy versions and the
+git revision so the perf trajectory across PRs stays comparable.
 """
 
 from __future__ import annotations
@@ -41,6 +52,8 @@ from __future__ import annotations
 import argparse
 import json
 import pathlib
+import platform
+import subprocess
 import sys
 import time
 
@@ -51,6 +64,7 @@ if "repro" not in sys.modules:
 import numpy as np
 
 from repro.core.bits import Bits
+from repro.core.compiled import mark_oblivious
 from repro.core.fastlane import FixedWidthSchedule
 from repro.core.network import Mode, Network, Outbox
 from repro.core.phases import transmit_broadcast
@@ -118,15 +132,19 @@ def ring_topology(n):
     return [[(v - 1) % n, (v + 1) % n] for v in range(n)]
 
 
-def time_run(network, program, repeats):
+def _time_best(fn, repeats):
+    """Best-of-N wall clock for one workload; returns (seconds, value)."""
     best = float("inf")
-    result = None
+    value = None
     for _ in range(repeats):
         start = time.perf_counter()
-        result = network.run(program)
-        elapsed = time.perf_counter() - start
-        best = min(best, elapsed)
-    return best, result
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+def time_run(network, program, repeats):
+    return _time_best(lambda: network.run(program), repeats)
 
 
 def bench_config(mode, n, engine, lane, rounds, repeats):
@@ -222,12 +240,7 @@ def bench_protocols(quick, repeats):
     def measure(record, runner):
         bit_totals = set()
         for engine in ("legacy", "fast"):
-            best = float("inf")
-            result = None
-            for _ in range(repeats):
-                start = time.perf_counter()
-                result = runner(engine)
-                best = min(best, time.perf_counter() - start)
+            best, result = _time_best(lambda: runner(engine), repeats)
             writes = result.total_bits // record["bandwidth"]
             record[engine] = {
                 "seconds": round(best, 6),
@@ -303,6 +316,247 @@ def bench_protocols(quick, repeats):
     return [phase_record, det_record]
 
 
+# -- compiled replay / batched scenarios --------------------------------
+
+
+def bench_replay(quick, repeats):
+    """Repeated-run workloads: the same oblivious protocol executed K
+    times on one network, as (a) plain fast-engine runs, (b) compiled
+    replay, (c) one batched ``run_many`` call."""
+    n = 32 if quick else 64
+    rounds = 30 if quick else 40
+    instances = 8 if quick else 24
+    records = []
+
+    def repeated(mode, maker):
+        deliveries = instances * rounds * n * (n - 1)
+        record = {
+            "scenario": f"repeated_{mode}",
+            "n": n,
+            "rounds": rounds,
+            "instances": instances,
+        }
+        totals = set()
+        for label in ("fast", "fast+replay", "fast+batched"):
+            network = Network(
+                n=n,
+                bandwidth=WIDTH,
+                mode=Mode.BROADCAST if mode == "broadcast" else Mode.UNICAST,
+            )
+            program = maker(rounds)
+            if label != "fast":
+                mark_oblivious(program)
+            if label == "fast+batched":
+                network.run_many(program, [None])  # record once, off-clock
+
+                def workload(network=network, program=program):
+                    return network.run_many(program, [None] * instances)
+
+            else:
+                network.run(program)  # warm buffers (and record)
+
+                def workload(network=network, program=program):
+                    return [network.run(program) for _ in range(instances)]
+
+            seconds, results = _time_best(workload, repeats)
+            totals.update(r.total_bits for r in results)
+            assert all(r.rounds == rounds for r in results)
+            record[label] = {
+                "seconds": round(seconds, 6),
+                "messages_per_sec": round(deliveries / seconds, 1),
+                "schedule_stats": dict(network.schedule_stats),
+            }
+        assert len(totals) == 1, f"paths disagree on bits: {record}"
+        record["replay_speedup_vs_fast"] = round(
+            record["fast+replay"]["messages_per_sec"]
+            / record["fast"]["messages_per_sec"],
+            2,
+        )
+        record["batched_speedup_vs_fast"] = round(
+            record["fast+batched"]["messages_per_sec"]
+            / record["fast"]["messages_per_sec"],
+            2,
+        )
+        print(
+            f"{record['scenario']:>22}  n={n:<4} "
+            f"replay {record['replay_speedup_vs_fast']}x  "
+            f"batched {record['batched_speedup_vs_fast']}x vs fast"
+        )
+        return record
+
+    def unicast_maker(rounds):
+        # Fresh closure per path so each records its own schedule key.
+        schedule = FixedWidthSchedule(WIDTH)
+
+        def program(ctx):
+            me = ctx.node_id
+            dests = np.fromiter(
+                ctx.neighbors, dtype=np.intp, count=len(ctx.neighbors)
+            )
+            values = (
+                dests.astype(np.uint64) + np.uint64(me * 2654435761)
+            ) & np.uint64(MASK)
+            outbox = schedule.outbox(dests, values)
+            for _ in range(rounds):
+                yield outbox
+            return None
+
+        return program
+
+    def broadcast_maker(rounds):
+        def program(ctx):
+            outbox = Outbox.broadcast_uint(
+                (ctx.node_id * 2654435761) & MASK, WIDTH
+            )
+            for _ in range(rounds):
+                yield outbox
+            return None
+
+        return program
+
+    records.append(repeated("unicast", unicast_maker))
+    records.append(repeated("broadcast", broadcast_maker))
+    records.extend(bench_replay_protocols(quick, repeats))
+    return records
+
+
+def bench_replay_protocols(quick, repeats):
+    """Protocol trial sweeps, sequential loop vs one ``run_many``."""
+    import random as _random
+
+    from repro.routing import build_schedule, route_program
+
+    records = []
+
+    def sweep(record, sequential, batched):
+        seq_s, seq_results = _time_best(sequential, repeats)
+        bat_s, bat_results = _time_best(batched, repeats)
+        assert [r.total_bits for r in seq_results] == [
+            r.total_bits for r in bat_results
+        ], f"run_many accounting diverged: {record}"
+        assert [r.outputs for r in seq_results] == [
+            r.outputs for r in bat_results
+        ], f"run_many outputs diverged: {record}"
+        record["sequential_seconds"] = round(seq_s, 6)
+        record["run_many_seconds"] = round(bat_s, 6)
+        record["run_many_speedup"] = round(seq_s / bat_s, 2)
+        print(
+            f"{record['scenario']:>22}  n={record['n']:<4} "
+            f"sequential {seq_s:.3f}s  run_many {bat_s:.3f}s  "
+            f"({record['run_many_speedup']}x)"
+        )
+        records.append(record)
+
+    # 1. transmit_broadcast phase over K payload instances.
+    n_phase = 16 if quick else 64
+    payload_bits = 64 if quick else 192
+    phase_bw = 16
+    instances = 6 if quick else 16
+
+    def phase_program(ctx):
+        got = yield from transmit_broadcast(
+            ctx, ctx.input, max_bits=payload_bits
+        )
+        return len(got)
+
+    mark_oblivious(phase_program)
+
+    def phase_inputs(k):
+        return [
+            Bits.from_uint(
+                (v * 0x9E3779B97F4A7C15 + k) % (1 << payload_bits),
+                payload_bits,
+            )
+            for v in range(n_phase)
+        ]
+
+    inputs_list = [phase_inputs(k) for k in range(instances)]
+    bat_net = Network(n=n_phase, bandwidth=phase_bw, mode=Mode.BROADCAST)
+    bat_net.run_many(phase_program, inputs_list[:1])  # record off-clock
+    sweep(
+        {
+            "scenario": "transmit_broadcast_many",
+            "n": n_phase,
+            "instances": instances,
+            "payload_bits": payload_bits,
+            "bandwidth": phase_bw,
+        },
+        lambda: [
+            Network(
+                n=n_phase, bandwidth=phase_bw, mode=Mode.BROADCAST
+            ).run(phase_program, inputs)
+            for inputs in inputs_list
+        ],
+        lambda: bat_net.run_many(phase_program, inputs_list),
+    )
+
+    # 2. Lenzen routing over K payload instances: one public schedule
+    #    (a dense balanced demand), fresh frame contents per instance —
+    #    the pure engine-bound trial sweep the replay layer targets.
+    n_route = 16 if quick else 48
+    frame_size = 16
+    route_instances = 6 if quick else 16
+    rng = _random.Random(9)
+    demand = {}
+    for src in range(n_route):
+        for dst in range(n_route):
+            if src != dst and rng.random() < 0.7:
+                demand[(src, dst)] = rng.randint(1, 3)
+    schedule = build_schedule(demand, n_route)
+    program = route_program(schedule, frame_size)
+
+    def route_inputs(k):
+        contents = _random.Random(1000 + k)
+        per_node = [dict() for _ in range(n_route)]
+        for (src, dst), count in demand.items():
+            for idx in range(count):
+                per_node[src][(src, dst, idx)] = Bits.from_uint(
+                    contents.getrandbits(frame_size), frame_size
+                )
+        return per_node
+
+    inputs_list = [route_inputs(k) for k in range(route_instances)]
+    route_net = Network(n=n_route, bandwidth=frame_size)
+    route_net.run_many(program, inputs_list[:1])  # record off-clock
+    sweep(
+        {
+            "scenario": "lenzen_routing_many",
+            "n": n_route,
+            "instances": route_instances,
+            "frames": sum(demand.values()),
+            "frame_size": frame_size,
+        },
+        lambda: [
+            Network(n=n_route, bandwidth=frame_size).run(program, inputs)
+            for inputs in inputs_list
+        ],
+        lambda: route_net.run_many(program, inputs_list),
+    )
+    return records
+
+
+def bench_meta():
+    """Environment stamp so BENCH_engine.json files are comparable
+    across PRs and machines."""
+    try:
+        revision = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        ).stdout.strip() or None
+    except (OSError, subprocess.SubprocessError):
+        revision = None
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "git_revision": revision,
+    }
+
+
 def summarize(configs):
     speedups = {}
     for record in configs:
@@ -346,10 +600,14 @@ def main(argv=None):
     configs = run_sweep(sizes, args.quick, repeats)
     speedups = summarize(configs)
     protocols = bench_protocols(args.quick, repeats)
+    replay = bench_replay(args.quick, repeats)
 
     top_n = max(sizes)
     acceptance_key = f"unicast/n={top_n}"
     bcast_key = f"broadcast/n={top_n}"
+    repeated_unicast = next(
+        rec for rec in replay if rec["scenario"] == "repeated_unicast"
+    )
     acceptance = {
         "mode": "unicast",
         "n": top_n,
@@ -363,15 +621,28 @@ def main(argv=None):
         "protocol_speedups_vs_legacy": {
             rec["name"]: rec["speedup_vs_legacy"] for rec in protocols
         },
+        "replay_vs_fast_msgs_per_sec": repeated_unicast[
+            "replay_speedup_vs_fast"
+        ],
+        "batched_vs_fast_msgs_per_sec": repeated_unicast[
+            "batched_speedup_vs_fast"
+        ],
+        "run_many_protocol_speedups": {
+            rec["scenario"]: rec["run_many_speedup"]
+            for rec in replay
+            if "run_many_speedup" in rec
+        },
     }
     report = {
         "generated_by": "benchmarks/bench_engine.py",
+        "meta": bench_meta(),
         "width_bits": WIDTH,
         "quick": args.quick,
         "repeats": repeats,
         "configs": configs,
         "speedups": speedups,
         "protocols": protocols,
+        "replay": replay,
         "acceptance": acceptance,
     }
     args.out.write_text(json.dumps(report, indent=2) + "\n")

@@ -12,8 +12,8 @@ import random
 
 from repro.analysis import Table
 from repro.core.bits import Bits
-from repro.core.network import run_protocol
-from repro.routing import build_schedule, route_payloads
+from repro.core.network import Network
+from repro.routing import build_schedule, route_program
 
 from _util import emit
 
@@ -66,36 +66,47 @@ def test_concentrated_vs_direct(benchmark, capsys):
 
 
 def test_end_to_end_delivery(benchmark, capsys):
-    """Route real payloads on the engine; measure engine rounds."""
+    """Route real payloads on the engine; measure engine rounds.
+
+    The trial loop over payload instances runs through
+    ``Network.run_many``: the routing structure is oblivious (it comes
+    from the public schedule), so one compiled round schedule serves
+    every instance and only the frame contents change."""
     table = Table(
-        "E13 routing — engine execution (payloads of 24 bits, b=8)",
+        "E13 routing — engine execution (24-bit frames, b=24, 4 instances)",
         ["n", "pairs", "engine rounds"],
     )
+    frame_size = 24
+    instances = 4
     for n in (6, 10):
         rng = random.Random(n)
-        lengths = {}
-        contents = {}
+        demand = {}
         for src in range(n):
             for dst in range(n):
                 if src != dst and rng.random() < 0.6:
-                    lengths[(src, dst)] = 24
-                    contents[(src, dst)] = Bits.from_uint(rng.getrandbits(24), 24)
+                    demand[(src, dst)] = 1
+        schedule = build_schedule(demand, n)
+        program = route_program(schedule, frame_size)
 
-        def program(ctx):
-            mine = {
-                dst: contents[(ctx.node_id, dst)]
-                for (src, dst) in lengths
-                if src == ctx.node_id
-            }
-            received = yield from route_payloads(ctx, lengths, mine, 8)
-            return received
+        def make_inputs(seed):
+            contents = random.Random(seed)
+            per_node = [dict() for _ in range(n)]
+            for src, dst in demand:
+                per_node[src][(src, dst, 0)] = Bits.from_uint(
+                    contents.getrandbits(frame_size), frame_size
+                )
+            return per_node
 
-        result = run_protocol(program, n=n, bandwidth=8)
-        for dst in range(n):
-            for (src, d2), payload in contents.items():
-                if d2 == dst:
-                    assert result.outputs[dst][src] == payload
-        table.add_row(n, len(lengths), result.rounds)
+        inputs_list = [make_inputs(1000 * n + k) for k in range(instances)]
+        network = Network(n=n, bandwidth=frame_size)
+        results = network.run_many(program, inputs_list)
+        assert network.schedule_stats["replayed"] == instances - 1
+        for inputs, result in zip(inputs_list, results):
+            for src in range(n):
+                for (s, dst, idx), payload in inputs[src].items():
+                    assert result.outputs[dst][(s, dst, idx)] == payload
+        assert len({r.rounds for r in results}) == 1
+        table.add_row(n, len(demand), results[0].rounds)
     emit(table, capsys, filename="e13_routing_engine.md")
 
     benchmark(lambda: build_schedule({(0, 1): 3, (1, 2): 3, (2, 0): 3}, 3))

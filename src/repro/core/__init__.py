@@ -1,6 +1,7 @@
 """Core substrate: bit-level messages and the synchronous network engine."""
 
 from repro.core.bits import BitReader, Bits, BitWriter
+from repro.core.compiled import BatchRunner, CompiledSchedule, mark_oblivious, oblivious_key
 from repro.core.errors import (
     BandwidthExceededError,
     DecodeError,
@@ -54,6 +55,10 @@ __all__ = [
     "transmit_unicast",
     "transmit_broadcast",
     "idle",
+    "mark_oblivious",
+    "oblivious_key",
+    "CompiledSchedule",
+    "BatchRunner",
     "render_timeline",
     "traffic_by_node",
     "traffic_matrix",

@@ -54,6 +54,7 @@ __all__ = [
     "FixedLane",
     "BroadcastInbox",
     "BroadcastLane",
+    "BatchLane",
     "coerce_fixed",
     "coerce_broadcast",
     "validate_fixed",
@@ -363,6 +364,88 @@ class FixedLane:
 
     def inbox(self, receiver: int) -> FixedWidthInbox:
         box = self._active.inboxes[receiver]
+        box._reset(self.width)
+        return box
+
+
+class _BatchBuffers:
+    """One dtype's worth of stacked per-instance matrices for replay.
+
+    ``values[k]`` is instance ``k``'s ``n × n`` send matrix; the
+    receiver-presence mask is *shared* across instances because a
+    compiled replay only ever delivers rounds whose structure every
+    instance matched."""
+
+    __slots__ = ("values", "present", "inboxes", "touched")
+
+    def __init__(self, n: int, instances: int, dtype) -> None:
+        self.values = np.zeros((instances, n, n), dtype=dtype)
+        self.present = np.zeros((n, n), dtype=bool)
+        self.inboxes = [
+            [
+                FixedWidthInbox(self.values[k, :, u], self.present[:, u])
+                for u in range(n)
+            ]
+            for k in range(instances)
+        ]
+        self.touched: List[int] = []  # sender rows written last bulk round
+
+
+class BatchLane:
+    """Replay delivery for compiled bulk rounds, K instances at a time.
+
+    The engine hands it a :class:`~repro.core.compiled.LaneStructure`
+    (precomputed flat row/column index arrays) plus one stacked
+    ``K × messages`` value matrix per round; delivery is one flat
+    fancy-indexed write per instance, and the shared presence mask is
+    rewritten only when the structure differs from the previous bulk
+    round (phases repeat one shape for many rounds, so it usually
+    doesn't).  All classification, validation and accounting has already
+    happened at record time.
+    """
+
+    __slots__ = ("n", "instances", "width", "_numeric", "_object", "_active", "_struct")
+
+    def __init__(self, n: int, instances: int) -> None:
+        self.n = n
+        self.instances = instances
+        self.width = 0
+        self._numeric: Optional[_BatchBuffers] = None
+        self._object: Optional[_BatchBuffers] = None
+        self._active: Optional[_BatchBuffers] = None
+        self._struct: Any = None
+
+    def _buffers(self, width: int) -> _BatchBuffers:
+        if width <= NUMERIC_WIDTH_LIMIT:
+            if self._numeric is None:
+                self._numeric = _BatchBuffers(self.n, self.instances, np.uint64)
+            return self._numeric
+        if self._object is None:
+            self._object = _BatchBuffers(self.n, self.instances, object)
+        return self._object
+
+    def deliver_compiled(self, struct, active: Sequence[int], stacked) -> None:
+        """Deliver one compiled bulk round: ``stacked[i]`` holds the flat
+        value vector of instance ``active[i]`` in structure order."""
+        buf = self._buffers(struct.width)
+        if self._struct is not struct or self._active is not buf:
+            touched = buf.touched
+            if touched:
+                buf.present[touched] = False
+                touched.clear()
+            buf.present[struct.rows, struct.cols] = True
+            touched.extend(struct.sender_ids)
+            self._struct = struct
+        values = buf.values
+        rows = struct.rows
+        cols = struct.cols
+        for i, k in enumerate(active):
+            values[k][rows, cols] = stacked[i]
+        self.width = struct.width
+        self._active = buf
+
+    def inbox(self, instance: int, receiver: int) -> FixedWidthInbox:
+        box = self._active.inboxes[instance][receiver]
         box._reset(self.width)
         return box
 

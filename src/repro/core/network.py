@@ -38,6 +38,22 @@ Two interchangeable round loops produce identical :class:`RunResult`\\ s:
 Inboxes are only valid for the round in which they are delivered: the
 fast engine recycles the underlying buffers, so a program must not stash
 an :class:`Inbox` and read it in a later round (copy what you need).
+
+Compiled schedules
+------------------
+
+Programs declared oblivious (via
+:func:`~repro.core.compiled.mark_oblivious`) are *compiled* on their
+first run: the engine records each round's lane kind, width and
+destination structure into a :class:`~repro.core.compiled.CompiledSchedule`
+cached on the network.  Later runs replay payload-only — a cheap
+structural check per round replaces classification and validation, and
+bulk rounds are delivered through precomputed flat index arrays.  A
+round that deviates from the recorded structure aborts the replay and
+the run falls back to full execution (and re-records).
+:meth:`Network.run_many` extends the replay to K instances in lockstep
+with stacked payload matrices (see
+:class:`~repro.core.fastlane.BatchLane`).
 """
 
 from __future__ import annotations
@@ -49,6 +65,14 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.bits import Bits
+from repro.core.compiled import (
+    BCAST,
+    LANE,
+    SCALAR,
+    CompiledSchedule,
+    ScheduleRecorder,
+    oblivious_key,
+)
 from repro.core.errors import (
     BandwidthExceededError,
     MaxRoundsExceededError,
@@ -423,24 +447,62 @@ class Network:
         # Boolean adjacency rows for vectorized CONGEST validation of
         # fixed-width outboxes; built lazily on first use.
         self._adj_mask = None
+        # Compiled schedules for oblivious programs, keyed by their
+        # mark_oblivious declaration.  Bounded; correctness never
+        # depends on a hit (misses just record, stale entries are
+        # caught by the per-round structural check).
+        self._compiled: Dict[Any, CompiledSchedule] = {}
+        #: Counters for the compilation layer: schedules recorded,
+        #: instances replayed (incl. batched), structural-deviation
+        #: fallbacks to full execution.
+        self.schedule_stats: Dict[str, int] = {
+            "compiled": 0,
+            "replayed": 0,
+            "fallbacks": 0,
+        }
+        # (seed, per-node states, shared state), captured once per seed:
+        # every run (and every run_many instance) restores identical
+        # per-node streams by cloning state instead of re-hashing the
+        # seed strings.
+        self._rng_states: Optional[Tuple[Any, List[Any], Any]] = None
 
     # -- execution -------------------------------------------------------
 
     def _make_contexts(self, inputs: Optional[Sequence[Any]]) -> List[Context]:
-        return [
-            Context(
-                node_id=v,
-                n=self.n,
-                bandwidth=self.bandwidth,
-                mode=self.mode,
-                neighbors=self._neighbors[v],
-                rng=random.Random(f"{self.seed}:node:{v}"),
-                # Identically seeded per-node streams — see Context.
-                shared_rng=random.Random(f"{self.seed}:shared"),
-                input=None if inputs is None else inputs[v],
+        states = self._rng_states
+        if states is None or states[0] != self.seed:
+            # Hash the seed strings once; later runs clone the captured
+            # states, which is cheaper than re-seeding and guarantees
+            # every run starts from identical streams.  Keyed on the
+            # seed so reassigning ``network.seed`` takes effect.
+            private = [
+                random.Random(f"{self.seed}:node:{v}").getstate()
+                for v in range(self.n)
+            ]
+            shared = random.Random(f"{self.seed}:shared").getstate()
+            states = self._rng_states = (self.seed, private, shared)
+        _seed, private_states, shared_state = states
+        new = random.Random.__new__
+        contexts = []
+        for v in range(self.n):
+            rng = new(random.Random)
+            rng.setstate(private_states[v])
+            # Identically seeded per-node streams — see Context.
+            shared_rng = new(random.Random)
+            shared_rng.setstate(shared_state)
+            contexts.append(
+                Context(
+                    node_id=v,
+                    n=self.n,
+                    bandwidth=self.bandwidth,
+                    mode=self.mode,
+                    neighbors=self._neighbors[v],
+                    rng=rng,
+                    shared_rng=shared_rng,
+                    input=None if inputs is None else inputs[v],
+                )
             )
-            for v in range(self.n)
-        ]
+        return contexts
 
     def run(
         self,
@@ -452,17 +514,123 @@ class Network:
 
         ``inputs[v]`` is exposed as ``ctx.input`` on node ``v``.
         """
+        self._check_inputs(inputs)
+        if self.engine == "legacy":
+            return self._run_legacy(program, inputs)
+        key = None if self.record_transcript else oblivious_key(program)
+        if key is None:
+            return self._run_fast(program, inputs)
+        compiled = self._compiled_entry(key)
+        if compiled is not None:
+            replayed = self._try_replay(program, [inputs], compiled, key)
+            if replayed is not None:
+                return replayed[0]
+            # Structural deviation: the stale entry was evicted; fall
+            # through to full execution, which re-records.
+        return self._run_recording(program, inputs, key)
+
+    def run_many(
+        self,
+        program: Callable[[Context], Any],
+        inputs_list: Sequence[Optional[Sequence[Any]]],
+    ) -> List[RunResult]:
+        """Run ``program`` once per entry of ``inputs_list`` and return
+        one :class:`RunResult` per instance, byte-identical to calling
+        :meth:`run` sequentially.
+
+        When ``program`` is declared oblivious
+        (:func:`~repro.core.compiled.mark_oblivious`), the first
+        instance records (or reuses) the compiled schedule and the
+        remaining instances replay it **in lockstep**: each round is
+        structurally checked per instance and delivered through stacked
+        payload matrices (:class:`~repro.core.fastlane.BatchLane`), so
+        classification, validation and accounting are paid once for the
+        whole batch.  Any structural deviation falls back to full
+        sequential execution of the affected instances.  Undeclared
+        programs, the legacy engine, and transcript-recording networks
+        always take the sequential path.
+        """
+        inputs_list = list(inputs_list)
+        for inputs in inputs_list:
+            self._check_inputs(inputs)
+        key = None if self.record_transcript else oblivious_key(program)
+        if key is None or self.engine == "legacy" or not inputs_list:
+            return [self.run(program, inputs) for inputs in inputs_list]
+        results: List[RunResult] = []
+        rest = inputs_list
+        if self._compiled_entry(key) is None:
+            results.append(self._run_recording(program, inputs_list[0], key))
+            rest = inputs_list[1:]
+        # Bound the stacked replay buffers (~64 MB of uint64 send
+        # matrices) by chunking large sweeps; replay state carries over
+        # through the schedule cache, so chunking is invisible apart
+        # from peak memory.
+        chunk_size = max(1, (64 << 20) // (self.n * self.n * 8))
+        for start in range(0, len(rest), chunk_size):
+            chunk = rest[start : start + chunk_size]
+            compiled = self._compiled_entry(key)
+            replayed = (
+                self._try_replay(program, chunk, compiled, key)
+                if compiled is not None
+                else None
+            )
+            if replayed is None:
+                # Deviation mid-chunk: re-execute the affected
+                # instances from scratch (programs declared oblivious
+                # must be side-effect-free, so the abandoned partial
+                # executions are unobservable).  The first re-run
+                # re-records, so conforming instances later in the
+                # sweep regain batching; a second deviation within the
+                # same chunk demotes its remainder to plain execution.
+                replayed = [self._run_recording(program, chunk[0], key)]
+                tail = chunk[1:]
+                if tail:
+                    compiled = self._compiled_entry(key)
+                    again = (
+                        self._try_replay(program, tail, compiled, key)
+                        if compiled is not None
+                        else None
+                    )
+                    if again is None:
+                        again = [self._run_fast(program, inputs) for inputs in tail]
+                    replayed.extend(again)
+            results.extend(replayed)
+        return results
+
+    def _check_inputs(self, inputs: Optional[Sequence[Any]]) -> None:
         if inputs is not None and len(inputs) != self.n:
             raise ProtocolError(
                 f"got {len(inputs)} inputs for {self.n} nodes; "
                 "Network.run needs exactly one input per node "
                 "(pass inputs=None for input-free protocols)"
             )
-        if self.engine == "legacy":
-            return self._run_legacy(program, inputs)
-        return self._run_fast(program, inputs)
 
-    def _start(self, program, inputs):
+    def _compiled_entry(self, key) -> Optional[CompiledSchedule]:
+        """The cached schedule for ``key``, evicting it first if the
+        network's bandwidth or mode was reassigned since it was
+        recorded (the recorded rounds were validated under the old
+        parameters, so replaying them would skip the new limits)."""
+        entry = self._compiled.get(key)
+        if entry is not None and entry.params != (self.bandwidth, self.mode):
+            del self._compiled[key]
+            return None
+        return entry
+
+    def _run_recording(self, program, inputs, key) -> RunResult:
+        recorder = ScheduleRecorder()
+        result = self._run_fast(program, inputs, recorder=recorder)
+        if len(self._compiled) >= 32:
+            # Bounded cache: drop the oldest entry (insertion order).
+            self._compiled.pop(next(iter(self._compiled)))
+        entry = recorder.finish()
+        entry.params = (self.bandwidth, self.mode)
+        self._compiled[key] = entry
+        self.schedule_stats["compiled"] += 1
+        return result
+
+    def _start(self, program, inputs, check=None):
+        if check is None:
+            check = self._check_outbox
         contexts = self._make_contexts(inputs)
         outputs: List[Any] = [None] * self.n
         generators: Dict[int, Any] = {}
@@ -474,7 +642,7 @@ class Network:
                 outputs[v] = gen
                 continue
             try:
-                pending_outbox[v] = self._check_outbox(v, next(gen))
+                pending_outbox[v] = check(v, next(gen))
                 generators[v] = gen
             except StopIteration as stop:
                 outputs[v] = stop.value
@@ -482,7 +650,7 @@ class Network:
 
     # -- fast engine -----------------------------------------------------
 
-    def _run_fast(self, program, inputs) -> RunResult:
+    def _run_fast(self, program, inputs, recorder=None) -> RunResult:
         n = self.n
         outputs, generators, pending = self._start(program, inputs)
 
@@ -579,6 +747,13 @@ class Network:
                         round_bits += self._deliver(v, outbox, inbox_dicts, record)
                 else:
                     round_bits = self._deliver_round_fast(pending, inbox_dicts)
+            if recorder is not None:
+                if use_lane:
+                    recorder.lane_round(fixed_list, lane_width, round_bits)
+                elif use_bcast_lane:
+                    recorder.bcast_round(bcast_list, bcast_width, round_bits)
+                else:
+                    recorder.scalar_round(round_bits)
             total_bits += round_bits
             if round_bits > max_round_bits:
                 max_round_bits = round_bits
@@ -688,6 +863,297 @@ class Network:
                 inbox_dicts[dest][sender] = payload
                 bits += plen
         return bits
+
+    # -- compiled replay -------------------------------------------------
+
+    def _bail(self, key) -> None:
+        """A replayed round deviated from the compiled structure: evict
+        the stale schedule and signal the caller to fall back to full
+        execution (which re-records)."""
+        self._compiled.pop(key, None)
+        self.schedule_stats["fallbacks"] += 1
+        return None
+
+    def _check_outbox_light(self, sender: int, yielded: Any) -> Outbox:
+        """Replay-mode yield check: type only.  Mode, bandwidth and
+        topology conformance are implied by the structural match against
+        the compiled (fully validated) round; any mismatch bails to the
+        full path, which re-validates from scratch."""
+        if yielded is None:
+            return _SILENT_OUTBOX
+        if isinstance(yielded, Outbox):
+            return yielded
+        raise ProtocolError(
+            f"node {sender} yielded {type(yielded).__name__}, expected Outbox"
+        )
+
+    def _try_replay(
+        self,
+        program,
+        inputs_list: Sequence[Optional[Sequence[Any]]],
+        compiled: CompiledSchedule,
+        key: Any,
+    ) -> Optional[List[RunResult]]:
+        """Run every instance of ``inputs_list`` against ``compiled`` in
+        lockstep; returns per-instance RunResults, or ``None`` if any
+        round deviates structurally (after evicting the stale entry)."""
+        import numpy as np
+
+        from repro.core.fastlane import NUMERIC_WIDTH_LIMIT, BatchLane, BroadcastLane
+
+        n = self.n
+        num_instances = len(inputs_list)
+        crounds = compiled.rounds
+        num_rounds = len(crounds)
+        light = self._check_outbox_light
+        full = self._check_outbox
+
+        def check_for(r):
+            # Rounds the compiled schedule will bulk-deliver are checked
+            # structurally, so their yields skip validation; scalar
+            # rounds (and anything past the schedule, which bails) go
+            # through the ordinary fully validating check.
+            if r < num_rounds and crounds[r][0] != SCALAR:
+                return light
+            return full
+
+        check = check_for(0)
+        outputs_l: List[List[Any]] = []
+        gens_l: List[Dict[int, Any]] = []
+        pending_l: List[Dict[int, Outbox]] = []
+        for inputs in inputs_list:
+            outputs, generators, pending = self._start(program, inputs, check=check)
+            outputs_l.append(outputs)
+            gens_l.append(generators)
+            pending_l.append(pending)
+        rounds_l = [0] * num_instances
+        bits_l = [0] * num_instances
+        maxb_l = [0] * num_instances
+
+        lane: Optional[BatchLane] = None
+        blanes: Optional[List[Optional[BroadcastLane]]] = None
+        scalar_state: Optional[List[Any]] = None
+        vbuf_num = vbuf_obj = dbuf = None
+        scalar_bits: Dict[int, int] = {}
+        # Per-instance (structure, outbox-list) of the previous lane
+        # round.  Outboxes are immutable, so when a program re-yields
+        # the *same* outbox objects under the same structure (the
+        # zero-churn pattern), the round needs no re-verification and —
+        # because the send matrix already holds those exact values — no
+        # rewrite either.
+        lane_memo: List[Optional[Tuple[Any, List[Any]]]] = [None] * num_instances
+
+        r = 0
+        while True:
+            active = [k for k in range(num_instances) if gens_l[k]]
+            if not active:
+                break
+            if r >= num_rounds:
+                # The protocol outlived its compiled schedule.
+                return self._bail(key)
+            kind, payload, round_bits = crounds[r]
+
+            if kind == LANE:
+                struct = payload
+                entries = struct.entries
+                n_entries = len(entries)
+                width = struct.width
+                count = struct.count
+                slices = struct.slices
+                # Pass 1: match each instance's pending outboxes to the
+                # compiled entries.  An outbox identical (by object) to
+                # last lane round's at the same position under the same
+                # structure is already verified *and* already written.
+                need_write: List[int] = []  # instance slots to deliver
+                round_outs: List[Tuple[int, List[Any]]] = []
+                for k in active:
+                    memo = lane_memo[k]
+                    prev_outs = (
+                        memo[1] if memo is not None and memo[0] is struct else None
+                    )
+                    outs: List[Any] = []
+                    fresh = False
+                    j = 0
+                    for v, out in pending_l[k].items():
+                        if out.kind == "silent":
+                            continue
+                        if j >= n_entries or v != entries[j][0]:
+                            return self._bail(key)
+                        if prev_outs is None or prev_outs[j] is not out:
+                            if (
+                                out.kind != "fixed"
+                                or out.width != width
+                                or out.dests.size != entries[j][2]
+                            ):
+                                return self._bail(key)
+                            fresh = True
+                        outs.append(out)
+                        j += 1
+                    if j != n_entries:
+                        return self._bail(key)
+                    lane_memo[k] = (struct, outs)
+                    if fresh:
+                        need_write.append(k)
+                        round_outs.append((k, outs))
+                # Pass 2: verify and deliver only the instances with
+                # fresh outboxes, through stacked flat writes.
+                if need_write and count:
+                    written = len(need_write)
+                    if width <= NUMERIC_WIDTH_LIMIT:
+                        if vbuf_num is None or vbuf_num.shape[1] < count:
+                            vbuf_num = np.empty(
+                                (num_instances, count), dtype=np.uint64
+                            )
+                        vbuf = vbuf_num
+                    else:
+                        if vbuf_obj is None or vbuf_obj.shape[1] < count:
+                            vbuf_obj = np.empty(
+                                (num_instances, count), dtype=object
+                            )
+                        vbuf = vbuf_obj
+                    if dbuf is None or dbuf.shape[1] < count:
+                        dbuf = np.empty((num_instances, count), dtype=np.intp)
+                    for i, (_k, outs) in enumerate(round_outs):
+                        row_v = vbuf[i]
+                        row_d = dbuf[i]
+                        for j, out in enumerate(outs):
+                            start, stop = slices[j]
+                            if start != stop:
+                                row_d[start:stop] = out.dests
+                                row_v[start:stop] = out.values
+                    if (dbuf[:written, :count] != struct.cols).any():
+                        # Same shape, different destinations: still a
+                        # structural deviation (the flat delivery indices
+                        # and the skipped validation both assume the
+                        # recorded destination vectors).
+                        return self._bail(key)
+                    # Payload values wider than the recorded width are
+                    # demoted the same way, so the full path raises the
+                    # identical ProtocolError a cold-cache run would.
+                    if vbuf is vbuf_num:
+                        if (vbuf[:written, :count] >> np.uint64(width)).any():
+                            return self._bail(key)
+                    elif any(
+                        value >> width
+                        for row in vbuf[:written, :count]
+                        for value in row
+                    ):
+                        return self._bail(key)
+                    if lane is None:
+                        lane = BatchLane(n, num_instances)
+                    lane.deliver_compiled(
+                        struct,
+                        need_write,
+                        [vbuf[i, :count] for i in range(written)],
+                    )
+                else:
+                    # Nothing fresh to write (every instance re-yielded
+                    # last round's outboxes, or the structure carries no
+                    # messages): keep the lane's presence mask in sync
+                    # with this structure — a no-op when unchanged.
+                    if lane is None:
+                        lane = BatchLane(n, num_instances)
+                    lane.deliver_compiled(struct, [], [])
+            elif kind == BCAST:
+                ids, width = payload
+                n_ids = len(ids)
+                if blanes is None:
+                    blanes = [None] * num_instances
+                for k in active:
+                    senders = []
+                    j = 0
+                    for v, out in pending_l[k].items():
+                        okind = out.kind
+                        if okind == "silent":
+                            continue
+                        if (
+                            j >= n_ids
+                            or v != ids[j]
+                            or okind != "bfixed"
+                            or out.width != width
+                        ):
+                            return self._bail(key)
+                        senders.append((v, out))
+                        j += 1
+                    if j != n_ids:
+                        return self._bail(key)
+                    blane = blanes[k]
+                    if blane is None:
+                        blane = blanes[k] = BroadcastLane(n)
+                    blane.deliver(senders, width, None)
+            else:  # SCALAR: ordinary validated delivery, per instance.
+                if scalar_state is None:
+                    scalar_state = [None] * num_instances
+                scalar_bits.clear()
+                for k in active:
+                    state = scalar_state[k]
+                    if state is None:
+                        dicts = [dict() for _ in range(n)]
+                        state = scalar_state[k] = [
+                            dicts,
+                            [Inbox(d) for d in dicts],
+                            False,
+                        ]
+                    dicts, views, dirty = state
+                    if dirty:
+                        for u in range(n):
+                            dicts[u].clear()
+                            views[u]._reset()
+                    state[2] = True
+                    scalar_bits[k] = self._deliver_round_fast(pending_l[k], dicts)
+
+            check = check_for(r + 1)
+            for k in active:
+                bits = round_bits if kind != SCALAR else scalar_bits[k]
+                rounds_l[k] += 1
+                bits_l[k] += bits
+                if bits > maxb_l[k]:
+                    maxb_l[k] = bits
+                generators = gens_l[k]
+                outputs = outputs_l[k]
+                new_pending: Dict[int, Outbox] = {}
+                finished = []
+                if kind == LANE:
+                    for v, gen in generators.items():
+                        try:
+                            new_pending[v] = check(v, gen.send(lane.inbox(k, v)))
+                        except StopIteration as stop:
+                            outputs[v] = stop.value
+                            finished.append(v)
+                elif kind == BCAST:
+                    blane = blanes[k]
+                    for v, gen in generators.items():
+                        try:
+                            new_pending[v] = check(v, gen.send(blane.inbox(v)))
+                        except StopIteration as stop:
+                            outputs[v] = stop.value
+                            finished.append(v)
+                else:
+                    dicts, views, _dirty = scalar_state[k]
+                    for v, gen in generators.items():
+                        inbox = views[v] if dicts[v] else EMPTY_INBOX
+                        try:
+                            new_pending[v] = check(v, gen.send(inbox))
+                        except StopIteration as stop:
+                            outputs[v] = stop.value
+                            finished.append(v)
+                for v in finished:
+                    del generators[v]
+                pending_l[k] = new_pending
+            r += 1
+
+        compiled.replays += num_instances
+        self.schedule_stats["replayed"] += num_instances
+        return [
+            RunResult(
+                outputs=outputs_l[k],
+                rounds=rounds_l[k],
+                total_bits=bits_l[k],
+                max_round_bits=maxb_l[k],
+                transcript=None,
+            )
+            for k in range(num_instances)
+        ]
 
     # -- legacy engine (reference semantics) -----------------------------
 

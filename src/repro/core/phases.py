@@ -18,6 +18,20 @@ from`` inside a node program::
     def program(ctx):
         got = yield from transmit_broadcast(ctx, my_bits, max_bits=limit)
         ...
+
+Obliviousness
+-------------
+
+Phases are structure-oblivious building blocks: a transmit phase always
+lasts ``phase_length(max_bits, b)`` rounds of exactly ``b``-bit frames,
+so its round/width structure is fixed by the public parameters.  The
+*sender set* is the one input-dependent degree of freedom —
+``transmit_unicast``'s destination keys and ``transmit_broadcast``'s
+``payload is None`` choice.  A program composed of phases whose sender
+sets are input-independent (everyone transmits, or who-transmits is
+derived from public data) qualifies for
+:func:`~repro.core.compiled.mark_oblivious`: repeated runs then replay a
+compiled schedule instead of re-classifying every frame round.
 """
 
 from __future__ import annotations

@@ -24,7 +24,7 @@ def canonical_edge(u: int, v: int) -> Edge:
 class Graph:
     """Undirected simple graph on the fixed vertex set ``0..n-1``."""
 
-    __slots__ = ("_n", "_adj", "_m")
+    __slots__ = ("_n", "_adj", "_m", "_adj_matrix")
 
     def __init__(self, n: int) -> None:
         if n < 0:
@@ -32,6 +32,7 @@ class Graph:
         self._n = n
         self._adj: List[Set[int]] = [set() for _ in range(n)]
         self._m = 0
+        self._adj_matrix = None  # memoized adjacency_matrix (read-only)
 
     # -- construction ----------------------------------------------------
 
@@ -51,17 +52,22 @@ class Graph:
             self._adj[u].add(v)
             self._adj[v].add(u)
             self._m += 1
+            self._adj_matrix = None
 
     def remove_edge(self, u: int, v: int) -> None:
         if v in self._adj[u]:
             self._adj[u].discard(v)
             self._adj[v].discard(u)
             self._m -= 1
+            self._adj_matrix = None
 
     def copy(self) -> "Graph":
         clone = Graph(self._n)
         clone._adj = [set(nbrs) for nbrs in self._adj]
         clone._m = self._m
+        # The memoized matrix is immutable, so sharing it is safe: a
+        # later mutation of either graph just clears that graph's slot.
+        clone._adj_matrix = self._adj_matrix
         return clone
 
     # -- queries ----------------------------------------------------------
@@ -141,12 +147,21 @@ class Graph:
         return out
 
     def adjacency_matrix(self):
-        """Adjacency matrix as a numpy uint8 array (import deferred so the
-        core library stays numpy-free unless you ask for matrices).
+        """Adjacency matrix as a **read-only** numpy uint8 array (import
+        deferred so the core library stays numpy-free unless you ask for
+        matrices).
+
+        The matrix is memoized — repeated calls (matmul-based detection
+        sweeps, batched protocol runs) return the same array without
+        rebuilding — and invalidated whenever an edge is added or
+        removed.  Callers that need a mutable copy must ``.copy()`` it.
 
         Both triangles of the matrix are filled with two fancy-indexed
         writes over a flat edge array rather than a per-edge Python
         loop."""
+        cached = self._adj_matrix
+        if cached is not None:
+            return cached
         import numpy as np
 
         mat = np.zeros((self._n, self._n), dtype=np.uint8)
@@ -160,6 +175,8 @@ class Graph:
             vs = flat[1::2]
             mat[us, vs] = 1
             mat[vs, us] = 1
+        mat.flags.writeable = False
+        self._adj_matrix = mat
         return mat
 
     # -- dunder -------------------------------------------------------------

@@ -24,16 +24,27 @@ the output redistribution, both via :func:`route_payloads`, and the
 final aggregation via :func:`transmit_unicast` — move fixed-width
 frames, so on the default engine they ride the batched numpy fast lane
 (:mod:`repro.core.fastlane`) instead of per-message dict delivery.
+
+The protocol is *oblivious*: every round's structure comes from the
+public :class:`SimulationPlan` and routing schedules, never from the
+adjacency rows.  :func:`triangle_mm_program` declares this
+(:func:`~repro.core.compiled.mark_oblivious`), and
+:func:`detect_triangle_mm_many` exploits it — detection over many
+same-size graphs runs through
+:meth:`~repro.core.network.Network.run_many` against one compiled
+schedule (one plan build, one structure pass, batched payload
+delivery).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.circuits.arithmetic import matmul_circuit_naive, matmul_circuit_strassen
 from repro.circuits.circuit import Circuit
 from repro.core.bits import Bits
+from repro.core.compiled import mark_oblivious
 from repro.core.network import Mode, Network, Outbox, RunResult
 from repro.core.phases import transmit_unicast
 from repro.graphs.graph import Graph
@@ -46,6 +57,7 @@ __all__ = [
     "TriangleMMOutcome",
     "triangle_mm_program",
     "detect_triangle_mm",
+    "detect_triangle_mm_many",
 ]
 
 
@@ -161,7 +173,9 @@ def triangle_mm_program(
             found=witness is not None, witness=witness, trials=trials
         )
 
-    return program
+    # Structure comes from (plan, trials) alone; the adjacency rows only
+    # fill payloads — see the module docstring.
+    return mark_oblivious(program, "triangle_mm", id(plan), trials)
 
 
 def detect_triangle_mm(
@@ -202,3 +216,43 @@ def detect_triangle_mm(
     ]
     result = network.run(triangle_mm_program(graph, plan, trials), inputs=rows)
     return result.outputs[0], result, plan
+
+
+def detect_triangle_mm_many(
+    graphs: Sequence[Graph],
+    trials: int = 8,
+    circuit_kind: str = "strassen",
+    bandwidth: Optional[int] = None,
+    seed: int = 0,
+    plan: Optional[SimulationPlan] = None,
+) -> Tuple[List[TriangleMMOutcome], List[RunResult], SimulationPlan]:
+    """Triangle detection over many same-size graphs, one compiled
+    schedule: the plan is built once, the first instance records the
+    round structure, and the remaining instances replay it in lockstep
+    via :meth:`~repro.core.network.Network.run_many`.  Per-instance
+    results are byte-identical to calling :func:`detect_triangle_mm`
+    with the same plan, seed and trials on each graph."""
+    if not graphs:
+        raise ValueError("detect_triangle_mm_many needs at least one graph")
+    size = graphs[0].n
+    for graph in graphs:
+        if graph.n != size:
+            raise ValueError("detect_triangle_mm_many needs same-size graphs")
+    if plan is None:
+        builder: Callable[[int], Circuit] = (
+            matmul_circuit_strassen if circuit_kind == "strassen" else matmul_circuit_naive
+        )
+        plan = build_plan(
+            builder(size), size, matmul_input_partition(size), bandwidth
+        )
+    network = Network(n=size, bandwidth=plan.bandwidth, mode=Mode.UNICAST, seed=seed)
+    program = triangle_mm_program(graphs[0], plan, trials)
+    inputs_list = [
+        [
+            [1 if graph.has_edge(v, u) else 0 for u in range(size)]
+            for v in range(size)
+        ]
+        for graph in graphs
+    ]
+    results = network.run_many(program, inputs_list)
+    return [result.outputs[0] for result in results], results, plan

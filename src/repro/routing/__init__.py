@@ -1,7 +1,12 @@
 """Deterministic balanced routing (the library's stand-in for Lenzen's
 O(1)-round congested-clique routing [28]; see DESIGN.md substitution #1)."""
 
-from repro.routing.lenzen import payload_demand, route_frames, route_payloads
+from repro.routing.lenzen import (
+    payload_demand,
+    route_frames,
+    route_payloads,
+    route_program,
+)
 from repro.routing.schedule import FrameRef, RoutingSchedule, build_schedule
 
 __all__ = [
@@ -11,4 +16,5 @@ __all__ = [
     "route_frames",
     "route_payloads",
     "payload_demand",
+    "route_program",
 ]

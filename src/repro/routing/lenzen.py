@@ -11,6 +11,15 @@ the demand pattern is public.
 :func:`route_payloads` layers variable-length payloads on top: payload
 lengths are public (part of the plan), so payloads are padded to whole
 frames and truncated by the receiver.
+
+Routing is *oblivious*: every round's senders, receivers and frame
+widths are fully determined by the public :class:`RoutingSchedule` and
+``frame_size`` — the payload bits never influence the structure.
+Programs whose communication consists of such routed exchanges can be
+declared to the engine with :func:`~repro.core.compiled.mark_oblivious`
+so repeated runs replay a compiled schedule; :func:`route_program`
+packages the common whole-program case (every node routes the frames
+given in its input) with the declaration already made.
 """
 
 from __future__ import annotations
@@ -18,10 +27,11 @@ from __future__ import annotations
 from typing import Dict, Mapping, Optional, Tuple
 
 from repro.core.bits import Bits
+from repro.core.compiled import mark_oblivious
 from repro.core.network import Context, Outbox, inbox_uints
 from repro.routing.schedule import FrameRef, RoutingSchedule, build_schedule
 
-__all__ = ["route_frames", "payload_demand", "route_payloads"]
+__all__ = ["route_frames", "payload_demand", "route_payloads", "route_program"]
 
 
 def route_frames(
@@ -102,6 +112,27 @@ def _route_frames_fixed(
             else:
                 holding[frame] = value
     return {ref: Bits(value, frame_size) for ref, value in delivered.items()}
+
+
+def route_program(schedule: RoutingSchedule, frame_size: int):
+    """A complete, oblivious node program executing ``schedule``.
+
+    Node ``v``'s input (``ctx.input``) must be its ``{FrameRef: Bits}``
+    map of injected frames (or ``None`` for no traffic); the node's
+    output is the ``{FrameRef: Bits}`` map of frames delivered to it.
+    The program is declared oblivious — the round structure comes
+    entirely from the public schedule — so sweeping many payload
+    instances with :meth:`~repro.core.network.Network.run_many` replays
+    one compiled schedule instead of re-classifying every round.
+    """
+
+    def program(ctx):
+        delivered = yield from route_frames(
+            ctx, schedule, ctx.input or {}, frame_size=frame_size
+        )
+        return delivered
+
+    return mark_oblivious(program, "route_program", id(schedule), frame_size)
 
 
 def payload_demand(

@@ -11,6 +11,7 @@ from repro.simulation.protocol import (
     make_program,
     redistribute_outputs,
     simulate_circuit,
+    simulate_circuit_many,
 )
 
 __all__ = [
@@ -22,6 +23,7 @@ __all__ = [
     "execute_plan",
     "make_program",
     "simulate_circuit",
+    "simulate_circuit_many",
     "OutputRouting",
     "build_output_routing",
     "redistribute_outputs",

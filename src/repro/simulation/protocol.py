@@ -22,6 +22,14 @@ lengths) is derived from the circuit structure and the deterministic
 assignment — public information — so nodes never need to coordinate.
 The engine's round count is therefore an honest measurement of the
 simulation's round complexity, which Theorem 2 bounds by O(depth).
+
+That same publicness makes the protocol *oblivious*: the round
+structure is a pure function of the :class:`SimulationPlan`, input
+values only fill payload bits.  :func:`make_program` declares this to
+the engine (:func:`~repro.core.compiled.mark_oblivious`), so evaluating
+one circuit on many input vectors — :func:`simulate_circuit_many` —
+records the round schedule once and replays it payload-only for every
+further instance.
 """
 
 from __future__ import annotations
@@ -31,12 +39,19 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.circuits.circuit import CONST_KIND, GATE_KIND, INPUT_KIND, Circuit
 from repro.core.bits import Bits
+from repro.core.compiled import mark_oblivious
 from repro.core.network import Context, Mode, Network, Outbox, RunResult
 from repro.routing.lenzen import payload_demand, route_payloads
 from repro.routing.schedule import RoutingSchedule, build_schedule
 from repro.simulation.assignment import GateAssignment, assign_gates
 
-__all__ = ["LayerPlan", "SimulationPlan", "build_plan", "simulate_circuit"]
+__all__ = [
+    "LayerPlan",
+    "SimulationPlan",
+    "build_plan",
+    "simulate_circuit",
+    "simulate_circuit_many",
+]
 
 Pair = Tuple[int, int]
 
@@ -347,7 +362,9 @@ def make_program(plan: SimulationPlan):
         result = yield from execute_plan(ctx, plan, ctx.input or {})
         return result
 
-    return program
+    # The round structure is a pure function of the plan — see the
+    # module docstring.
+    return mark_oblivious(program, "simulate_circuit", id(plan))
 
 
 def simulate_circuit(
@@ -361,22 +378,54 @@ def simulate_circuit(
 ) -> Tuple[Dict[int, bool], RunResult, SimulationPlan]:
     """Run the full Theorem 2 simulation and return (outputs by gate id,
     engine result, plan)."""
+    all_outputs, results, plan = simulate_circuit_many(
+        circuit,
+        n,
+        [input_values],
+        input_partition=input_partition,
+        bandwidth=bandwidth,
+        plan=plan,
+        seed=seed,
+    )
+    return all_outputs[0], results[0], plan
+
+
+def simulate_circuit_many(
+    circuit: Circuit,
+    n: int,
+    input_values_list: Sequence[Sequence[bool]],
+    input_partition: Optional[Sequence[int]] = None,
+    bandwidth: Optional[int] = None,
+    plan: Optional[SimulationPlan] = None,
+    seed: int = 0,
+) -> Tuple[List[Dict[int, bool]], List[RunResult], SimulationPlan]:
+    """Evaluate ``circuit`` on many input vectors with one compiled
+    schedule: the plan is built once and
+    :meth:`~repro.core.network.Network.run_many` replays the recorded
+    round structure for every instance after the first.  Per-instance
+    results are byte-identical to :func:`simulate_circuit`."""
     if plan is None:
         plan = build_plan(circuit, n, input_partition, bandwidth)
     if input_partition is None:
         input_partition = [i % n for i in range(circuit.num_inputs)]
-    per_node_inputs: List[Dict[int, bool]] = [dict() for _ in range(n)]
-    for position, gid in enumerate(circuit.input_ids):
-        per_node_inputs[input_partition[position]][gid] = bool(
-            input_values[position]
-        )
+    inputs_list = []
+    for input_values in input_values_list:
+        per_node_inputs: List[Dict[int, bool]] = [dict() for _ in range(n)]
+        for position, gid in enumerate(circuit.input_ids):
+            per_node_inputs[input_partition[position]][gid] = bool(
+                input_values[position]
+            )
+        inputs_list.append(per_node_inputs)
     network = Network(n=n, bandwidth=plan.bandwidth, mode=Mode.UNICAST, seed=seed)
-    result = network.run(make_program(plan), inputs=per_node_inputs)
-    outputs: Dict[int, bool] = {}
-    for node_output in result.outputs:
-        if node_output:
-            outputs.update(node_output)
-    return outputs, result, plan
+    results = network.run_many(make_program(plan), inputs_list)
+    all_outputs: List[Dict[int, bool]] = []
+    for result in results:
+        outputs: Dict[int, bool] = {}
+        for node_output in result.outputs:
+            if node_output:
+                outputs.update(node_output)
+        all_outputs.append(outputs)
+    return all_outputs, results, plan
 
 
 @dataclass

@@ -5,13 +5,25 @@ reconstruction of Becker et al. [2] as we implement it (DESIGN.md
 substitution #2): node neighbourhoods are encoded as BCH-style power-sum
 syndromes over GF(2^m), which decode any set of size <= k from O(k·m)
 bits.  Elements are plain Python ints in [0, 2^m); addition is XOR.
+
+Multiplication uses precomputed log/antilog tables: every tabulated
+field has at most 2^16 elements, so ``exp``/``log`` arrays over a
+primitive element fit comfortably in memory and turn the shift-and-xor
+reduction loop into two lookups and one modular add.  The tables are
+built lazily (first multiply) and shared process-wide per degree; the
+carry-less loop survives as :meth:`GF2m.mul_slow`, the executable
+reference the test suite cross-checks the tables against.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 __all__ = ["GF2m", "IRREDUCIBLE_POLYS"]
+
+# Process-wide (exp, log) tables keyed by degree m; built on the first
+# multiply in GF(2^m) and shared by every GF2m(m) instance thereafter.
+_TABLE_CACHE: Dict[int, Tuple[List[int], List[int]]] = {}
 
 # One irreducible polynomial per degree, represented as an int whose bits
 # are coefficients (bit m = x^m term).  Standard low-weight choices.
@@ -38,7 +50,7 @@ IRREDUCIBLE_POLYS: Dict[int, int] = {
 class GF2m:
     """The field GF(2^m) with fixed irreducible modulus."""
 
-    __slots__ = ("m", "modulus", "order", "_mask")
+    __slots__ = ("m", "modulus", "order", "_mask", "_exp", "_log")
 
     def __init__(self, m: int) -> None:
         if m not in IRREDUCIBLE_POLYS:
@@ -47,14 +59,21 @@ class GF2m:
         self.modulus = IRREDUCIBLE_POLYS[m]
         self.order = 1 << m
         self._mask = self.order - 1
+        cached = _TABLE_CACHE.get(m)
+        if cached is not None:
+            self._exp, self._log = cached
+        else:
+            self._exp = self._log = None
 
     # Addition and subtraction coincide in characteristic 2.
     @staticmethod
     def add(a: int, b: int) -> int:
         return a ^ b
 
-    def mul(self, a: int, b: int) -> int:
-        """Carry-less multiplication followed by modular reduction."""
+    def mul_slow(self, a: int, b: int) -> int:
+        """Carry-less multiplication followed by modular reduction — the
+        table-free reference used to build the log/antilog tables (and
+        to cross-check them in the tests)."""
         result = 0
         while b:
             if b & 1:
@@ -64,6 +83,49 @@ class GF2m:
             if a & self.order:
                 a ^= self.modulus
         return result & self._mask
+
+    def _build_tables(self) -> List[int]:
+        """Find a primitive element and tabulate exp/log; returns log."""
+        cached = _TABLE_CACHE.get(self.m)
+        if cached is not None:
+            # Another instance built the tables after we were constructed.
+            self._exp, self._log = cached
+            return self._log
+        span = self.order - 1
+        if span == 1:  # GF(2): the empty product, 1 generates {1}
+            _TABLE_CACHE[self.m] = ([1], [-1, 0])
+            self._exp, self._log = _TABLE_CACHE[self.m]
+            return self._log
+        for candidate in range(2, self.order):
+            exp = [1] * span
+            log = [-1] * self.order
+            log[1] = 0
+            acc = 1
+            ok = True
+            for i in range(1, span):
+                acc = self.mul_slow(acc, candidate)
+                if log[acc] != -1:
+                    ok = False  # cycled early: candidate not primitive
+                    break
+                exp[i] = acc
+                log[acc] = i
+            if ok and self.mul_slow(acc, candidate) == 1:
+                _TABLE_CACHE[self.m] = (exp, log)
+                self._exp, self._log = exp, log
+                return log
+        raise AssertionError(
+            f"no primitive element in GF(2^{self.m})"
+        )  # pragma: no cover - every finite field has one
+
+    def mul(self, a: int, b: int) -> int:
+        """Field multiplication via log/antilog lookup (the fast path
+        Becker-reconstruction decoding is dominated by)."""
+        if not a or not b:
+            return 0
+        log = self._log
+        if log is None:
+            log = self._build_tables()
+        return self._exp[(log[a] + log[b]) % (self.order - 1)]
 
     def square(self, a: int) -> int:
         return self.mul(a, a)

@@ -20,9 +20,10 @@ paper mentions for χ(H) >= 3: every node broadcasts its adjacency row.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Optional, Tuple
+from typing import FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.core.bits import Bits
+from repro.core.compiled import mark_oblivious
 from repro.core.network import Mode, Network, RunResult
 from repro.core.phases import transmit_broadcast
 from repro.graphs.graph import Edge, Graph, canonical_edge
@@ -36,6 +37,7 @@ __all__ = [
     "detect_subgraph",
     "full_learning_program",
     "full_learning_detect",
+    "full_learning_detect_many",
 ]
 
 
@@ -131,7 +133,9 @@ def full_learning_program(pattern: Graph):
             contains=witness is not None, witness=witness, via_density=False
         )
 
-    return program
+    # Every node broadcasts a full n-bit row every run: the phase
+    # structure depends only on n, never on the edges.
+    return mark_oblivious(program)
 
 
 def full_learning_detect(
@@ -153,3 +157,29 @@ def full_learning_detect(
     inputs = [graph.neighbors(v) for v in range(graph.n)]
     result = network.run(full_learning_program(pattern), inputs=inputs)
     return result.outputs[0], result
+
+
+def full_learning_detect_many(
+    graphs: Sequence[Graph],
+    pattern: Graph,
+    bandwidth: int,
+    seed: int = 0,
+) -> Tuple[List[DetectionOutcome], List[RunResult]]:
+    """Full-learning detection over many same-size graphs with one
+    compiled schedule: the broadcast-phase structure depends only on
+    ``n``, so the first instance records it and the rest replay via
+    :meth:`~repro.core.network.Network.run_many`.  Per-instance results
+    are byte-identical to :func:`full_learning_detect`."""
+    if not graphs:
+        return [], []
+    n = graphs[0].n
+    for graph in graphs:
+        if graph.n != n:
+            raise ValueError("full_learning_detect_many needs same-size graphs")
+    network = Network(n=n, bandwidth=bandwidth, mode=Mode.BROADCAST, seed=seed)
+    program = full_learning_program(pattern)
+    inputs_list = [
+        [graph.neighbors(v) for v in range(n)] for graph in graphs
+    ]
+    results = network.run_many(program, inputs_list)
+    return [result.outputs[0] for result in results], results

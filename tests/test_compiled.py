@@ -1,0 +1,942 @@
+"""Schedule-cache correctness: record/replay equivalence, structural-
+deviation fallback, cache invalidation, and batched ``run_many``.
+
+The contract under test: for a program declared oblivious, replayed and
+batched executions must be **byte-identical** to plain sequential
+``Network.run`` calls (which are themselves pinned to the legacy
+reference engine) — including when the declaration is *wrong* and the
+structural check has to demote the run to full execution.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.bits import Bits
+from repro.core.compiled import BatchRunner, mark_oblivious, oblivious_key
+from repro.core.network import Mode, Network, Outbox
+from repro.core.phases import transmit_broadcast, transmit_unicast
+
+
+def assert_same_result(a, b):
+    assert a.outputs == b.outputs
+    assert a.rounds == b.rounds
+    assert a.total_bits == b.total_bits
+    assert a.max_round_bits == b.max_round_bits
+    assert (a.transcript is None) == (b.transcript is None)
+
+
+def reference_results(program, inputs_list, **net_kwargs):
+    """Golden sequence: one legacy-engine run per instance."""
+    network = Network(engine="legacy", **net_kwargs)
+    return [network.run(program, inputs) for inputs in inputs_list]
+
+
+def fixed_allto_program(rounds, width=16):
+    def program(ctx):
+        me = ctx.node_id
+        base = 0 if ctx.input is None else int(ctx.input)
+        for r in range(rounds):
+            dests = list(ctx.neighbors)
+            values = [(me * 31 + d * 7 + r + base) % (1 << width) for d in dests]
+            yield Outbox.fixed_width(dests, values, width)
+        return me
+
+    return program
+
+
+class TestReplayEquivalence:
+    def test_replay_matches_legacy(self):
+        program = mark_oblivious(fixed_allto_program(4))
+        network = Network(n=6, bandwidth=16)
+        results = [network.run(program) for _ in range(3)]
+        golden = reference_results(program, [None] * 3, n=6, bandwidth=16)
+        for got, want in zip(results, golden):
+            assert_same_result(got, want)
+        assert network.schedule_stats["compiled"] == 1
+        assert network.schedule_stats["replayed"] == 2
+        assert network.schedule_stats["fallbacks"] == 0
+
+    def test_replay_inbox_contents(self):
+        # Payloads vary per run; the replayed inboxes must carry the
+        # fresh values, not the recorded ones.
+        width = 8
+
+        def program(ctx):
+            inbox = yield Outbox.fixed_width(
+                list(ctx.neighbors),
+                [(ctx.node_id + ctx.input) % 256] * len(ctx.neighbors),
+                width,
+            )
+            return sorted(inbox.uint_items())
+
+        mark_oblivious(program)
+        network = Network(n=5, bandwidth=width)
+        first = network.run(program, inputs=[10] * 5)
+        second = network.run(program, inputs=[20] * 5)
+        assert network.schedule_stats["replayed"] == 1
+        for v in range(5):
+            assert first.outputs[v] == [
+                (u, (u + 10) % 256) for u in range(5) if u != v
+            ]
+            assert second.outputs[v] == [
+                (u, (u + 20) % 256) for u in range(5) if u != v
+            ]
+
+    def test_broadcast_replay(self):
+        def program(ctx):
+            seen = []
+            for r in range(3):
+                inbox = yield Outbox.broadcast_uint(
+                    (ctx.node_id + r + (ctx.input or 0)) % 32, 5
+                )
+                seen.append(sorted(inbox.uint_items()))
+            return seen
+
+        mark_oblivious(program)
+        network = Network(n=5, bandwidth=5, mode=Mode.BROADCAST)
+        runs = [network.run(program, [k] * 5) for k in range(3)]
+        golden = reference_results(
+            program, [[k] * 5 for k in range(3)], n=5, bandwidth=5, mode=Mode.BROADCAST
+        )
+        for got, want in zip(runs, golden):
+            assert_same_result(got, want)
+        assert network.schedule_stats["replayed"] == 2
+
+    def test_scalar_rounds_replay(self):
+        # Mixed-width rounds compile as scalar and must keep full
+        # validation + delivery semantics on replay.
+        def program(ctx):
+            width = 3 if ctx.node_id % 2 else 5
+            dest = (ctx.node_id + 1) % ctx.n
+            inbox = yield Outbox.fixed_width([dest], [ctx.node_id], width)
+            return sorted((s, p.to_str()) for s, p in inbox.items())
+
+        mark_oblivious(program)
+        network = Network(n=4, bandwidth=5)
+        first = network.run(program)
+        second = network.run(program)
+        assert_same_result(first, second)
+        (golden,) = reference_results(program, [None], n=4, bandwidth=5)
+        assert_same_result(second, golden)
+        assert network.schedule_stats["replayed"] == 1
+
+    def test_reused_outbox_identity_path(self):
+        # The zero-churn pattern: one outbox object yielded every
+        # round.  Replay skips re-verification and rewrites via object
+        # identity; results must still be byte-identical.
+        n = 10
+
+        def program(ctx):
+            box = Outbox.fixed_width(
+                list(ctx.neighbors),
+                [(ctx.node_id + (ctx.input or 0)) % 16] * (ctx.n - 1),
+                4,
+            )
+            seen = []
+            for _ in range(4):
+                inbox = yield box
+                seen.append(sorted(inbox.uint_items()))
+            return seen
+
+        mark_oblivious(program)
+        network = Network(n=n, bandwidth=4)
+        runs = [network.run(program, [k] * n) for k in range(3)]
+        golden = reference_results(
+            program, [[k] * n for k in range(3)], n=n, bandwidth=4
+        )
+        for got, want in zip(runs, golden):
+            assert_same_result(got, want)
+        assert network.schedule_stats["replayed"] == 2
+
+    def test_alternating_structures_with_reused_outboxes(self):
+        # Two reused outboxes with different destination structures,
+        # alternated: the identity fast path must notice the structure
+        # flip each round and rewrite the matrix.
+        n = 10
+
+        def program(ctx):
+            evens = [u for u in ctx.neighbors if u % 2 == 0]
+            odds = [u for u in ctx.neighbors if u % 2 == 1]
+            # Pad both to lane density with the remaining neighbours.
+            box_a = Outbox.fixed_width(
+                evens + odds, [1] * (ctx.n - 1), 4
+            )
+            box_b = Outbox.fixed_width(
+                odds + evens, [2] * (ctx.n - 1), 4
+            )
+            seen = []
+            for r in range(6):
+                inbox = yield (box_a if r % 2 == 0 else box_b)
+                seen.append(sorted(inbox.uint_items()))
+            return seen
+
+        mark_oblivious(program)
+        network = Network(n=n, bandwidth=4)
+        first = network.run(program)
+        second = network.run(program)
+        (golden,) = reference_results(program, [None], n=n, bandwidth=4)
+        assert_same_result(first, golden)
+        assert_same_result(second, golden)
+        assert network.schedule_stats["replayed"] == 1
+
+    def test_shared_outbox_migrating_between_senders_falls_back(self):
+        # One outbox object shared by several senders whose membership
+        # shifts between runs: object identity alone must not vouch for
+        # the round (the sender ids changed).
+        n = 10
+        shared = {}
+
+        def program(ctx):
+            senders = {0, 1} if not ctx.input else {1, 2}
+            if ctx.node_id in senders:
+                key = tuple(sorted(senders))
+                if key not in shared:
+                    others = [u for u in range(n) if u not in senders]
+                    shared[key] = Outbox.fixed_width(
+                        others, [7] * len(others), 4
+                    )
+                inbox = yield shared[key]
+            else:
+                inbox = yield Outbox.silent()
+            return sorted(inbox.uint_items())
+
+        mark_oblivious(program)
+        network = Network(n=n, bandwidth=4)
+        first = network.run(program, [0] * n)
+        second = network.run(program, [1] * n)
+        golden = reference_results(
+            program, [[0] * n, [1] * n], n=n, bandwidth=4
+        )
+        assert_same_result(first, golden[0])
+        assert_same_result(second, golden[1])
+        assert network.schedule_stats["fallbacks"] == 1
+
+    def test_same_flat_dests_different_splits(self):
+        # Rounds A and B concatenate to the same flat destination
+        # vector but split it differently across the two senders; they
+        # must compile as distinct structures and replay cleanly.
+        n = 10
+
+        # flat(A) == flat(B) == [1..8, 9, 2..8, 0] but the split is
+        # (8, 9) in round A and (9, 8) in round B.
+        def program(ctx):
+            me = ctx.node_id
+            if me == 0:
+                box_a = Outbox.fixed_width(list(range(1, 9)), [1] * 8, 4)
+                box_b = Outbox.fixed_width(list(range(1, 10)), [3] * 9, 4)
+            elif me == 1:
+                box_a = Outbox.fixed_width(
+                    [9] + list(range(2, 9)) + [0], [2] * 9, 4
+                )
+                box_b = Outbox.fixed_width(
+                    list(range(2, 9)) + [0], [4] * 8, 4
+                )
+            else:
+                box_a = box_b = None
+            seen = []
+            for box in (box_a, box_b):
+                inbox = yield (box if box is not None else Outbox.silent())
+                seen.append(sorted(inbox.uint_items()))
+            return seen
+
+        mark_oblivious(program)
+        network = Network(n=n, bandwidth=4)
+        first = network.run(program)
+        second = network.run(program)
+        (golden,) = reference_results(program, [None], n=n, bandwidth=4)
+        assert_same_result(first, golden)
+        assert_same_result(second, golden)
+        assert network.schedule_stats["replayed"] == 1
+        assert network.schedule_stats["fallbacks"] == 0
+
+    def test_seed_reassignment_invalidates_rng_cache(self):
+        def program(ctx):
+            yield Outbox.silent()
+            return (ctx.rng.random(), ctx.shared_rng.random())
+
+        network = Network(n=3, bandwidth=4, seed=0)
+        before = network.run(program)
+        network.seed = 1
+        after = network.run(program)
+        assert before.outputs != after.outputs
+        fresh = Network(n=3, bandwidth=4, seed=1).run(program)
+        assert after.outputs == fresh.outputs
+
+    def test_congest_lane_replay(self):
+        n = 12
+        topo = [
+            [u for u in range(n) if u != v and (u + v) % 3 == 0 or u == (v + 1) % n]
+            for v in range(n)
+        ]
+        topo = [[u for u in nbrs if u != v] for v, nbrs in enumerate(topo)]
+
+        def program(ctx):
+            dests = sorted(ctx.neighbors)
+            inbox = yield Outbox.fixed_width(
+                dests, [(ctx.node_id + (ctx.input or 0)) % 16] * len(dests), 4
+            )
+            return sorted(inbox.uint_items())
+
+        mark_oblivious(program)
+        kwargs = dict(n=n, bandwidth=4, mode=Mode.CONGEST, topology=topo)
+        network = Network(**kwargs)
+        runs = [network.run(program, [k] * n) for k in range(3)]
+        golden = reference_results(program, [[k] * n for k in range(3)], **kwargs)
+        for got, want in zip(runs, golden):
+            assert_same_result(got, want)
+
+
+class TestDeviationFallback:
+    def _structure_shift_program(self, width=8):
+        # The destination set depends on ctx.input: declaring this
+        # oblivious is WRONG, and the structural check must catch it.
+        # Dense rounds (>= the lane density threshold) so the rounds
+        # compile onto the bulk lane, where the check lives.
+        def program(ctx):
+            shift = int(ctx.input)
+            skip = (ctx.node_id + shift) % ctx.n
+            dests = [u for u in ctx.neighbors if u != skip]
+            inbox = yield Outbox.fixed_width(
+                dests, [ctx.node_id] * len(dests), width
+            )
+            return sorted(inbox.uint_items())
+
+        return mark_oblivious(program)
+
+    def test_dest_change_falls_back(self):
+        n = 10
+        program = self._structure_shift_program()
+        network = Network(n=n, bandwidth=8)
+        first = network.run(program, [1] * n)
+        second = network.run(program, [2] * n)  # deviates
+        golden = reference_results(
+            program, [[1] * n, [2] * n], n=n, bandwidth=8
+        )
+        assert_same_result(first, golden[0])
+        assert_same_result(second, golden[1])
+        assert network.schedule_stats["fallbacks"] == 1
+        # The fallback re-recorded, so the new structure replays.
+        third = network.run(program, [2] * n)
+        assert_same_result(third, golden[1])
+        assert network.schedule_stats["replayed"] == 1
+
+    def test_sender_set_change_falls_back(self):
+        n = 10
+
+        def program(ctx):
+            if ctx.node_id < int(ctx.input):
+                inbox = yield Outbox.fixed_width(
+                    list(ctx.neighbors), [1] * (ctx.n - 1), 4
+                )
+            else:
+                inbox = yield Outbox.silent()
+            return len(inbox)
+
+        mark_oblivious(program)
+        network = Network(n=n, bandwidth=4)
+        network.run(program, [n] * n)
+        deviating = network.run(program, [3] * n)
+        (golden,) = reference_results(program, [[3] * n], n=n, bandwidth=4)
+        assert_same_result(deviating, golden)
+        assert network.schedule_stats["fallbacks"] == 1
+
+    def test_width_change_falls_back(self):
+        n = 10
+
+        def program(ctx):
+            width = int(ctx.input)
+            inbox = yield Outbox.fixed_width(
+                list(ctx.neighbors), [1] * (ctx.n - 1), width
+            )
+            return sorted(inbox.uint_items())
+
+        mark_oblivious(program)
+        network = Network(n=n, bandwidth=16)
+        network.run(program, [8] * n)
+        deviating = network.run(program, [12] * n)
+        (golden,) = reference_results(program, [[12] * n], n=n, bandwidth=16)
+        assert_same_result(deviating, golden)
+        assert network.schedule_stats["fallbacks"] == 1
+
+    def test_round_count_grows_falls_back(self):
+        def program(ctx):
+            for r in range(int(ctx.input)):
+                yield Outbox.fixed_width(
+                    list(ctx.neighbors), [r % 16] * (ctx.n - 1), 4
+                )
+            return ctx.node_id
+
+        mark_oblivious(program)
+        network = Network(n=5, bandwidth=4)
+        network.run(program, [2] * 5)
+        longer = network.run(program, [4] * 5)  # outlives the schedule
+        (golden,) = reference_results(program, [[4] * 5], n=5, bandwidth=4)
+        assert_same_result(longer, golden)
+        assert network.schedule_stats["fallbacks"] == 1
+
+    def test_round_count_shrinks_is_exact(self):
+        # Fewer rounds than compiled: every delivered round matched the
+        # schedule, so the run completes correctly without a fallback.
+        def program(ctx):
+            for r in range(int(ctx.input)):
+                yield Outbox.fixed_width(
+                    list(ctx.neighbors), [r % 16] * (ctx.n - 1), 4
+                )
+            return ctx.node_id
+
+        mark_oblivious(program)
+        network = Network(n=5, bandwidth=4)
+        network.run(program, [4] * 5)
+        shorter = network.run(program, [2] * 5)
+        (golden,) = reference_results(program, [[2] * 5], n=5, bandwidth=4)
+        assert_same_result(shorter, golden)
+
+    def test_overwide_value_on_replay_raises(self):
+        # Payload values come from inputs; a value that no longer fits
+        # the recorded width must raise the same ProtocolError a
+        # cold-cache run raises, not be delivered raw.
+        from repro.core.errors import ProtocolError
+
+        n, width = 10, 4
+
+        def program(ctx):
+            value = int(ctx.input)
+            inbox = yield Outbox.fixed_width(
+                list(ctx.neighbors), [value] * (ctx.n - 1), width
+            )
+            return sorted(inbox.uint_items())
+
+        mark_oblivious(program)
+        network = Network(n=n, bandwidth=width)
+        network.run(program, [3] * n)
+        with pytest.raises(ProtocolError):
+            network.run(program, [3] * (n - 1) + [200])
+
+    def test_overwide_object_value_on_replay_raises(self):
+        from repro.core.errors import ProtocolError
+
+        n, width = 10, 70  # beyond the uint64 lane
+
+        def program(ctx):
+            value = int(ctx.input)
+            inbox = yield Outbox.fixed_width(
+                list(ctx.neighbors), [value] * (ctx.n - 1), width
+            )
+            return sorted(inbox.uint_items())
+
+        mark_oblivious(program)
+        network = Network(n=n, bandwidth=width)
+        network.run(program, [1 << 69] * n)
+        with pytest.raises(ProtocolError):
+            network.run(program, [1 << 69] * (n - 1) + [1 << 70])
+
+    def test_kind_change_falls_back(self):
+        def program(ctx):
+            if int(ctx.input):
+                inbox = yield Outbox.fixed_width([(ctx.node_id + 1) % ctx.n], [3], 4)
+            else:
+                inbox = yield Outbox.unicast(
+                    {(ctx.node_id + 1) % ctx.n: Bits.from_uint(3, 4)}
+                )
+            return sorted(inbox.uint_items())
+
+        mark_oblivious(program)
+        network = Network(n=9, bandwidth=4)
+        # Sparse fixed rounds compile as scalar; flipping to plain
+        # unicast keeps the scalar path and must still agree.
+        first = network.run(program, [1] * 9)
+        second = network.run(program, [0] * 9)
+        golden = reference_results(program, [[1] * 9, [0] * 9], n=9, bandwidth=4)
+        assert_same_result(first, golden[0])
+        assert_same_result(second, golden[1])
+
+
+class TestCacheInvalidation:
+    def test_fresh_network_recompiles(self):
+        program = mark_oblivious(fixed_allto_program(2))
+        net_a = Network(n=5, bandwidth=16)
+        net_b = Network(n=5, bandwidth=16)
+        net_a.run(program)
+        net_a.run(program)
+        assert net_a.schedule_stats == {
+            "compiled": 1,
+            "replayed": 1,
+            "fallbacks": 0,
+        }
+        # A different network never sees net_a's cache.
+        net_b.run(program)
+        assert net_b.schedule_stats["compiled"] == 1
+        assert net_b.schedule_stats["replayed"] == 0
+
+    def test_distinct_keys_get_distinct_schedules(self):
+        netw = Network(n=5, bandwidth=16)
+        prog_a = mark_oblivious(fixed_allto_program(2), "proto", 2)
+        prog_b = mark_oblivious(fixed_allto_program(3), "proto", 3)
+        netw.run(prog_a)
+        netw.run(prog_b)
+        netw.run(prog_a)
+        netw.run(prog_b)
+        assert netw.schedule_stats["compiled"] == 2
+        assert netw.schedule_stats["replayed"] == 2
+        assert netw.schedule_stats["fallbacks"] == 0
+
+    def test_shared_key_across_closures_replays(self):
+        netw = Network(n=5, bandwidth=16)
+        netw.run(mark_oblivious(fixed_allto_program(2), "shared", 2))
+        netw.run(mark_oblivious(fixed_allto_program(2), "shared", 2))
+        assert netw.schedule_stats["compiled"] == 1
+        assert netw.schedule_stats["replayed"] == 1
+
+    def test_stale_shared_key_falls_back_and_rerecords(self):
+        netw = Network(n=5, bandwidth=16)
+        netw.run(mark_oblivious(fixed_allto_program(2), "stale-key"))
+        # Same key, different structure: caught, demoted, re-recorded.
+        other = mark_oblivious(fixed_allto_program(3), "stale-key")
+        (golden,) = reference_results(other, [None], n=5, bandwidth=16)
+        assert_same_result(netw.run(other), golden)
+        assert netw.schedule_stats["fallbacks"] == 1
+        assert_same_result(netw.run(other), golden)
+        assert netw.schedule_stats["replayed"] == 1
+
+    def test_cache_is_bounded(self):
+        netw = Network(n=4, bandwidth=16)
+        for i in range(40):
+            netw.run(mark_oblivious(fixed_allto_program(1), "proto", i))
+        assert len(netw._compiled) <= 32
+
+    def test_bandwidth_reassignment_evicts_schedule(self):
+        from repro.core.errors import BandwidthExceededError
+
+        n = 10
+
+        def program(ctx):
+            inbox = yield Outbox.fixed_width(
+                list(ctx.neighbors), [200] * (ctx.n - 1), 8
+            )
+            return sorted(inbox.uint_items())
+
+        mark_oblivious(program)
+        netw = Network(n=n, bandwidth=8)
+        netw.run(program)
+        netw.bandwidth = 4
+        # Replaying the recorded 8-bit rounds would skip the new limit;
+        # the entry must be evicted and the fresh run must raise.
+        with pytest.raises(BandwidthExceededError):
+            netw.run(program)
+
+    def test_mode_reassignment_evicts_schedule(self):
+        from repro.core.errors import ProtocolError
+
+        n = 10
+
+        def program(ctx):
+            inbox = yield Outbox.fixed_width(
+                list(ctx.neighbors), [1] * (ctx.n - 1), 4
+            )
+            return len(inbox)
+
+        mark_oblivious(program)
+        netw = Network(n=n, bandwidth=4)
+        netw.run(program)
+        netw.mode = Mode.BROADCAST
+        with pytest.raises(ProtocolError):
+            netw.run(program)
+
+    def test_record_transcript_disables_compilation(self):
+        program = mark_oblivious(fixed_allto_program(2))
+        netw = Network(n=5, bandwidth=16, record_transcript=True)
+        result = netw.run(program)
+        assert result.transcript is not None
+        assert netw.schedule_stats["compiled"] == 0
+
+    def test_unmarked_program_not_compiled(self):
+        program = fixed_allto_program(2)
+        assert oblivious_key(program) is None
+        netw = Network(n=5, bandwidth=16)
+        netw.run(program)
+        netw.run(program)
+        assert netw.schedule_stats["compiled"] == 0
+
+
+class TestRunMany:
+    def test_matches_sequential_and_legacy(self):
+        program = mark_oblivious(fixed_allto_program(3))
+        inputs_list = [[k] * 6 for k in range(5)]
+        netw = Network(n=6, bandwidth=16)
+        batched = netw.run_many(program, inputs_list)
+        golden = reference_results(program, inputs_list, n=6, bandwidth=16)
+        assert len(batched) == 5
+        for got, want in zip(batched, golden):
+            assert_same_result(got, want)
+        assert netw.schedule_stats["compiled"] == 1
+        assert netw.schedule_stats["replayed"] == 4
+
+    def test_empty_and_single(self):
+        program = mark_oblivious(fixed_allto_program(2))
+        netw = Network(n=4, bandwidth=16)
+        assert netw.run_many(program, []) == []
+        (only,) = netw.run_many(program, [None])
+        (golden,) = reference_results(program, [None], n=4, bandwidth=16)
+        assert_same_result(only, golden)
+
+    def test_deviating_instance_falls_back(self):
+        def program(ctx):
+            # Dense (lane-eligible) round whose destination set depends
+            # on the input — instance 2 deviates mid-batch.
+            shift = int(ctx.input)
+            skip = (ctx.node_id + shift) % ctx.n
+            dests = [u for u in ctx.neighbors if u != skip]
+            inbox = yield Outbox.fixed_width(
+                dests, [ctx.node_id] * len(dests), 8
+            )
+            return sorted(inbox.uint_items())
+
+        mark_oblivious(program)
+        inputs_list = [[1] * 10, [1] * 10, [2] * 10, [1] * 10]
+        netw = Network(n=10, bandwidth=8)
+        batched = netw.run_many(program, inputs_list)
+        golden = reference_results(program, inputs_list, n=10, bandwidth=8)
+        for got, want in zip(batched, golden):
+            assert_same_result(got, want)
+        # First replay attempt bails on the deviating instance; the
+        # fallback re-records and retries the remainder, which bails
+        # once more on the deviating instance itself.
+        assert netw.schedule_stats["fallbacks"] == 2
+        assert netw.schedule_stats["compiled"] == 2
+
+    def test_fallback_rerecords_and_restores_batching(self):
+        # One structure for the first instance, another for the rest:
+        # after the bail the sweep re-records and the remaining
+        # conforming instances replay the new schedule.
+        def program(ctx):
+            shift = int(ctx.input)
+            skip = (ctx.node_id + shift) % ctx.n
+            dests = [u for u in ctx.neighbors if u != skip]
+            inbox = yield Outbox.fixed_width(
+                dests, [ctx.node_id] * len(dests), 8
+            )
+            return sorted(inbox.uint_items())
+
+        mark_oblivious(program)
+        inputs_list = [[1] * 10] + [[2] * 10] * 3
+        netw = Network(n=10, bandwidth=8)
+        batched = netw.run_many(program, inputs_list)
+        golden = reference_results(program, inputs_list, n=10, bandwidth=8)
+        for got, want in zip(batched, golden):
+            assert_same_result(got, want)
+        assert netw.schedule_stats["fallbacks"] == 1
+        assert netw.schedule_stats["compiled"] == 2
+        assert netw.schedule_stats["replayed"] == 2
+
+    def test_legacy_engine_runs_sequentially(self):
+        program = mark_oblivious(fixed_allto_program(2))
+        netw = Network(n=4, bandwidth=16, engine="legacy")
+        results = netw.run_many(program, [None, None])
+        golden = reference_results(program, [None, None], n=4, bandwidth=16)
+        for got, want in zip(results, golden):
+            assert_same_result(got, want)
+        assert netw.schedule_stats["compiled"] == 0
+
+    def test_transcripts_run_sequentially(self):
+        program = mark_oblivious(fixed_allto_program(2))
+        netw = Network(n=4, bandwidth=16, record_transcript=True)
+        results = netw.run_many(program, [None, None])
+        assert all(r.transcript is not None for r in results)
+        assert netw.schedule_stats["compiled"] == 0
+
+    def test_input_length_validated_up_front(self):
+        from repro.core.errors import ProtocolError
+
+        program = mark_oblivious(fixed_allto_program(1))
+        netw = Network(n=4, bandwidth=16)
+        with pytest.raises(ProtocolError):
+            netw.run_many(program, [[1, 2, 3]])  # 3 inputs, 4 nodes
+
+
+class TestRunManyProtocols:
+    """The acceptance pin: routing, phase, simulation and matmul
+    protocols produce byte-identical results under run_many."""
+
+    def test_routing(self):
+        from repro.routing import build_schedule, route_program
+
+        n, frame_size = 8, 6
+        rng = random.Random(3)
+        demand = {}
+        for src in range(n):
+            for dst in range(n):
+                if src != dst and rng.random() < 0.5:
+                    demand[(src, dst)] = rng.randint(1, 2)
+        schedule = build_schedule(demand, n)
+        program = route_program(schedule, frame_size)
+
+        def make_inputs(seed):
+            contents = random.Random(seed)
+            per_node = [dict() for _ in range(n)]
+            for (src, dst), count in demand.items():
+                for idx in range(count):
+                    per_node[src][(src, dst, idx)] = Bits.from_uint(
+                        contents.getrandbits(frame_size), frame_size
+                    )
+            return per_node
+
+        inputs_list = [make_inputs(k) for k in range(4)]
+        netw = Network(n=n, bandwidth=frame_size)
+        batched = netw.run_many(program, inputs_list)
+        golden = reference_results(program, inputs_list, n=n, bandwidth=frame_size)
+        for got, want in zip(batched, golden):
+            assert_same_result(got, want)
+        assert netw.schedule_stats["replayed"] == 3
+
+    def test_phases(self):
+        n, max_bits = 6, 11
+
+        def unicast_phase(ctx):
+            payloads = {
+                dst: Bits.from_uint(
+                    (ctx.node_id * 13 + dst + ctx.input) % (1 << max_bits),
+                    max_bits,
+                )
+                for dst in ctx.neighbors
+            }
+            received = yield from transmit_unicast(ctx, payloads, max_bits=max_bits)
+            return sorted((s, p.to_uint()) for s, p in received.items())
+
+        mark_oblivious(unicast_phase)
+        inputs_list = [[k] * n for k in range(4)]
+        netw = Network(n=n, bandwidth=4)
+        batched = netw.run_many(unicast_phase, inputs_list)
+        golden = reference_results(unicast_phase, inputs_list, n=n, bandwidth=4)
+        for got, want in zip(batched, golden):
+            assert_same_result(got, want)
+
+        def broadcast_phase(ctx):
+            payload = Bits.from_uint(
+                (ctx.node_id * 29 + ctx.input) % (1 << max_bits), max_bits
+            )
+            received = yield from transmit_broadcast(ctx, payload, max_bits=max_bits)
+            return sorted((s, p.to_uint()) for s, p in received.items())
+
+        mark_oblivious(broadcast_phase)
+        netb = Network(n=n, bandwidth=4, mode=Mode.BROADCAST)
+        batched = netb.run_many(broadcast_phase, inputs_list)
+        golden = reference_results(
+            broadcast_phase, inputs_list, n=n, bandwidth=4, mode=Mode.BROADCAST
+        )
+        for got, want in zip(batched, golden):
+            assert_same_result(got, want)
+
+    def test_simulation(self):
+        from repro.circuits.builders import parity_tree
+        from repro.simulation import build_plan, make_program, simulate_circuit_many
+
+        circuit = parity_tree(16, 4)
+        rng = random.Random(11)
+        vectors = [
+            [rng.random() < 0.5 for _ in range(circuit.num_inputs)]
+            for _ in range(3)
+        ]
+        outputs, results, plan = simulate_circuit_many(circuit, 6, vectors)
+        program = make_program(plan)
+        n = 6
+        inputs_list = []
+        partition = [i % n for i in range(circuit.num_inputs)]
+        for vec in vectors:
+            per_node = [dict() for _ in range(n)]
+            for position, gid in enumerate(circuit.input_ids):
+                per_node[partition[position]][gid] = bool(vec[position])
+            inputs_list.append(per_node)
+        golden = reference_results(
+            program, inputs_list, n=n, bandwidth=plan.bandwidth
+        )
+        for got, want, vec in zip(results, golden, vectors):
+            assert_same_result(got, want)
+            expected = circuit.evaluate(vec)
+            merged = {}
+            for node_output in got.outputs:
+                if node_output:
+                    merged.update(node_output)
+            assert all(merged[g] == expected[g] for g in circuit.outputs)
+
+    def test_matmul(self):
+        from repro.graphs import random_graph
+        from repro.matmul.distributed import (
+            detect_triangle_mm,
+            detect_triangle_mm_many,
+            triangle_mm_program,
+        )
+
+        graphs = [random_graph(6, p, random.Random(i)) for i, p in enumerate((0.2, 0.5, 0.8))]
+        outcomes, results, plan = detect_triangle_mm_many(
+            graphs, trials=2, circuit_kind="naive"
+        )
+        program = triangle_mm_program(graphs[0], plan, 2)
+        inputs_list = [
+            [
+                [1 if g.has_edge(v, u) else 0 for u in range(6)]
+                for v in range(6)
+            ]
+            for g in graphs
+        ]
+        golden = reference_results(
+            program, inputs_list, n=6, bandwidth=plan.bandwidth
+        )
+        for got, want in zip(results, golden):
+            assert_same_result(got, want)
+        for graph, outcome in zip(graphs, outcomes):
+            seq_outcome, _, _ = detect_triangle_mm(
+                graph, trials=2, circuit_kind="naive", plan=plan
+            )
+            assert outcome == seq_outcome
+
+
+class TestRunManyFuzz:
+    """Seeded fuzz: random protocols — oblivious and deliberately
+    deviating — batched vs the legacy reference, byte-for-byte."""
+
+    def _script_program(self, n, rounds, width_menu, structure_key):
+        # Structure is drawn from structure_key; when it includes the
+        # instance index the oblivious declaration is a lie and the
+        # engine must recover via fallback.
+        def program(ctx):
+            instance, payload_seed = ctx.input
+            transcript = []
+            for r in range(rounds):
+                struct_rng = random.Random(str((structure_key(instance), ctx.node_id, r)))
+                value_rng = random.Random(str((payload_seed, ctx.node_id, r)))
+                kind = struct_rng.choice(["silent", "fixed", "fixed", "unicast"])
+                dests = [
+                    u
+                    for u in range(n)
+                    if u != ctx.node_id and struct_rng.random() < 0.6
+                ]
+                width = struct_rng.choice(width_menu)
+                values = [value_rng.randrange(1 << width) for _ in dests]
+                if kind == "silent" or not dests:
+                    inbox = yield Outbox.silent()
+                elif kind == "fixed":
+                    inbox = yield Outbox.fixed_width(dests, values, width)
+                else:
+                    inbox = yield Outbox.unicast(
+                        {
+                            d: Bits.from_uint(val, width)
+                            for d, val in zip(dests, values)
+                        }
+                    )
+                transcript.append([(s, p.to_str()) for s, p in inbox.items()])
+            return transcript
+
+        return mark_oblivious(program)
+
+    def _run_case(self, seed, oblivious):
+        master = random.Random(seed)
+        n = master.randint(3, 7)
+        rounds = master.randint(2, 5)
+        width_menu = [2, 5, 9]
+        instances = master.randint(2, 5)
+        structure_key = (lambda _instance: seed) if oblivious else (lambda i: (seed, i))
+        program = self._script_program(n, rounds, width_menu, structure_key)
+        inputs_list = [
+            [(k, (seed, k))] * n for k in range(instances)
+        ]
+        netw = Network(n=n, bandwidth=max(width_menu))
+        batched = netw.run_many(program, inputs_list)
+        golden = reference_results(
+            program, inputs_list, n=n, bandwidth=max(width_menu)
+        )
+        for got, want in zip(batched, golden):
+            assert_same_result(got, want)
+        return netw
+
+    def test_oblivious_fuzz(self):
+        for seed in range(8):
+            netw = self._run_case(seed, oblivious=True)
+            assert netw.schedule_stats["fallbacks"] == 0
+
+    def test_deviating_fuzz(self):
+        for seed in range(8):
+            self._run_case(seed, oblivious=False)
+
+    def test_broadcast_fuzz(self):
+        for seed in range(6):
+            master = random.Random(1000 + seed)
+            n = master.randint(3, 6)
+            rounds = master.randint(2, 4)
+
+            def program(ctx):
+                payload_seed = ctx.input
+                transcript = []
+                for r in range(rounds):
+                    struct_rng = random.Random(str((1000 + seed, ctx.node_id, r)))
+                    value_rng = random.Random(str((payload_seed, ctx.node_id, r)))
+                    width = struct_rng.choice([3, 6])
+                    if struct_rng.random() < 0.25:
+                        inbox = yield Outbox.silent()
+                    else:
+                        inbox = yield Outbox.broadcast_uint(
+                            value_rng.randrange(1 << width), width
+                        )
+                    transcript.append(
+                        [(s, p.to_str()) for s, p in inbox.items()]
+                    )
+                return transcript
+
+            mark_oblivious(program)
+            inputs_list = [[k] * n for k in range(3)]
+            netw = Network(n=n, bandwidth=6, mode=Mode.BROADCAST)
+            batched = netw.run_many(program, inputs_list)
+            golden = reference_results(
+                program, inputs_list, n=n, bandwidth=6, mode=Mode.BROADCAST
+            )
+            for got, want in zip(batched, golden):
+                assert_same_result(got, want)
+
+
+# Module-level factories so the process-pool test can pickle them.
+def _pool_network():
+    return Network(n=5, bandwidth=16)
+
+
+def _pool_program():
+    return mark_oblivious(fixed_allto_program(2), "pool-proto")
+
+
+class TestBatchRunner:
+    def test_in_process(self):
+        runner = BatchRunner(_pool_network, _pool_program)
+        inputs_list = [[k] * 5 for k in range(4)]
+        results = runner.run(inputs_list)
+        golden = reference_results(
+            _pool_program(), inputs_list, n=5, bandwidth=16
+        )
+        for got, want in zip(results, golden):
+            assert_same_result(got, want)
+
+    def test_process_pool(self):
+        runner = BatchRunner(_pool_network, _pool_program, processes=2)
+        inputs_list = [[k] * 5 for k in range(6)]
+        results = runner.run(inputs_list)
+        golden = reference_results(
+            _pool_program(), inputs_list, n=5, bandwidth=16
+        )
+        assert len(results) == 6
+        for got, want in zip(results, golden):
+            assert_same_result(got, want)
+
+    def test_pool_falls_back_on_unpicklable(self):
+        captured = {}
+
+        def network_factory():
+            return Network(n=4, bandwidth=16)
+
+        def program_factory():  # a closure: not picklable by the pool
+            captured["used"] = True
+            return mark_oblivious(fixed_allto_program(1))
+
+        runner = BatchRunner(network_factory, program_factory, processes=2)
+        results = runner.run([None, None, None])
+        assert len(results) == 3
+        assert captured["used"]

@@ -136,6 +136,36 @@ class TestDerived:
         assert mat.shape == (3, 3)
         assert not mat.any()
 
+    def test_adjacency_matrix_memoized(self):
+        g = random_graph(9, 0.4, random.Random(3))
+        first = g.adjacency_matrix()
+        assert g.adjacency_matrix() is first  # cached, not rebuilt
+        assert not first.flags.writeable
+
+    def test_adjacency_matrix_invalidated_on_mutation(self):
+        g = path_graph(4)
+        before = g.adjacency_matrix()
+        g.add_edge(0, 3)
+        after = g.adjacency_matrix()
+        assert after is not before
+        assert after[0, 3] == 1 and before[0, 3] == 0
+        g.remove_edge(0, 3)
+        again = g.adjacency_matrix()
+        assert again is not after
+        assert again[0, 3] == 0
+        # No-op mutations keep the cache.
+        g.remove_edge(0, 3)
+        assert g.adjacency_matrix() is again
+
+    def test_adjacency_matrix_shared_by_copy_until_mutation(self):
+        g = cycle_graph(5)
+        mat = g.adjacency_matrix()
+        clone = g.copy()
+        assert clone.adjacency_matrix() is mat
+        clone.add_edge(0, 2)
+        assert clone.adjacency_matrix() is not mat
+        assert g.adjacency_matrix() is mat  # original cache untouched
+
     def test_independent_set(self):
         g = complete_bipartite(3, 3)
         assert g.is_independent_set([0, 1, 2])

@@ -72,6 +72,54 @@ class TestFieldAxioms:
         assert f.poly_eval(coeffs, x) == direct
 
 
+class TestLogTables:
+    """The log/antilog mul must agree with the shift-and-xor reference
+    in every tabulated field."""
+
+    def test_tables_match_slow_mul_all_fields(self):
+        from repro.sketch.gf2m import IRREDUCIBLE_POLYS
+
+        for m in IRREDUCIBLE_POLYS:
+            field = GF2m(m)
+            rng = random.Random(m)
+            samples = (
+                range(field.order)
+                if field.order <= 64
+                else [rng.randrange(field.order) for _ in range(64)]
+            )
+            for a in samples:
+                b = rng.randrange(field.order)
+                assert field.mul(a, b) == field.mul_slow(a, b), (m, a, b)
+
+    def test_tables_shared_across_instances(self):
+        from repro.sketch.gf2m import _TABLE_CACHE
+
+        first = GF2m(10)
+        first.mul(3, 7)  # force table build
+        second = GF2m(10)
+        assert second._exp is first._exp
+        assert 10 in _TABLE_CACHE
+
+    def test_instance_created_before_build_reuses_cache(self):
+        # Both instances predate the table build; the second's first
+        # multiply must adopt the cache, not rebuild it.
+        first = GF2m(11)
+        second = GF2m(11)
+        first.mul(3, 7)
+        second.mul(5, 9)
+        assert second._exp is first._exp
+
+    @given(elements, elements)
+    def test_mul_matches_slow_mul(self, a, b):
+        assert FIELD.mul(a, b) == FIELD.mul_slow(a, b)
+
+    def test_zero_annihilates(self):
+        field = GF2m(6)
+        for a in range(field.order):
+            assert field.mul(a, 0) == 0
+            assert field.mul(0, a) == 0
+
+
 class TestBerlekampMassey:
     def test_constant_zero(self):
         assert berlekamp_massey(FIELD, [0, 0, 0, 0]) == [1]
