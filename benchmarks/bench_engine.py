@@ -35,6 +35,13 @@ Two protocol trial sweeps (``transmit_broadcast`` over K payload
 instances and full-learning detection over K graphs) are run both as a
 sequential loop and through ``run_many``.
 
+A ``kernels`` section measures the kernel-program path (PR 4): the same
+repeated unicast workload expressed as declared round kernels — zero
+generator resumptions — against the compiled generator replay, at
+n ∈ {64, 256} (quick: {16, 32}), plus a Lenzen-routing sweep comparing
+``route_kernel_program`` with the generator ``route_program`` under
+``run_many``.
+
 Run from the repo root (writes ``BENCH_engine.json`` there)::
 
     PYTHONPATH=src python benchmarks/bench_engine.py            # full sweep
@@ -535,6 +542,178 @@ def bench_replay_protocols(quick, repeats):
     return records
 
 
+def unicast_kernel_program(n, rounds):
+    """The kernel twin of ``unicast_fixed_program``: the same all-to-all
+    constant payload, declared once, frozen for the zero-churn path."""
+    from repro.core.kernels import KernelBuilder
+
+    builder = KernelBuilder(n, Mode.UNICAST)
+    pairs = [(v, [u for u in range(n) if u != v]) for v in range(n)]
+    # The flat all-to-all payload (ascending sender, ascending dest,
+    # diagonal dropped) in a handful of whole-matrix numpy ops; frozen
+    # and cached per instance count, the kernel analogue of the
+    # generator twin reusing one validated outbox round after round.
+    senders = np.arange(n, dtype=np.uint64)
+    matrix = (senders[None, :] + senders[:, None] * np.uint64(2654435761)) & np.uint64(MASK)
+    flat = matrix[~np.eye(n, dtype=bool)]
+    payload_cache = {}
+
+    def init(state, kctx):
+        values = payload_cache.get(kctx.instances)
+        if values is None:
+            values = np.broadcast_to(flat, (kctx.instances, flat.size)).copy()
+            values.flags.writeable = False
+            payload_cache[kctx.instances] = values
+        state["values"] = values
+
+    builder.on_init(init)
+
+    def send(state):
+        return state["values"]
+
+    for _ in range(rounds):
+        builder.unicast_round(pairs, WIDTH, send)
+    return builder.build(
+        lambda state, kctx: [[None] * n for _ in range(kctx.instances)],
+        name="unicast_sweep",
+    )
+
+
+def bench_kernels(quick, repeats):
+    """Kernel programs vs compiled generator replay: the repeated
+    unicast sweep (the acceptance workload) and a routing trial sweep."""
+    records = []
+    sizes = [16, 32] if quick else [64, 256]
+    for n in sizes:
+        rounds = 10 if quick else 20
+        instances = 4 if quick else 12
+        deliveries = instances * rounds * n * (n - 1)
+        record = {"scenario": "kernel_unicast", "n": n, "rounds": rounds,
+                  "instances": instances}
+        totals = set()
+
+        # Compiled generator replay (the PR 3 fast path).
+        replay_net = Network(n=n, bandwidth=WIDTH, mode=Mode.UNICAST)
+        gen_program = unicast_fixed_program(rounds)
+        mark_oblivious(gen_program)
+        replay_net.run(gen_program)  # record off-clock
+
+        def replay_workload():
+            return [replay_net.run(gen_program) for _ in range(instances)]
+
+        seconds, results = _time_best(replay_workload, repeats)
+        totals.update(r.total_bits for r in results)
+        record["generator_replay"] = {
+            "seconds": round(seconds, 6),
+            "messages_per_sec": round(deliveries / seconds, 1),
+        }
+
+        # Kernel path: same structure, zero generator steps.
+        kernel_net = Network(n=n, bandwidth=WIDTH, mode=Mode.UNICAST)
+        kernel_program = unicast_kernel_program(n, rounds)
+        kernel_net.run(kernel_program)  # compile off-clock
+
+        def kernel_workload():
+            return [kernel_net.run(kernel_program) for _ in range(instances)]
+
+        seconds, results = _time_best(kernel_workload, repeats)
+        totals.update(r.total_bits for r in results)
+        record["kernel"] = {
+            "seconds": round(seconds, 6),
+            "messages_per_sec": round(deliveries / seconds, 1),
+        }
+
+        # And the batched kernel sweep (one run_many call).
+        def kernel_batched():
+            return kernel_net.run_many(kernel_program, [None] * instances)
+
+        seconds, results = _time_best(kernel_batched, repeats)
+        totals.update(r.total_bits for r in results)
+        record["kernel_batched"] = {
+            "seconds": round(seconds, 6),
+            "messages_per_sec": round(deliveries / seconds, 1),
+        }
+        assert len(totals) == 1, f"paths disagree on bits: {record}"
+        record["kernel_speedup_vs_replay"] = round(
+            record["kernel"]["messages_per_sec"]
+            / record["generator_replay"]["messages_per_sec"],
+            2,
+        )
+        record["kernel_batched_speedup_vs_replay"] = round(
+            record["kernel_batched"]["messages_per_sec"]
+            / record["generator_replay"]["messages_per_sec"],
+            2,
+        )
+        print(
+            f"{record['scenario']:>22}  n={n:<4} "
+            f"kernel {record['kernel_speedup_vs_replay']}x  "
+            f"batched {record['kernel_batched_speedup_vs_replay']}x vs replay"
+        )
+        records.append(record)
+
+    # Routing trial sweep: kernel program vs generator program, both
+    # through run_many on one network each.
+    import random as _random
+
+    from repro.routing import build_schedule, route_kernel_program, route_program
+
+    n_route = 16 if quick else 48
+    frame_size = 16
+    route_instances = 6 if quick else 16
+    rng = _random.Random(9)
+    demand = {}
+    for src in range(n_route):
+        for dst in range(n_route):
+            if src != dst and rng.random() < 0.7:
+                demand[(src, dst)] = rng.randint(1, 3)
+    schedule = build_schedule(demand, n_route)
+
+    def route_inputs(k):
+        contents = _random.Random(1000 + k)
+        per_node = [dict() for _ in range(n_route)]
+        for (src, dst), count in demand.items():
+            for idx in range(count):
+                per_node[src][(src, dst, idx)] = Bits.from_uint(
+                    contents.getrandbits(frame_size), frame_size
+                )
+        return per_node
+
+    inputs_list = [route_inputs(k) for k in range(route_instances)]
+    record = {
+        "scenario": "kernel_routing_many",
+        "n": n_route,
+        "instances": route_instances,
+        "frames": sum(demand.values()),
+        "frame_size": frame_size,
+    }
+    gen_program = route_program(schedule, frame_size)
+    gen_net = Network(n=n_route, bandwidth=frame_size)
+    gen_net.run_many(gen_program, inputs_list[:1])  # record off-clock
+    gen_s, gen_results = _time_best(
+        lambda: gen_net.run_many(gen_program, inputs_list), repeats
+    )
+    kernel_program = route_kernel_program(schedule, frame_size)
+    kernel_net = Network(n=n_route, bandwidth=frame_size)
+    kernel_net.run_many(kernel_program, inputs_list[:1])  # compile off-clock
+    ker_s, ker_results = _time_best(
+        lambda: kernel_net.run_many(kernel_program, inputs_list), repeats
+    )
+    assert [r.outputs for r in gen_results] == [r.outputs for r in ker_results]
+    assert [r.total_bits for r in gen_results] == [
+        r.total_bits for r in ker_results
+    ]
+    record["generator_run_many_seconds"] = round(gen_s, 6)
+    record["kernel_run_many_seconds"] = round(ker_s, 6)
+    record["kernel_speedup_vs_generator"] = round(gen_s / ker_s, 2)
+    print(
+        f"{record['scenario']:>22}  n={n_route:<4} "
+        f"generator {gen_s:.3f}s  kernel {ker_s:.3f}s  "
+        f"({record['kernel_speedup_vs_generator']}x)"
+    )
+    records.append(record)
+    return records
+
+
 def bench_meta():
     """Environment stamp so BENCH_engine.json files are comparable
     across PRs and machines."""
@@ -601,6 +780,7 @@ def main(argv=None):
     speedups = summarize(configs)
     protocols = bench_protocols(args.quick, repeats)
     replay = bench_replay(args.quick, repeats)
+    kernels = bench_kernels(args.quick, repeats)
 
     top_n = max(sizes)
     acceptance_key = f"unicast/n={top_n}"
@@ -632,6 +812,17 @@ def main(argv=None):
             for rec in replay
             if "run_many_speedup" in rec
         },
+        "kernel_vs_replay_msgs_per_sec": max(
+            (rec for rec in kernels if rec["scenario"] == "kernel_unicast"),
+            key=lambda rec: rec["n"],
+        )["kernel_speedup_vs_replay"],
+        "kernel_speedups": {
+            f"{rec['scenario']}/n={rec['n']}": (
+                rec.get("kernel_speedup_vs_replay")
+                or rec.get("kernel_speedup_vs_generator")
+            )
+            for rec in kernels
+        },
     }
     report = {
         "generated_by": "benchmarks/bench_engine.py",
@@ -643,6 +834,7 @@ def main(argv=None):
         "speedups": speedups,
         "protocols": protocols,
         "replay": replay,
+        "kernels": kernels,
         "acceptance": acceptance,
     }
     args.out.write_text(json.dumps(report, indent=2) + "\n")

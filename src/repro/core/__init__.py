@@ -28,10 +28,28 @@ from repro.core.tracing import (
 )
 from repro.core.phases import (
     idle,
+    kernel_transmit_broadcast,
+    kernel_transmit_unicast,
     phase_length,
     transmit_broadcast,
+    transmit_broadcast_kernel_program,
     transmit_unicast,
+    transmit_unicast_kernel_program,
 )
+# The kernel layer is numpy-backed at module level; load it lazily
+# (PEP 562) so `import repro.core` stays numpy-free until a kernel
+# program is actually built — the same invariant compiled.py and the
+# engine's deferred fastlane imports preserve.
+_KERNEL_EXPORTS = ("KernelBuilder", "KernelContext", "KernelProgram")
+
+
+def __getattr__(name):
+    if name in _KERNEL_EXPORTS:
+        from repro.core import kernels
+
+        return getattr(kernels, name)
+    raise AttributeError(f"module 'repro.core' has no attribute {name!r}")
+
 
 __all__ = [
     "Bits",
@@ -55,6 +73,13 @@ __all__ = [
     "transmit_unicast",
     "transmit_broadcast",
     "idle",
+    "KernelBuilder",
+    "KernelContext",
+    "KernelProgram",
+    "kernel_transmit_unicast",
+    "kernel_transmit_broadcast",
+    "transmit_unicast_kernel_program",
+    "transmit_broadcast_kernel_program",
     "mark_oblivious",
     "oblivious_key",
     "CompiledSchedule",

@@ -79,6 +79,23 @@ class Bits:
             length += part._length
         return cls(value, length)
 
+    @classmethod
+    def from_uint_concat(cls, values: Iterable[int], width: int) -> "Bits":
+        """Concatenate ``width``-bit unsigned chunks into one bit string —
+        the bulk inverse of :meth:`to_uint_chunks`, equivalent to
+        ``Bits.concat(Bits(v, width) for v in values)`` without the
+        intermediate :class:`Bits` objects."""
+        if width <= 0:
+            raise ValueError("chunk width must be positive")
+        value = 0
+        length = 0
+        for chunk in values:
+            if chunk < 0 or chunk >> width:
+                raise ValueError(f"chunk {chunk} does not fit in {width} bits")
+            value = (value << width) | chunk
+            length += width
+        return cls(value, length)
+
     # -- accessors -----------------------------------------------------
 
     def to_uint(self) -> int:
@@ -150,6 +167,28 @@ class Bits:
         if size <= 0:
             raise ValueError("chunk size must be positive")
         return [self[i : i + size] for i in range(0, self._length, size)]
+
+    def to_uint_chunks(self, width: int) -> List[int]:
+        """Split into consecutive ``width``-bit unsigned integers, most
+        significant chunk first; the last chunk keeps its natural
+        (possibly shorter) width.  The bulk counterpart of
+        ``[c.to_uint() for c in self.chunks(width)]`` — one shift/mask
+        per chunk on the backing integer, no :class:`Bits` allocations —
+        used by the phase layer to frame payloads for the fixed-width
+        lanes."""
+        if width <= 0:
+            raise ValueError("chunk width must be positive")
+        value = self._value
+        full, rem = divmod(self._length, width)
+        mask = (1 << width) - 1
+        shift = self._length - width
+        out = []
+        for _ in range(full):
+            out.append((value >> shift) & mask)
+            shift -= width
+        if rem:
+            out.append(value & ((1 << rem) - 1))
+        return out
 
     def popcount(self) -> int:
         return bin(self._value).count("1")

@@ -87,27 +87,50 @@ def oblivious_key(program: Any) -> Optional[Tuple[Any, ...]]:
 class LaneStructure:
     """One distinct bulk-round shape: who sends how much to whom.
 
+    Built from ``(sender, dests-array)`` pairs in node order — the
+    recorder derives them from a round's fixed-width outboxes, the
+    kernel layer (:mod:`repro.core.kernels`) declares them directly.
     Structures are deduplicated at record time (phases repeat one shape
     for many rounds), so replay can skip the receiver-presence rewrite
     whenever consecutive rounds share a structure, and memory stays
     proportional to the number of *distinct* shapes.
+
+    ``widths`` is ``None`` for homogeneous rounds (every message is
+    ``width`` bits — the only shape the outbox lane produces); kernel
+    rounds may carry a flat per-message width vector instead, with
+    ``width`` then the maximum (it selects the storage dtype).
     """
 
-    __slots__ = ("width", "entries", "sender_ids", "rows", "cols", "count", "slices")
+    __slots__ = (
+        "width",
+        "widths",
+        "entries",
+        "sender_ids",
+        "rows",
+        "cols",
+        "count",
+        "slices",
+    )
 
-    def __init__(self, width: int, fixed_list: Sequence[Tuple[int, Any]]) -> None:
+    def __init__(
+        self,
+        width: int,
+        pairs: Sequence[Tuple[int, Any]],
+        widths: Any = None,
+    ) -> None:
         # Deferred so importing repro.core stays numpy-free until a
         # schedule is actually recorded.
         import numpy as np
 
         self.width = width
+        self.widths = widths
         # (sender, dests, size) per non-silent sender, in node order.
         self.entries: Tuple[Tuple[int, Any, int], ...] = tuple(
-            (v, o.dests, o.dests.size) for v, o in fixed_list
+            (v, dests, dests.size) for v, dests in pairs
         )
-        self.sender_ids: List[int] = [v for v, _ in fixed_list]
-        dests_arrays = [o.dests for _, o in fixed_list if o.dests.size]
-        sizes = [o.dests.size for _, o in fixed_list]
+        self.sender_ids: List[int] = [v for v, _ in pairs]
+        dests_arrays = [dests for _, dests in pairs if dests.size]
+        sizes = [dests.size for _, dests in pairs]
         self.cols = (
             np.concatenate(dests_arrays)
             if dests_arrays
@@ -125,6 +148,12 @@ class LaneStructure:
             offset += size
         self.slices: Tuple[Tuple[int, int], ...] = tuple(slices)
 
+    def bits(self) -> int:
+        """Total bits one delivery of this structure costs."""
+        if self.widths is None:
+            return self.count * self.width
+        return int(self.widths.sum())
+
 
 class CompiledSchedule:
     """The recorded structure of one protocol execution.
@@ -132,9 +161,14 @@ class CompiledSchedule:
     ``rounds[r]`` is ``(kind, payload, round_bits)`` with ``payload`` a
     :class:`LaneStructure` for :data:`LANE` rounds, ``(ids, width)`` for
     :data:`BCAST` rounds, and ``None`` for :data:`SCALAR` rounds.
+
+    Kernel programs (:mod:`repro.core.kernels`) compile straight into
+    this class — their declared structure *is* the schedule, no
+    recording run needed — with ``kernel`` holding the per-round
+    execution records the kernel runner consumes.
     """
 
-    __slots__ = ("rounds", "replays", "params")
+    __slots__ = ("rounds", "replays", "params", "kernel")
 
     def __init__(self, rounds: List[Tuple[int, Any, int]]) -> None:
         self.rounds = rounds
@@ -142,6 +176,9 @@ class CompiledSchedule:
         # (bandwidth, mode) the schedule was validated under; the
         # network evicts the entry if either is reassigned afterwards.
         self.params: Any = None
+        # Per-round kernel execution records when this schedule was
+        # compiled from a KernelProgram (None for recorded schedules).
+        self.kernel: Any = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         kinds = {LANE: "lane", BCAST: "bcast", SCALAR: "scalar"}
@@ -193,7 +230,9 @@ class ScheduleRecorder:
         key = (width, senders, sizes, cols_bytes)
         struct = self._structs.get(key)
         if struct is None:
-            struct = self._structs[key] = LaneStructure(width, fixed_list)
+            struct = self._structs[key] = LaneStructure(
+                width, [(v, o.dests) for v, o in fixed_list]
+            )
         self._last_lane = (width, list(fixed_list), struct)
         self._rounds.append((LANE, struct, bits))
 

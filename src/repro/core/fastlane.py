@@ -55,6 +55,7 @@ __all__ = [
     "BroadcastInbox",
     "BroadcastLane",
     "BatchLane",
+    "BatchBroadcastLane",
     "coerce_fixed",
     "coerce_broadcast",
     "validate_fixed",
@@ -448,6 +449,93 @@ class BatchLane:
         box = self._active.inboxes[instance][receiver]
         box._reset(self.width)
         return box
+
+    def deliver_kernel(self, struct, values2d) -> None:
+        """Kernel-path delivery: one stacked fancy-indexed write covers
+        **all** instances at once (``values2d`` is ``K × count`` in flat
+        structure order), against the same per-dtype buffers and
+        presence-mask bookkeeping as :meth:`deliver_compiled`.  Pass
+        ``values2d=None`` to refresh only the presence mask (an empty
+        round, or a zero-churn round whose values are already in the
+        buffer)."""
+        buf = self._buffers(struct.width)
+        if self._struct is not struct or self._active is not buf:
+            touched = buf.touched
+            if touched:
+                buf.present[touched] = False
+                touched.clear()
+            buf.present[struct.rows, struct.cols] = True
+            touched.extend(struct.sender_ids)
+            self._struct = struct
+        if values2d is not None:
+            buf.values[:, struct.rows, struct.cols] = values2d
+        self.width = struct.width
+        self._active = buf
+
+    def delivered(self):
+        """The active ``(K × n × n values, n × n present)`` buffers —
+        the raw matrices a kernel round consumes."""
+        buf = self._active
+        return buf.values, buf.present
+
+
+class _BcastBatchBuffers:
+    """One dtype's worth of stacked blackboard vectors for kernel
+    broadcast rounds: ``values[k]`` is instance ``k``'s length-``n``
+    blackboard, the writer-presence mask is shared (kernel rounds have
+    one writer set for all instances by construction)."""
+
+    __slots__ = ("values", "present", "touched")
+
+    def __init__(self, n: int, instances: int, dtype) -> None:
+        self.values = np.zeros((instances, n), dtype=dtype)
+        self.present = np.zeros(n, dtype=bool)
+        self.touched: List[int] = []  # writer slots filled last round
+
+
+class BatchBroadcastLane:
+    """Stacked blackboard delivery for kernel broadcast rounds, K
+    instances at a time: one ``K × writers`` fancy write per round."""
+
+    __slots__ = ("n", "instances", "width", "_numeric", "_object", "_active")
+
+    def __init__(self, n: int, instances: int) -> None:
+        self.n = n
+        self.instances = instances
+        self.width = 0
+        self._numeric: Optional[_BcastBatchBuffers] = None
+        self._object: Optional[_BcastBatchBuffers] = None
+        self._active: Optional[_BcastBatchBuffers] = None
+
+    def _buffers(self, width: int) -> _BcastBatchBuffers:
+        if width <= NUMERIC_WIDTH_LIMIT:
+            if self._numeric is None:
+                self._numeric = _BcastBatchBuffers(self.n, self.instances, np.uint64)
+            return self._numeric
+        if self._object is None:
+            self._object = _BcastBatchBuffers(self.n, self.instances, object)
+        return self._object
+
+    def deliver_kernel(self, writer_ids, width: int, values2d) -> None:
+        """Deliver one kernel broadcast round: ``values2d`` is
+        ``K × len(writer_ids)``, one blackboard value per writer per
+        instance.  ``None`` refreshes only the presence mask."""
+        buf = self._buffers(width)
+        touched = buf.touched
+        if touched:
+            buf.present[touched] = False
+            touched.clear()
+        buf.present[writer_ids] = True
+        touched.extend(int(w) for w in writer_ids)
+        if values2d is not None:
+            buf.values[:, writer_ids] = values2d
+        self.width = width
+        self._active = buf
+
+    def delivered(self):
+        """The active ``(K × n values, n present)`` blackboard buffers."""
+        buf = self._active
+        return buf.values, buf.present
 
 
 class BroadcastInbox:

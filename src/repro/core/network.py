@@ -272,11 +272,14 @@ class Outbox:
 
     @classmethod
     def fixed_width_map(cls, messages: Mapping[int, int], width: int) -> "Outbox":
-        """:meth:`fixed_width` from a ``{dest: uint}`` mapping (mapping
-        keys are unique by construction, so the duplicate-destination
-        check is skipped)."""
+        """:meth:`fixed_width` from a ``{dest: uint}`` mapping (dict keys
+        are unique by construction, so the duplicate-destination check is
+        skipped; other Mapping types are copied through ``dict`` first so
+        a broken ``keys()`` cannot smuggle a duplicate past it)."""
         from repro.core import fastlane
 
+        if type(messages) is not dict:
+            messages = dict(messages)
         d, v = fastlane.coerce_fixed(list(messages.keys()), list(messages.values()), width)
         out = cls("fixed", None, None, dests=d, values=v, width=width)
         out.trusted_unique = True
@@ -465,10 +468,16 @@ class Network:
         # per-node streams by cloning state instead of re-hashing the
         # seed strings.
         self._rng_states: Optional[Tuple[Any, List[Any], Any]] = None
+        # Kernel-path delivery buffers, keyed by instance count (see
+        # repro.core.kernels); small bounded cache, correctness never
+        # depends on a hit.
+        self._kernel_lanes: Dict[int, Any] = {}
 
     # -- execution -------------------------------------------------------
 
-    def _make_contexts(self, inputs: Optional[Sequence[Any]]) -> List[Context]:
+    def _rng_state_bundle(self) -> Tuple[Any, List[Any], Any]:
+        """(seed, per-node private states, shared state) — hashed once
+        per seed, cloned by every run (and by the kernel runner)."""
         states = self._rng_states
         if states is None or states[0] != self.seed:
             # Hash the seed strings once; later runs clone the captured
@@ -481,7 +490,10 @@ class Network:
             ]
             shared = random.Random(f"{self.seed}:shared").getstate()
             states = self._rng_states = (self.seed, private, shared)
-        _seed, private_states, shared_state = states
+        return states
+
+    def _make_contexts(self, inputs: Optional[Sequence[Any]]) -> List[Context]:
+        _seed, private_states, shared_state = self._rng_state_bundle()
         new = random.Random.__new__
         contexts = []
         for v in range(self.n):
@@ -513,8 +525,17 @@ class Network:
         nodes in lockstep and return the :class:`RunResult`.
 
         ``inputs[v]`` is exposed as ``ctx.input`` on node ``v``.
+
+        ``program`` may also be a
+        :class:`~repro.core.kernels.KernelProgram`, in which case the
+        whole round loop runs through the vectorized kernel path (the
+        engine selector does not apply — a kernel program *is* its own
+        execution semantics, pinned to the generator reference by the
+        equivalence suites).
         """
         self._check_inputs(inputs)
+        if getattr(program, "is_kernel_program", False):
+            return self._run_kernel(program, [inputs])[0]
         if self.engine == "legacy":
             return self._run_legacy(program, inputs)
         key = None if self.record_transcript else oblivious_key(program)
@@ -553,6 +574,16 @@ class Network:
         inputs_list = list(inputs_list)
         for inputs in inputs_list:
             self._check_inputs(inputs)
+        if getattr(program, "is_kernel_program", False):
+            # Kernel programs batch natively: all K instances move
+            # through each round as one stacked matrix.  Chunk like the
+            # replay path to bound the K×n×n buffers.
+            results: List[RunResult] = []
+            chunk_size = max(1, (64 << 20) // (self.n * self.n * 8))
+            for start in range(0, len(inputs_list), chunk_size):
+                chunk = inputs_list[start : start + chunk_size]
+                results.extend(self._run_kernel(program, chunk))
+            return results
         key = None if self.record_transcript else oblivious_key(program)
         if key is None or self.engine == "legacy" or not inputs_list:
             return [self.run(program, inputs) for inputs in inputs_list]
@@ -615,6 +646,36 @@ class Network:
             del self._compiled[key]
             return None
         return entry
+
+    def _run_kernel(self, program, inputs_list: List[Any]) -> List[RunResult]:
+        """Execute a kernel program: compile its declared structure into
+        a :class:`~repro.core.compiled.CompiledSchedule` on first use
+        (cached keyed by the program object — identity, so a stale hit
+        is impossible), then run every instance through the stacked
+        kernel loop.  Counts in :attr:`schedule_stats` mirror the
+        generator path: the first instance "records" (compiles), every
+        further instance is a replay."""
+        from repro.core import kernels
+
+        compiled = self._compiled.get(program)
+        if compiled is not None and compiled.params != (self.bandwidth, self.mode):
+            del self._compiled[program]
+            compiled = None
+        fresh = compiled is None
+        if fresh:
+            compiled = kernels.compile_program(program, self)
+            if len(self._compiled) >= 32:
+                self._compiled.pop(next(iter(self._compiled)))
+            self._compiled[program] = compiled
+        results = kernels.execute(self, program, compiled, inputs_list)
+        if fresh:
+            self.schedule_stats["compiled"] += 1
+            replays = len(inputs_list) - 1
+        else:
+            replays = len(inputs_list)
+        self.schedule_stats["replayed"] += replays
+        compiled.replays += replays
+        return results
 
     def _run_recording(self, program, inputs, key) -> RunResult:
         recorder = ScheduleRecorder()

@@ -47,6 +47,10 @@ __all__ = [
     "transmit_unicast",
     "transmit_broadcast",
     "idle",
+    "kernel_transmit_unicast",
+    "kernel_transmit_broadcast",
+    "transmit_unicast_kernel_program",
+    "transmit_broadcast_kernel_program",
 ]
 
 
@@ -65,6 +69,8 @@ def phase_length(max_bits: int, bandwidth: int) -> int:
 
 
 def _frame_payload(payload: Bits, max_bits: int, rounds: int, bandwidth: int) -> list:
+    """Length header + payload, padded to whole frames, as a list of
+    ``rounds`` frame uints (each exactly ``bandwidth`` bits wide)."""
     if len(payload) > max_bits:
         raise ValueError(
             f"payload of {len(payload)} bits exceeds declared max {max_bits}"
@@ -73,7 +79,7 @@ def _frame_payload(payload: Bits, max_bits: int, rounds: int, bandwidth: int) ->
     writer.write_uint(len(payload), header_width(max_bits))
     writer.write_bits(payload)
     padded = writer.getvalue().pad_to(rounds * bandwidth)
-    return padded.chunks(bandwidth)
+    return padded.to_uint_chunks(bandwidth)
 
 
 def _parse_concat(stream: Bits, max_bits: int) -> Bits:
@@ -97,11 +103,10 @@ def transmit_unicast(
     rounds = phase_length(max_bits, ctx.bandwidth)
     bandwidth = ctx.bandwidth
     framed = {
-        dest: [frame.to_uint() for frame in _frame_payload(payload, max_bits, rounds, bandwidth)]
+        dest: _frame_payload(payload, max_bits, rounds, bandwidth)
         for dest, payload in payloads.items()
     }
-    received: Dict[int, int] = {}
-    counts: Dict[int, int] = {}
+    received: Dict[int, list] = {}
     for r in range(rounds):
         outbox = (
             Outbox.fixed_width_map(
@@ -112,12 +117,11 @@ def transmit_unicast(
         )
         inbox = yield outbox
         for sender, value in inbox_uints(inbox):
-            received[sender] = (received.get(sender, 0) << bandwidth) | value
-            counts[sender] = counts.get(sender, 0) + 1
+            received.setdefault(sender, []).append(value)
     return {
-        sender: _parse_concat(Bits(stream, rounds * bandwidth), max_bits)
-        for sender, stream in received.items()
-        if counts[sender] == rounds
+        sender: _parse_concat(Bits.from_uint_concat(frames, bandwidth), max_bits)
+        for sender, frames in received.items()
+        if len(frames) == rounds
     }
 
 
@@ -137,13 +141,9 @@ def transmit_broadcast(
     frames = (
         None
         if payload is None
-        else [
-            frame.to_uint()
-            for frame in _frame_payload(payload, max_bits, rounds, bandwidth)
-        ]
+        else _frame_payload(payload, max_bits, rounds, bandwidth)
     )
-    received: Dict[int, int] = {}
-    counts: Dict[int, int] = {}
+    received: Dict[int, list] = {}
     for r in range(rounds):
         outbox = (
             Outbox.silent()
@@ -152,12 +152,11 @@ def transmit_broadcast(
         )
         inbox = yield outbox
         for sender, value in inbox_uints(inbox):
-            received[sender] = (received.get(sender, 0) << bandwidth) | value
-            counts[sender] = counts.get(sender, 0) + 1
+            received.setdefault(sender, []).append(value)
     return {
-        sender: _parse_concat(Bits(stream, rounds * bandwidth), max_bits)
-        for sender, stream in received.items()
-        if counts[sender] == rounds
+        sender: _parse_concat(Bits.from_uint_concat(chunks, bandwidth), max_bits)
+        for sender, chunks in received.items()
+        if len(chunks) == rounds
     }
 
 
@@ -165,3 +164,230 @@ def idle(rounds: int):
     """Stay silent (but synchronized) for ``rounds`` rounds."""
     for _ in range(rounds):
         yield Outbox.silent()
+
+
+# -- kernel form --------------------------------------------------------
+#
+# The kernel counterparts below declare the phase structure to a
+# ``KernelBuilder`` (repro.core.kernels) so a whole transmit phase runs
+# as one numpy scatter/gather per round with zero generator steps.  The
+# sender set — the one input-dependent degree of freedom of the
+# generator phases — becomes an explicit public parameter (``links`` /
+# ``writers``), which is exactly the obliviousness contract the
+# generator docstring above describes.  Equivalence suites pin the two
+# forms byte-for-byte.
+
+
+def _require_bandwidth(builder) -> int:
+    if builder.bandwidth is None:
+        raise ValueError(
+            "phase kernels need a KernelBuilder with a declared bandwidth "
+            "(the phase length depends on it)"
+        )
+    return builder.bandwidth
+
+
+def kernel_transmit_unicast(builder, links, max_bits: int, get_payloads, set_result) -> None:
+    """Append one unicast transmit phase to ``builder``.
+
+    ``links`` is the public list of ``(src, dst)`` pairs that carry a
+    payload.  At phase start ``get_payloads(state)`` must return one
+    ``{(src, dst): Bits}`` map per instance (every declared link
+    present, each payload at most ``max_bits`` bits); when the phase's
+    frames have all been delivered, ``set_result(state, received)`` is
+    called with ``received[k][v]`` the ``{src: Bits}`` dict node ``v``
+    reassembled in instance ``k`` — the same value the generator
+    :func:`transmit_unicast` returns.
+    """
+    import numpy as np
+
+    bandwidth = _require_bandwidth(builder)
+    rounds = phase_length(max_bits, bandwidth)
+    by_src: Dict[int, list] = {}
+    for src, dst in links:
+        by_src.setdefault(int(src), []).append(int(dst))
+    pairs = sorted((src, dests) for src, dests in by_src.items())
+    # Flat structure order: ascending sender, declared dest order.
+    flat_links = [(src, dst) for src, dests in pairs for dst in dests]
+    count = len(flat_links)
+    is_object = bandwidth > 63
+    key = builder.fresh_key("transmit_unicast")
+
+    def start(state):
+        payload_maps = get_payloads(state)
+        instances = len(payload_maps)
+        frames = np.empty(
+            (rounds, instances, count),
+            dtype=object if is_object else np.uint64,
+        )
+        for k, payloads in enumerate(payload_maps):
+            for j, link in enumerate(flat_links):
+                frames[:, k, j] = _frame_payload(
+                    payloads[link], max_bits, rounds, bandwidth
+                )
+        state[key] = {"frames": frames, "got": []}
+
+    builder.before(start)
+    for r in range(rounds):
+
+        def send(state, _r=r):
+            return state[key]["frames"][_r]
+
+        def recv(state, inbox):
+            state[key]["got"].append(inbox.gather())
+
+        builder.unicast_round(pairs, bandwidth, send, recv)
+
+    def done(state):
+        got = state.pop(key)["got"]
+        instances = got[0].shape[0] if got else len(get_payloads(state))
+        received = [
+            [dict() for _ in range(builder.n)] for _ in range(instances)
+        ]
+        for j, (src, dst) in enumerate(flat_links):
+            for k in range(instances):
+                stream = Bits.from_uint_concat(
+                    (int(got[r][k, j]) for r in range(rounds)), bandwidth
+                )
+                received[k][dst][src] = _parse_concat(stream, max_bits)
+        set_result(state, received)
+
+    builder.before(done)
+
+
+def kernel_transmit_broadcast(builder, writers, max_bits: int, get_payloads, set_result) -> None:
+    """Append one blackboard transmit phase to ``builder``.
+
+    ``writers`` is the public list of broadcasting nodes.
+    ``get_payloads(state)`` must return one ``{writer: Bits}`` map per
+    instance; ``set_result(state, received)`` gets ``received[k][v]``
+    as the ``{writer: Bits}`` dict node ``v`` hears (its own broadcast
+    excluded, as on the engine) — the generator
+    :func:`transmit_broadcast` return value.
+    """
+    import numpy as np
+
+    bandwidth = _require_bandwidth(builder)
+    rounds = phase_length(max_bits, bandwidth)
+    writer_list = sorted(int(w) for w in writers)
+    count = len(writer_list)
+    is_object = bandwidth > 63
+    key = builder.fresh_key("transmit_broadcast")
+
+    def start(state):
+        payload_maps = get_payloads(state)
+        instances = len(payload_maps)
+        frames = np.empty(
+            (rounds, instances, count),
+            dtype=object if is_object else np.uint64,
+        )
+        for k, payloads in enumerate(payload_maps):
+            for j, writer in enumerate(writer_list):
+                frames[:, k, j] = _frame_payload(
+                    payloads[writer], max_bits, rounds, bandwidth
+                )
+        state[key] = {"frames": frames, "got": []}
+
+    builder.before(start)
+    for r in range(rounds):
+
+        def send(state, _r=r):
+            return state[key]["frames"][_r]
+
+        def recv(state, inbox):
+            state[key]["got"].append(inbox.gather())
+
+        builder.broadcast_round(writer_list, bandwidth, send, recv)
+
+    def done(state):
+        got = state.pop(key)["got"]
+        instances = got[0].shape[0] if got else len(get_payloads(state))
+        payloads = {}
+        for j, writer in enumerate(writer_list):
+            for k in range(instances):
+                stream = Bits.from_uint_concat(
+                    (int(got[r][k, j]) for r in range(rounds)), bandwidth
+                )
+                payloads[(k, writer)] = _parse_concat(stream, max_bits)
+        received = [
+            [
+                {
+                    w: payloads[(k, w)]
+                    for w in writer_list
+                    if w != v
+                }
+                for v in range(builder.n)
+            ]
+            for k in range(instances)
+        ]
+        set_result(state, received)
+
+    builder.before(done)
+
+
+def transmit_unicast_kernel_program(n: int, bandwidth: int, links, max_bits: int):
+    """A complete kernel program executing one unicast transmit phase.
+
+    The kernel twin of running the generator phase as a whole program:
+    node ``v``'s input is its ``{dst: Bits}`` payload map (``None`` for
+    no traffic — but the union of keys must equal the public ``links``),
+    its output the ``{src: Bits}`` dict of reassembled payloads.
+    """
+    from repro.core.kernels import KernelBuilder
+    from repro.core.network import Mode
+
+    builder = KernelBuilder(n, Mode.UNICAST, bandwidth=bandwidth)
+
+    def init(state, kctx):
+        state["inputs"] = kctx.inputs_list
+
+    builder.on_init(init)
+
+    def get_payloads(state):
+        maps = []
+        for inputs in state["inputs"]:
+            payloads = {}
+            if inputs is not None:
+                for src in range(n):
+                    for dst, payload in (inputs[src] or {}).items():
+                        payloads[(src, dst)] = payload
+            maps.append(payloads)
+        return maps
+
+    def set_result(state, received):
+        state["out"] = received
+
+    kernel_transmit_unicast(builder, links, max_bits, get_payloads, set_result)
+    return builder.build(
+        lambda state, kctx: state["out"], name="transmit_unicast"
+    )
+
+
+def transmit_broadcast_kernel_program(n: int, bandwidth: int, writers, max_bits: int):
+    """A complete kernel program executing one blackboard transmit
+    phase: node ``v``'s input is its payload :class:`Bits` (nodes not in
+    the public ``writers`` list pass ``None``), its output the
+    ``{writer: Bits}`` dict it heard."""
+    from repro.core.kernels import KernelBuilder
+    from repro.core.network import Mode
+
+    builder = KernelBuilder(n, Mode.BROADCAST, bandwidth=bandwidth)
+
+    def init(state, kctx):
+        state["inputs"] = kctx.inputs_list
+
+    builder.on_init(init)
+
+    def get_payloads(state):
+        return [
+            {w: inputs[w] for w in writers}
+            for inputs in state["inputs"]
+        ]
+
+    def set_result(state, received):
+        state["out"] = received
+
+    kernel_transmit_broadcast(builder, writers, max_bits, get_payloads, set_result)
+    return builder.build(
+        lambda state, kctx: state["out"], name="transmit_broadcast"
+    )

@@ -13,7 +13,9 @@ from repro.matmul.boolean import (
 from repro.matmul.distributed import (
     TriangleMMOutcome,
     detect_triangle_mm,
+    detect_triangle_mm_many,
     matmul_input_partition,
+    triangle_mm_kernel_program,
     triangle_mm_program,
 )
 from repro.matmul.triangle_mm import (
@@ -36,7 +38,9 @@ __all__ = [
     "detect_triangle_masked",
     "TriangleMMOutcome",
     "triangle_mm_program",
+    "triangle_mm_kernel_program",
     "detect_triangle_mm",
+    "detect_triangle_mm_many",
     "matmul_input_partition",
     "DLPOutcome",
     "dlp_plan",

@@ -56,6 +56,7 @@ __all__ = [
     "matmul_input_partition",
     "TriangleMMOutcome",
     "triangle_mm_program",
+    "triangle_mm_kernel_program",
     "detect_triangle_mm",
     "detect_triangle_mm_many",
 ]
@@ -178,6 +179,188 @@ def triangle_mm_program(
     return mark_oblivious(program, "triangle_mm", id(plan), trials)
 
 
+def triangle_mm_kernel_program(
+    graph: Graph,
+    plan: SimulationPlan,
+    trials: int,
+):
+    """The kernel twin of :func:`triangle_mm_program`: the full pipeline
+    — per-trial masking, circuit simulation, output redistribution,
+    witness aggregation — as one declared kernel round sequence over
+    stacked adjacency/value matrices, zero generator steps.  Inputs and
+    outputs match the generator program byte for byte (same shared-coin
+    masks, same witness tie-breaking, same accounting)."""
+    import numpy as np
+
+    from repro.core.kernels import KernelBuilder
+    from repro.core.network import Mode
+    from repro.core.phases import kernel_transmit_unicast
+    from repro.routing.lenzen import kernel_route_payloads
+    from repro.simulation.kernel import (
+        append_simulation_rounds,
+        constant_columns,
+        payload_bridge,
+    )
+
+    size = graph.n
+    circuit = plan.circuit
+    input_ids = circuit.input_ids
+    out_order, out_lengths = _output_routing_plan(plan, size)
+    out_schedule = build_schedule(
+        payload_demand(out_lengths, plan.bandwidth), size
+    )
+    builder = KernelBuilder(size, Mode.UNICAST, bandwidth=plan.bandwidth)
+    vals_key = "vals"
+    first_ids = np.asarray(input_ids[: size * size], dtype=np.intp)
+    second_ids = np.asarray(input_ids[size * size :], dtype=np.intp)
+    output_gids = np.asarray(circuit.outputs, dtype=np.intp)
+    const_cols, const_vals = constant_columns(circuit)
+
+    def init(state, kctx):
+        instances = kctx.instances
+        rows = np.zeros((instances, size, size), dtype=np.uint8)
+        for k, inputs in enumerate(kctx.inputs_list):
+            for v in range(size):
+                rows[k, v] = np.asarray(inputs[v], dtype=np.uint8)
+        state["rows"] = rows
+        # The shared public coin: every generator node draws the same
+        # mask stream, so one clone serves all nodes and all instances.
+        rng = kctx.shared_rng()
+        state["masks"] = np.asarray(
+            [
+                [rng.randint(0, 1) for _ in range(size)]
+                for _ in range(trials)
+            ],
+            dtype=np.uint8,
+        )
+        vals = np.zeros((instances, len(circuit)), dtype=np.uint8)
+        if const_cols.size:
+            vals[:, const_cols] = const_vals
+        state[vals_key] = vals
+        # Witness slots: -1 = none found yet (first trial, then first
+        # column wins — the generator's tie-breaking order).
+        state["wit_u"] = np.full((instances, size), -1, dtype=np.int64)
+        state["wit_v"] = np.full((instances, size), -1, dtype=np.int64)
+
+    builder.on_init(init)
+
+    out_payloads, _out_writeback = payload_bridge(out_order, vals_key)
+
+    def set_out(state, received):
+        # All output values live in the value matrix once the routed
+        # frames land; assemble C and score this trial's witnesses.
+        del received
+        vals = state[vals_key]
+        rows = state["rows"]
+        instances = vals.shape[0]
+        c_matrix = vals[:, output_gids].reshape(instances, size, size)
+        hit = rows & c_matrix
+        any_hit = hit.any(axis=2)
+        first_j = hit.argmax(axis=2)
+        wit_u = state["wit_u"]
+        wit_v = state["wit_v"]
+        me = np.arange(size, dtype=np.int64)[None, :]
+        update = (wit_u < 0) & any_hit
+        j_hit = first_j.astype(np.int64)
+        wit_u[update] = np.minimum(me, j_hit)[update]
+        wit_v[update] = np.maximum(me, j_hit)[update]
+
+    for _trial in range(trials):
+
+        def prepare(state, _t=_trial):
+            vals = state[vals_key]
+            rows = state["rows"]
+            instances = vals.shape[0]
+            mask = state["masks"][_t]
+            masked = rows & mask[None, None, :]
+            vals[:, first_ids] = masked.reshape(instances, size * size)
+            vals[:, second_ids] = rows.reshape(instances, size * size)
+
+        builder.before(prepare)
+        append_simulation_rounds(builder, plan, vals_key)
+        kernel_route_payloads(
+            builder,
+            out_lengths,
+            plan.bandwidth,
+            out_schedule,
+            out_payloads,
+            set_out,
+        )
+
+    # ---- aggregation at player 0 (1 + 2·log n bits per node) ----------
+    vertex_bits = max(1, (size - 1).bit_length())
+    report_len = 1 + 2 * vertex_bits
+    links = [(v, 0) for v in range(1, size)]
+
+    def get_reports(state):
+        wit_u = state["wit_u"]
+        wit_v = state["wit_v"]
+        instances = wit_u.shape[0]
+        maps = [dict() for _ in range(instances)]
+        for k in range(instances):
+            for v in range(1, size):
+                if wit_u[k, v] < 0:
+                    payload = Bits.zeros(report_len)
+                else:
+                    payload = Bits(
+                        (1 << 2 * vertex_bits)
+                        | (int(wit_u[k, v]) << vertex_bits)
+                        | int(wit_v[k, v]),
+                        report_len,
+                    )
+                maps[k][(v, 0)] = payload
+        return maps
+
+    def set_reports(state, received):
+        state["reports"] = received
+
+    if links:
+        kernel_transmit_unicast(
+            builder, links, report_len, get_reports, set_reports
+        )
+
+    def finish(state, kctx):
+        wit_u = state["wit_u"]
+        wit_v = state["wit_v"]
+        reports = state.get("reports")
+        outcomes = []
+        for k in range(kctx.instances):
+            per_node = []
+            for v in range(size):
+                local = (
+                    None
+                    if wit_u[k, v] < 0
+                    else (int(wit_u[k, v]), int(wit_v[k, v]))
+                )
+                if v != 0:
+                    per_node.append(
+                        TriangleMMOutcome(
+                            found=local is not None,
+                            witness=local,
+                            trials=trials,
+                        )
+                    )
+                    continue
+                witness = local
+                if reports is not None:
+                    for _sender, payload in sorted(reports[k][0].items()):
+                        if payload[0] == 1 and witness is None:
+                            u = payload[1 : 1 + vertex_bits].to_uint()
+                            w = payload[1 + vertex_bits :].to_uint()
+                            witness = (u, w)
+                per_node.append(
+                    TriangleMMOutcome(
+                        found=witness is not None,
+                        witness=witness,
+                        trials=trials,
+                    )
+                )
+            outcomes.append(per_node)
+        return outcomes
+
+    return builder.build(finish, name="triangle_mm")
+
+
 def detect_triangle_mm(
     graph: Graph,
     trials: int = 8,
@@ -187,11 +370,15 @@ def detect_triangle_mm(
     plan: Optional[SimulationPlan] = None,
     record_transcript: bool = False,
     engine: str = "fast",
+    kernel: bool = False,
 ) -> Tuple[TriangleMMOutcome, RunResult, SimulationPlan]:
     """Full pipeline: build the matmul circuit, simulate, detect.
 
     The decision at player 0 has one-sided error <= 2^{-trials} (misses
     only); "found" answers carry a witness edge and are always correct.
+    ``kernel=True`` runs the vectorized kernel form of the protocol
+    (:func:`triangle_mm_kernel_program`) — same results, no generator
+    stepping.
     """
     size = graph.n
     if plan is None:
@@ -214,7 +401,12 @@ def detect_triangle_mm(
         [1 if graph.has_edge(v, u) else 0 for u in range(size)]
         for v in range(size)
     ]
-    result = network.run(triangle_mm_program(graph, plan, trials), inputs=rows)
+    program = (
+        triangle_mm_kernel_program(graph, plan, trials)
+        if kernel
+        else triangle_mm_program(graph, plan, trials)
+    )
+    result = network.run(program, inputs=rows)
     return result.outputs[0], result, plan
 
 
@@ -225,13 +417,16 @@ def detect_triangle_mm_many(
     bandwidth: Optional[int] = None,
     seed: int = 0,
     plan: Optional[SimulationPlan] = None,
+    kernel: bool = False,
 ) -> Tuple[List[TriangleMMOutcome], List[RunResult], SimulationPlan]:
     """Triangle detection over many same-size graphs, one compiled
     schedule: the plan is built once, the first instance records the
     round structure, and the remaining instances replay it in lockstep
     via :meth:`~repro.core.network.Network.run_many`.  Per-instance
     results are byte-identical to calling :func:`detect_triangle_mm`
-    with the same plan, seed and trials on each graph."""
+    with the same plan, seed and trials on each graph.  ``kernel=True``
+    swaps in the vectorized kernel program — all graphs advance through
+    every round as one stacked matrix operation."""
     if not graphs:
         raise ValueError("detect_triangle_mm_many needs at least one graph")
     size = graphs[0].n
@@ -246,7 +441,11 @@ def detect_triangle_mm_many(
             builder(size), size, matmul_input_partition(size), bandwidth
         )
     network = Network(n=size, bandwidth=plan.bandwidth, mode=Mode.UNICAST, seed=seed)
-    program = triangle_mm_program(graphs[0], plan, trials)
+    program = (
+        triangle_mm_kernel_program(graphs[0], plan, trials)
+        if kernel
+        else triangle_mm_program(graphs[0], plan, trials)
+    )
     inputs_list = [
         [
             [1 if graph.has_edge(v, u) else 0 for u in range(size)]

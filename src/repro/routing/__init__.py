@@ -2,8 +2,11 @@
 O(1)-round congested-clique routing [28]; see DESIGN.md substitution #1)."""
 
 from repro.routing.lenzen import (
+    kernel_route_frames,
+    kernel_route_payloads,
     payload_demand,
     route_frames,
+    route_kernel_program,
     route_payloads,
     route_program,
 )
@@ -17,4 +20,7 @@ __all__ = [
     "route_payloads",
     "payload_demand",
     "route_program",
+    "kernel_route_frames",
+    "kernel_route_payloads",
+    "route_kernel_program",
 ]

@@ -31,7 +31,15 @@ from repro.core.compiled import mark_oblivious
 from repro.core.network import Context, Outbox, inbox_uints
 from repro.routing.schedule import FrameRef, RoutingSchedule, build_schedule
 
-__all__ = ["route_frames", "payload_demand", "route_payloads", "route_program"]
+__all__ = [
+    "route_frames",
+    "payload_demand",
+    "route_payloads",
+    "route_program",
+    "kernel_route_frames",
+    "kernel_route_payloads",
+    "route_kernel_program",
+]
 
 
 def route_frames(
@@ -188,3 +196,193 @@ def route_payloads(
         ordered = [chunks[i] for i in range(len(chunks))]
         result[src] = Bits.concat(ordered)[:expected]
     return result
+
+
+# -- kernel form --------------------------------------------------------
+#
+# Routing is the ideal kernel workload: a frame's value never changes,
+# only its location does, and every hop is in the public timetable.
+# Each round therefore compiles to one gather (pick the frames moving
+# this round out of the frame-value matrix) and one scatter (write what
+# the links delivered back into it) — no per-node stepping at all.
+
+
+def kernel_route_frames(builder, schedule: RoutingSchedule, frame_size: int, get_frames, set_result) -> None:
+    """Append ``schedule``'s rounds to ``builder`` as kernel rounds.
+
+    At phase start ``get_frames(state)`` must return one
+    ``{FrameRef: Bits}`` map per instance covering exactly the frames
+    the schedule injects (each exactly ``frame_size`` bits); when the
+    last hop lands, ``set_result(state, delivered)`` receives
+    ``delivered[k][v]`` as node ``v``'s ``{FrameRef: Bits}`` map — the
+    generator :func:`route_frames` return value.
+    """
+    import numpy as np
+
+    if frame_size < 1:
+        raise ValueError("frame size must be positive")
+    # Assign each frame a dense slot id (first appearance order) and
+    # flatten every round's hops in builder structure order: ascending
+    # sender, that sender's send-plan order.
+    slot_of: Dict[FrameRef, int] = {}
+    final_dest: Dict[FrameRef, int] = {}
+    round_plans = []
+    for r in range(schedule.num_rounds):
+        sends = schedule.send_plan[r]
+        recv = schedule.recv_plan[r]
+        pairs = []
+        slots = []
+        for sender in sorted(sends):
+            dests = []
+            for recipient, frame in sends[sender]:
+                if frame not in slot_of:
+                    slot_of[frame] = len(slot_of)
+                dests.append(recipient)
+                slots.append(slot_of[frame])
+                if recv[(sender, recipient)][1]:
+                    final_dest[frame] = recipient
+            pairs.append((sender, dests))
+        round_plans.append((pairs, np.asarray(slots, dtype=np.intp)))
+    num_frames = len(slot_of)
+    is_object = frame_size > 63
+    key = builder.fresh_key("route")
+
+    def start(state):
+        frame_maps = get_frames(state)
+        instances = len(frame_maps)
+        values = np.zeros(
+            (instances, num_frames), dtype=object if is_object else np.uint64
+        )
+        for k, frames in enumerate(frame_maps):
+            for ref, frame in frames.items():
+                if len(frame) != frame_size:
+                    raise ValueError(
+                        f"frame {ref} has {len(frame)} bits, "
+                        f"expected {frame_size}"
+                    )
+                values[k, slot_of[ref]] = frame.to_uint()
+        state[key] = values
+
+    builder.before(start)
+    for pairs, slots in round_plans:
+
+        def send(state, _slots=slots):
+            return state[key][:, _slots]
+
+        def recv(state, inbox, _slots=slots):
+            # Write what the links actually delivered back into the
+            # frame-value matrix (value-preserving by construction, but
+            # keeps the data flow on the wire).
+            state[key][:, _slots] = inbox.gather()
+
+        builder.unicast_round(pairs, frame_size, send, recv)
+
+    def done(state):
+        values = state.pop(key)
+        instances = values.shape[0]
+        delivered = [
+            [dict() for _ in range(builder.n)] for _ in range(instances)
+        ]
+        for ref, dest in final_dest.items():
+            slot = slot_of[ref]
+            for k in range(instances):
+                delivered[k][dest][ref] = Bits(int(values[k, slot]), frame_size)
+        set_result(state, delivered)
+
+    builder.before(done)
+
+
+def kernel_route_payloads(
+    builder,
+    lengths: Mapping[Tuple[int, int], int],
+    frame_size: int,
+    schedule: Optional[RoutingSchedule],
+    get_payloads,
+    set_result,
+) -> None:
+    """Append a :func:`route_payloads` phase to ``builder``: payloads
+    under the public ``lengths`` map are chunked into frames, routed by
+    ``schedule`` (built from ``lengths`` when ``None``), and reassembled
+    at their destinations.  ``get_payloads(state)`` returns one
+    ``{(src, dst): Bits}`` map per instance (only pairs with a positive
+    length); ``set_result(state, received)`` gets ``received[k][v]`` as
+    node ``v``'s ``{src: Bits}`` map."""
+    if schedule is None:
+        schedule = build_schedule(payload_demand(lengths, frame_size), builder.n)
+    counts = payload_demand(lengths, frame_size)
+
+    def get_frames(state):
+        frame_maps = []
+        for payloads in get_payloads(state):
+            frames: Dict[FrameRef, Bits] = {}
+            for (src, dst), payload in payloads.items():
+                expected = lengths.get((src, dst), 0)
+                if len(payload) != expected:
+                    raise ValueError(
+                        f"payload to {dst} has {len(payload)} bits, "
+                        f"plan says {expected}"
+                    )
+                if expected == 0:
+                    continue
+                count = counts[(src, dst)]
+                chunks = payload.pad_to(count * frame_size).to_uint_chunks(
+                    frame_size
+                )
+                for idx, chunk in enumerate(chunks):
+                    frames[(src, dst, idx)] = Bits(chunk, frame_size)
+            frame_maps.append(frames)
+        return frame_maps
+
+    def assemble(state, delivered):
+        instances = len(delivered)
+        received = [
+            [dict() for _ in range(builder.n)] for _ in range(instances)
+        ]
+        for k in range(instances):
+            for v in range(builder.n):
+                by_source: Dict[int, Dict[int, Bits]] = {}
+                for (src, _dst, idx), chunk in delivered[k][v].items():
+                    by_source.setdefault(src, {})[idx] = chunk
+                for src, chunks in by_source.items():
+                    expected = lengths[(src, v)]
+                    ordered = [chunks[i] for i in range(len(chunks))]
+                    received[k][v][src] = Bits.concat(ordered)[:expected]
+        set_result(state, received)
+
+    kernel_route_frames(builder, schedule, frame_size, get_frames, assemble)
+
+
+def route_kernel_program(schedule: RoutingSchedule, frame_size: int):
+    """The kernel twin of :func:`route_program`: same inputs (node
+    ``v``'s ``{FrameRef: Bits}`` injection map, or ``None``), same
+    outputs (the frames delivered to each node), zero generator steps —
+    every round is one gather + one scatter over a frame-value matrix
+    for all instances of a sweep at once."""
+    from repro.core.kernels import KernelBuilder
+    from repro.core.network import Mode
+
+    builder = KernelBuilder(schedule.n, Mode.UNICAST)
+
+    def init(state, kctx):
+        state["inputs"] = kctx.inputs_list
+
+    builder.on_init(init)
+
+    def get_frames(state):
+        maps = []
+        for inputs in state["inputs"]:
+            frames: Dict[FrameRef, Bits] = {}
+            if inputs is not None:
+                for per_node in inputs:
+                    if per_node:
+                        frames.update(per_node)
+            maps.append(frames)
+        return maps
+
+    def set_result(state, delivered):
+        state["out"] = delivered
+
+    kernel_route_frames(builder, schedule, frame_size, get_frames, set_result)
+    return builder.build(
+        lambda state, kctx: state["out"], name="route_frames"
+    )

@@ -1,6 +1,7 @@
 """Theorem 2: simulating bounded-depth circuits on CLIQUE-UCAST."""
 
 from repro.simulation.assignment import GateAssignment, assign_gates
+from repro.simulation.kernel import make_kernel_program
 from repro.simulation.protocol import (
     LayerPlan,
     OutputRouting,
@@ -22,6 +23,7 @@ __all__ = [
     "build_plan",
     "execute_plan",
     "make_program",
+    "make_kernel_program",
     "simulate_circuit",
     "simulate_circuit_many",
     "OutputRouting",

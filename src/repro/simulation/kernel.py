@@ -1,0 +1,354 @@
+"""Kernel form of the Theorem 2 simulation: the whole plan as one
+declared round sequence over a stacked gate-value matrix.
+
+The generator :func:`~repro.simulation.protocol.execute_plan` resumes
+``n`` coroutines per round; here the same public
+:class:`~repro.simulation.protocol.SimulationPlan` compiles into kernel
+rounds (:mod:`repro.core.kernels`) operating on one ``K × gates``
+value matrix — all nodes, and all ``K`` instances of a
+:meth:`~repro.core.network.Network.run_many` sweep, advance with a few
+numpy operations per round.  The round sequence, widths and bit totals
+are identical to the generator's by construction (the same plan drives
+both), and the equivalence suite pins outputs byte-for-byte.
+
+Gate evaluation is vectorized per gate across instances
+(:func:`vector_compute`); partial summaries for the heavy-gate rounds
+are produced the same way (:func:`vector_summary`).  Owners evaluate a
+heavy gate directly from its input values rather than re-combining the
+received summaries — by Definition 1 (b-separability) the two are the
+same function, which is also why the generator's ``combine`` of honest
+summaries matches.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+from repro.circuits.circuit import CONST_KIND, GATE_KIND
+from repro.circuits.gates import (
+    AndGate,
+    GenericGate,
+    ModGate,
+    NotGate,
+    OrGate,
+    ThresholdGate,
+    XorGate,
+)
+from repro.core.bits import Bits
+from repro.core.kernels import KernelBuilder, pack_rows, unpack_rows
+from repro.core.network import Mode
+from repro.routing.lenzen import kernel_route_payloads
+from repro.simulation.protocol import SimulationPlan
+
+__all__ = [
+    "vector_compute",
+    "vector_summary",
+    "constant_columns",
+    "payload_bridge",
+    "append_simulation_rounds",
+    "make_kernel_program",
+]
+
+
+def constant_columns(circuit) -> Tuple[np.ndarray, np.ndarray]:
+    """(gate-id columns, 0/1 values) of the circuit's constant nodes —
+    the seed every fresh ``K × gates`` value matrix needs."""
+    cols = np.asarray(
+        [node.gate_id for node in circuit.nodes if node.kind == CONST_KIND],
+        dtype=np.intp,
+    )
+    vals = np.asarray(
+        [
+            1 if node.const_value else 0
+            for node in circuit.nodes
+            if node.kind == CONST_KIND
+        ],
+        dtype=np.uint8,
+    )
+    return cols, vals
+
+
+def vector_compute(gate, part: np.ndarray) -> np.ndarray:
+    """Evaluate ``gate`` on a ``K × fan_in`` 0/1 matrix of its input
+    values — one result per instance, vectorized for every built-in
+    gate family (arbitrary :class:`~repro.circuits.gates.Gate`
+    subclasses fall back to per-instance ``compute``)."""
+    if isinstance(gate, AndGate):
+        return part.all(axis=1)
+    if isinstance(gate, OrGate):
+        return part.any(axis=1)
+    if isinstance(gate, NotGate):
+        return part[:, 0] == 0
+    if isinstance(gate, XorGate):
+        return part.sum(axis=1, dtype=np.int64) % 2 == 1
+    if isinstance(gate, ModGate):
+        return part.sum(axis=1, dtype=np.int64) % gate.modulus == 0
+    if isinstance(gate, ThresholdGate):
+        if gate.weights is None:
+            total = part.sum(axis=1, dtype=np.int64)
+        else:
+            total = part.astype(np.int64) @ np.asarray(gate.weights, dtype=np.int64)
+        return total >= gate.threshold
+    return np.array(
+        [gate.compute([bool(x) for x in row]) for row in part], dtype=bool
+    )
+
+
+def vector_summary(
+    gate, positions: List[int], part: np.ndarray, fan_in: int
+) -> np.ndarray:
+    """One part's b-separability summary for every instance at once:
+    ``part`` is the ``K × len(positions)`` 0/1 matrix of the part's
+    input values, ``positions`` their indices in the gate's input list
+    (weighted gates need them).  Returns a ``K``-vector of summary
+    payloads (``uint64``, or ``object`` ints past 63 bits)."""
+    if isinstance(gate, (AndGate, NotGate)):
+        return part.all(axis=1).astype(np.uint64)
+    if isinstance(gate, OrGate):
+        return part.any(axis=1).astype(np.uint64)
+    if isinstance(gate, XorGate):
+        return (part.sum(axis=1, dtype=np.int64) % 2).astype(np.uint64)
+    if isinstance(gate, ModGate):
+        return (
+            part.sum(axis=1, dtype=np.int64) % gate.modulus
+        ).astype(np.uint64)
+    if isinstance(gate, ThresholdGate):
+        if gate.weights is None:
+            total = part.sum(axis=1, dtype=np.int64)
+        else:
+            weights = np.asarray(
+                [gate.weights[p] for p in positions], dtype=np.int64
+            )
+            total = part.astype(np.int64) @ weights
+        return total.astype(np.uint64)
+    if isinstance(gate, GenericGate):
+        covered = 0
+        for position in positions:
+            covered |= 1 << position
+        if 2 * fan_in <= 63:
+            values = np.zeros(len(part), dtype=np.uint64)
+            for i, position in enumerate(positions):
+                values |= part[:, i].astype(np.uint64) << np.uint64(position)
+            return (np.uint64(covered << fan_in)) | values
+        out = np.empty(len(part), dtype=object)
+        for k, row in enumerate(part):
+            values = 0
+            for i, position in enumerate(positions):
+                if row[i]:
+                    values |= 1 << position
+            out[k] = (covered << fan_in) | values
+        return out
+    # Unknown gate type: honest per-instance fallback.
+    out = np.empty(len(part), dtype=object)
+    for k, row in enumerate(part):
+        indexed = [(p, bool(row[i])) for i, p in enumerate(positions)]
+        out[k] = gate.partial_summary(indexed, fan_in).to_uint()
+    return out
+
+
+def payload_bridge(order: Dict[Tuple[int, int], List[int]], vals_key: str):
+    """(get_payloads, set_result) callbacks that move the gate values
+    named by ``order`` (gid lists per (src, dst) pair) between the
+    ``K × gates`` value matrix and routed :class:`Bits` payloads."""
+    cols = {pair: np.asarray(gids, dtype=np.intp) for pair, gids in order.items()}
+
+    def get_payloads(state):
+        vals = state[vals_key]
+        instances = vals.shape[0]
+        maps: List[Dict[Tuple[int, int], Bits]] = [
+            dict() for _ in range(instances)
+        ]
+        for pair, gid_cols in cols.items():
+            length = gid_cols.size
+            packed = pack_rows(vals[:, gid_cols])
+            for k in range(instances):
+                maps[k][pair] = Bits(packed[k], length)
+        return maps
+
+    def set_result(state, received):
+        vals = state[vals_key]
+        for (src, dst), gid_cols in cols.items():
+            payloads = [
+                per_instance[dst][src].to_uint() for per_instance in received
+            ]
+            vals[:, gid_cols] = unpack_rows(payloads, gid_cols.size)
+
+    return get_payloads, set_result
+
+
+def append_simulation_rounds(
+    builder: KernelBuilder, plan: SimulationPlan, vals_key: str
+) -> None:
+    """Append every communication round of ``plan`` to ``builder``,
+    mirroring :func:`~repro.simulation.protocol.execute_plan` phase for
+    phase.  ``state[vals_key]`` must hold the ``K × gates`` 0/1 value
+    matrix with constants and the instance's input gate values filled
+    in before the first appended round fires (stage it with
+    ``builder.before``)."""
+    circuit = plan.circuit
+    nodes = circuit.nodes
+
+    # ---- input redistribution ----------------------------------------
+    if plan.input_lengths:
+        get_payloads, set_result = payload_bridge(plan.input_order, vals_key)
+        kernel_route_payloads(
+            builder,
+            plan.input_lengths,
+            plan.bandwidth,
+            plan.input_schedule,
+            get_payloads,
+            set_result,
+        )
+
+    # ---- heavy pushes (one 1-bit message per plan edge) ---------------
+    def push_round(push_recv: Dict[Tuple[int, int], int]) -> None:
+        edges = sorted(push_recv.items())
+        by_src: Dict[int, List[int]] = {}
+        gid_cols: List[int] = []
+        for (src, dst), gid in edges:
+            by_src.setdefault(src, []).append(dst)
+            gid_cols.append(gid)
+        cols = np.asarray(gid_cols, dtype=np.intp)
+
+        def send(state):
+            return state[vals_key][:, cols].astype(np.uint64)
+
+        def recv(state, inbox):
+            state[vals_key][:, cols] = inbox.gather().astype(np.uint8)
+
+        builder.unicast_round(sorted(by_src.items()), 1, send, recv)
+
+    if plan.layer0_push_recv:
+        push_round(plan.layer0_push_recv)
+
+    # ---- layers ------------------------------------------------------
+    for lp in plan.layer_plans:
+        heavy_entries = [
+            (gid, nodes[gid]) for gid in lp.heavy_gates
+        ]
+
+        def compute_heavy(state, _entries=heavy_entries):
+            vals = state[vals_key]
+            for gid, node in _entries:
+                cols = np.asarray(node.inputs, dtype=np.intp)
+                vals[:, gid] = vector_compute(node.gate, vals[:, cols])
+
+        if lp.has_summary_round:
+            # One message per (contributing sender, heavy gate): the
+            # sender's partial summary, summary_width(gid) bits.
+            messages: List[Tuple[int, int, int, List[int]]] = []
+            for gid in lp.heavy_gates:
+                owner = plan.assignment.owner[gid]
+                for sender in sorted(lp.summary_senders[gid]):
+                    positions = lp.summary_senders[gid][sender]
+                    messages.append((sender, owner, gid, positions))
+            messages.sort(key=lambda m: (m[0], m[1]))
+            by_src: Dict[int, List[int]] = {}
+            widths: List[int] = []
+            for sender, owner, gid, _positions in messages:
+                by_src.setdefault(sender, []).append(owner)
+                widths.append(plan.summary_width(gid))
+
+            def send(state, _messages=messages, _widths=widths):
+                vals = state[vals_key]
+                instances = vals.shape[0]
+                wide = max(_widths) > 63
+                out = np.empty(
+                    (instances, len(_messages)),
+                    dtype=object if wide else np.uint64,
+                )
+                for j, (_sender, _owner, gid, positions) in enumerate(_messages):
+                    node = nodes[gid]
+                    cols = np.asarray(
+                        [node.inputs[p] for p in positions], dtype=np.intp
+                    )
+                    out[:, j] = vector_summary(
+                        node.gate, positions, vals[:, cols], len(node.inputs)
+                    )
+                return out
+
+            def recv(state, inbox, _compute=compute_heavy):
+                # Owners combine — evaluating the gate on its (by now
+                # globally known) input values, which b-separability
+                # makes identical to combining the received summaries.
+                _compute(state)
+
+            builder.unicast_round(
+                sorted(by_src.items()), max(widths), send, recv, widths=widths
+            )
+        elif heavy_entries:
+            # No summaries needed: owners evaluate locally before any
+            # dependent round fires.
+            builder.before(compute_heavy)
+
+        if lp.push_recv:
+            push_round(lp.push_recv)
+
+        if lp.light_lengths:
+            get_payloads, set_result = payload_bridge(lp.light_order, vals_key)
+            kernel_route_payloads(
+                builder,
+                lp.light_lengths,
+                plan.bandwidth,
+                lp.light_schedule,
+                get_payloads,
+                set_result,
+            )
+
+        light_gids = sorted(
+            gid for gids in lp.light_owned.values() for gid in gids
+        )
+
+        def eval_lights(state, _gids=light_gids):
+            vals = state[vals_key]
+            for gid in _gids:
+                node = nodes[gid]
+                cols = np.asarray(node.inputs, dtype=np.intp)
+                vals[:, gid] = vector_compute(node.gate, vals[:, cols])
+
+        if light_gids:
+            builder.before(eval_lights)
+
+
+def make_kernel_program(plan: SimulationPlan):
+    """The kernel twin of :func:`~repro.simulation.protocol.make_program`:
+    same per-node inputs (``{input gid: bool}`` dicts), same outputs
+    (each node's ``{output gid: bool}``), zero generator steps."""
+    circuit = plan.circuit
+    owner = plan.assignment.owner
+    n = plan.n
+    builder = KernelBuilder(n, Mode.UNICAST, bandwidth=plan.bandwidth)
+    vals_key = "vals"
+    const_cols, const_vals = constant_columns(circuit)
+
+    def init(state, kctx):
+        vals = np.zeros((kctx.instances, len(circuit)), dtype=np.uint8)
+        if const_cols.size:
+            vals[:, const_cols] = const_vals
+        for k, inputs in enumerate(kctx.inputs_list):
+            if inputs is None:
+                continue
+            for per_node in inputs:
+                for gid, value in (per_node or {}).items():
+                    vals[k, gid] = 1 if value else 0
+        state[vals_key] = vals
+
+    builder.on_init(init)
+    append_simulation_rounds(builder, plan, vals_key)
+    out_by_node: List[List[int]] = [[] for _ in range(n)]
+    for gid in circuit.outputs:
+        out_by_node[owner[gid]].append(gid)
+
+    def finish(state, kctx):
+        vals = state[vals_key]
+        return [
+            [
+                {gid: bool(vals[k, gid]) for gid in out_by_node[v]}
+                for v in range(n)
+            ]
+            for k in range(kctx.instances)
+        ]
+
+    return builder.build(finish, name="simulate_circuit")

@@ -375,6 +375,7 @@ def simulate_circuit(
     bandwidth: Optional[int] = None,
     plan: Optional[SimulationPlan] = None,
     seed: int = 0,
+    kernel: bool = False,
 ) -> Tuple[Dict[int, bool], RunResult, SimulationPlan]:
     """Run the full Theorem 2 simulation and return (outputs by gate id,
     engine result, plan)."""
@@ -386,6 +387,7 @@ def simulate_circuit(
         bandwidth=bandwidth,
         plan=plan,
         seed=seed,
+        kernel=kernel,
     )
     return all_outputs[0], results[0], plan
 
@@ -398,12 +400,17 @@ def simulate_circuit_many(
     bandwidth: Optional[int] = None,
     plan: Optional[SimulationPlan] = None,
     seed: int = 0,
+    kernel: bool = False,
 ) -> Tuple[List[Dict[int, bool]], List[RunResult], SimulationPlan]:
     """Evaluate ``circuit`` on many input vectors with one compiled
     schedule: the plan is built once and
     :meth:`~repro.core.network.Network.run_many` replays the recorded
     round structure for every instance after the first.  Per-instance
-    results are byte-identical to :func:`simulate_circuit`."""
+    results are byte-identical to :func:`simulate_circuit`.
+
+    ``kernel=True`` runs the vectorized kernel form of the simulation
+    (:func:`repro.simulation.kernel.make_kernel_program`) instead of
+    the generator loop — same results, zero generator resumptions."""
     if plan is None:
         plan = build_plan(circuit, n, input_partition, bandwidth)
     if input_partition is None:
@@ -417,7 +424,13 @@ def simulate_circuit_many(
             )
         inputs_list.append(per_node_inputs)
     network = Network(n=n, bandwidth=plan.bandwidth, mode=Mode.UNICAST, seed=seed)
-    results = network.run_many(make_program(plan), inputs_list)
+    if kernel:
+        from repro.simulation.kernel import make_kernel_program
+
+        program: Any = make_kernel_program(plan)
+    else:
+        program = make_program(plan)
+    results = network.run_many(program, inputs_list)
     all_outputs: List[Dict[int, bool]] = []
     for result in results:
         outputs: Dict[int, bool] = {}

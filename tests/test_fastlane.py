@@ -404,3 +404,62 @@ class TestSchedule:
         result = run_protocol(program, n=3, bandwidth=5)
         assert result.outputs[0] == [(1, 21), (2, 22)]
         assert result.outputs[1] == [(0, 9)]
+
+
+class TestDuplicateDestinationAudit:
+    """Duplicate destinations must raise ProtocolError on every path —
+    never silent last-writer-wins."""
+
+    def duplicate_program(self):
+        def program(ctx):
+            if ctx.node_id == 0:
+                yield Outbox.fixed_width([1, 2, 1], [5, 6, 7], 4)
+            else:
+                yield Outbox.silent()
+            return None
+
+        return program
+
+    def test_fast_engine_rejects(self):
+        with pytest.raises(ProtocolError, match="twice"):
+            run_protocol(self.duplicate_program(), n=3, bandwidth=4)
+
+    def test_legacy_engine_rejects(self):
+        with pytest.raises(ProtocolError, match="twice"):
+            run_protocol(
+                self.duplicate_program(), n=3, bandwidth=4, engine="legacy"
+            )
+
+    def test_fixed_width_map_from_dict_is_trusted(self):
+        outbox = Outbox.fixed_width_map({1: 5, 2: 6}, 4)
+        assert outbox.trusted_unique
+
+    def test_fixed_width_map_copies_nonstandard_mappings(self):
+        # A Mapping whose keys() breaks the uniqueness contract must not
+        # smuggle a duplicate past the trusted-unique fast path.
+        from collections.abc import Mapping
+
+        class LyingMapping(Mapping):
+            def __init__(self, pairs):
+                self._pairs = pairs
+
+            def __getitem__(self, key):
+                for k, v in self._pairs:
+                    if k == key:
+                        return v
+                raise KeyError(key)
+
+            def __iter__(self):
+                return (k for k, _ in self._pairs)
+
+            def __len__(self):
+                return len(self._pairs)
+
+            def keys(self):
+                return [k for k, _ in self._pairs]
+
+            def values(self):
+                return [v for _, v in self._pairs]
+
+        outbox = Outbox.fixed_width_map(LyingMapping([(1, 5), (1, 6)]), 4)
+        assert outbox.dests.size == 1  # deduplicated through dict()
