@@ -42,6 +42,14 @@ n ∈ {64, 256} (quick: {16, 32}), plus a Lenzen-routing sweep comparing
 ``route_kernel_program`` with the generator ``route_program`` under
 ``run_many``.
 
+A ``scenario_matrix`` section (PR 5) sweeps the protocol registry —
+problem × graph family × n × engine — through
+:class:`repro.scenarios.ScenarioMatrix`: per-cell timing and bit
+accounting, ground-truth validation, and a digest comparison pinning
+every backend to the legacy reference engine.  The sweep aborts the
+benchmark if any cell diverges, so the JSON doubles as an equivalence
+certificate for the engine subsystem.
+
 Run from the repo root (writes ``BENCH_engine.json`` there)::
 
     PYTHONPATH=src python benchmarks/bench_engine.py            # full sweep
@@ -714,6 +722,37 @@ def bench_kernels(quick, repeats):
     return records
 
 
+def bench_scenario_matrix(quick, repeats):
+    """Scenario-matrix sweep over the protocol registry: every cell is
+    timed, validated against ground truth, and digest-compared to the
+    legacy reference engine."""
+    from repro.scenarios import ScenarioMatrix, protocol_names
+
+    sizes = [8] if quick else [8, 16]
+    families = ["gnp", "cycle"] if quick else ["gnp", "sparse", "cycle"]
+    matrix = ScenarioMatrix(
+        protocols=protocol_names(),
+        families=families,
+        sizes=sizes,
+        seed=20260730,
+        repeats=repeats,
+    )
+    result = matrix.run()
+    mismatches = result.mismatches()
+    assert not mismatches, (
+        "scenario cells diverged from the legacy reference: "
+        + "; ".join(
+            f"{c.protocol}/{c.family}/n={c.n}/{c.engine}: {c.error or 'digest mismatch'}"
+            for c in mismatches[:5]
+        )
+    )
+    report = result.to_dict()
+    # Always 0 after the assert above; recorded through
+    # MatrixResult.mismatches() so the definition lives in one place.
+    report["mismatch_count"] = len(mismatches)
+    return report
+
+
 def bench_meta():
     """Environment stamp so BENCH_engine.json files are comparable
     across PRs and machines."""
@@ -781,6 +820,7 @@ def main(argv=None):
     protocols = bench_protocols(args.quick, repeats)
     replay = bench_replay(args.quick, repeats)
     kernels = bench_kernels(args.quick, repeats)
+    scenario_matrix = bench_scenario_matrix(args.quick, repeats)
 
     top_n = max(sizes)
     acceptance_key = f"unicast/n={top_n}"
@@ -823,6 +863,11 @@ def main(argv=None):
             )
             for rec in kernels
         },
+        "scenario_cells_ok": sum(
+            1 for cell in scenario_matrix["cells"] if cell["status"] == "ok"
+        ),
+        "scenario_cells_total": len(scenario_matrix["cells"]),
+        "scenario_mismatches": scenario_matrix["mismatch_count"],
     }
     report = {
         "generated_by": "benchmarks/bench_engine.py",
@@ -835,6 +880,7 @@ def main(argv=None):
         "protocols": protocols,
         "replay": replay,
         "kernels": kernels,
+        "scenario_matrix": scenario_matrix,
         "acceptance": acceptance,
     }
     args.out.write_text(json.dumps(report, indent=2) + "\n")

@@ -49,20 +49,29 @@ def test_logarithmic_phases(benchmark, capsys):
 
 
 def test_sparse_graphs(benchmark, capsys):
+    """Migrated onto the scenario matrix: the ``mst`` protocol spec
+    draws seeded weights per cell, runs Borůvka on every supported
+    backend, validates against the Kruskal reference, and pins each
+    cell's digest to the legacy engine."""
+    from repro.scenarios import ScenarioMatrix
+
     table = Table(
-        "E17 MST — sparse inputs (forest answers on disconnected graphs)",
-        ["n", "p", "edges", "tree edges", "rounds"],
+        "E17 MST — scenario matrix (sparse + complete families, all engines)",
+        ["family", "n", "engine", "rounds", "total bits"],
     )
-    for n, p in ((16, 0.1), (24, 0.15), (32, 0.1)):
-        rng = random.Random(n)
-        graph = random_graph(n, p, rng)
-        wg = WeightedGraph(
-            graph=graph,
-            weights={e: rng.randint(0, 255) for e in graph.edges()},
-        )
-        tree, result = boruvka_mst(wg, bandwidth=BANDWIDTH)
-        assert tree == mst_reference(wg)
-        table.add_row(n, p, graph.m, len(tree), result.rounds)
+    matrix = ScenarioMatrix(
+        protocols=["mst"],
+        families=["sparse", "cycle", "complete"],
+        sizes=[16, 24],
+        seed=17,
+        engines=["legacy", "fast"],
+    )
+    result = matrix.run()
+    assert not result.mismatches()
+    assert all(cell.status == "ok" for cell in result.cells)
+    for cell in result.cells:
+        assert cell.validated is True and cell.matches_reference is True
+        table.add_row(cell.family, cell.n, cell.engine, cell.rounds, cell.total_bits)
     emit(table, capsys, filename="e17_mst_sparse.md")
 
     rng = random.Random(1)

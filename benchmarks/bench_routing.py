@@ -11,9 +11,7 @@ from __future__ import annotations
 import random
 
 from repro.analysis import Table
-from repro.core.bits import Bits
-from repro.core.network import Network
-from repro.routing import build_schedule, route_program
+from repro.routing import build_schedule
 
 from _util import emit
 
@@ -68,45 +66,34 @@ def test_concentrated_vs_direct(benchmark, capsys):
 def test_end_to_end_delivery(benchmark, capsys):
     """Route real payloads on the engine; measure engine rounds.
 
-    The trial loop over payload instances runs through
-    ``Network.run_many``: the routing structure is oblivious (it comes
-    from the public schedule), so one compiled round schedule serves
-    every instance and only the frame contents change."""
+    Migrated onto the scenario matrix: the ``routing`` protocol spec
+    builds the demand from the graph family's edges, injects random
+    frame contents, and validates delivery; the matrix sweeps it over
+    families × n × every execution backend and pins each cell's digest
+    to the legacy reference engine."""
+    from repro.scenarios import ScenarioMatrix
+
     table = Table(
-        "E13 routing — engine execution (24-bit frames, b=24, 4 instances)",
-        ["n", "pairs", "engine rounds"],
+        "E13 routing — scenario matrix (16-bit frames, all engines)",
+        ["family", "n", "engine", "engine rounds", "total bits"],
     )
-    frame_size = 24
-    instances = 4
-    for n in (6, 10):
-        rng = random.Random(n)
-        demand = {}
-        for src in range(n):
-            for dst in range(n):
-                if src != dst and rng.random() < 0.6:
-                    demand[(src, dst)] = 1
-        schedule = build_schedule(demand, n)
-        program = route_program(schedule, frame_size)
-
-        def make_inputs(seed):
-            contents = random.Random(seed)
-            per_node = [dict() for _ in range(n)]
-            for src, dst in demand:
-                per_node[src][(src, dst, 0)] = Bits.from_uint(
-                    contents.getrandbits(frame_size), frame_size
-                )
-            return per_node
-
-        inputs_list = [make_inputs(1000 * n + k) for k in range(instances)]
-        network = Network(n=n, bandwidth=frame_size)
-        results = network.run_many(program, inputs_list)
-        assert network.schedule_stats["replayed"] == instances - 1
-        for inputs, result in zip(inputs_list, results):
-            for src in range(n):
-                for (s, dst, idx), payload in inputs[src].items():
-                    assert result.outputs[dst][(s, dst, idx)] == payload
-        assert len({r.rounds for r in results}) == 1
-        table.add_row(n, len(demand), results[0].rounds)
+    matrix = ScenarioMatrix(
+        protocols=["routing"],
+        families=["gnp", "cycle"],
+        sizes=[6, 10],
+        seed=13,
+    )
+    result = matrix.run()
+    assert not result.mismatches()
+    for cell in result.ok_cells():
+        assert cell.validated is True
+        assert cell.matches_reference is True
+        table.add_row(cell.family, cell.n, cell.engine, cell.rounds, cell.total_bits)
+    # Same instance, same structure: every backend agrees on rounds.
+    by_coord = {}
+    for cell in result.ok_cells():
+        by_coord.setdefault((cell.family, cell.n), set()).add(cell.rounds)
+    assert all(len(rounds) == 1 for rounds in by_coord.values())
     emit(table, capsys, filename="e13_routing_engine.md")
 
     benchmark(lambda: build_schedule({(0, 1): 3, (1, 2): 3, (2, 0): 3}, 3))

@@ -68,6 +68,49 @@ def test_detection_sweep(benchmark, capsys):
     )
 
 
+def test_full_learning_scenario_matrix(benchmark, capsys):
+    """The full-learning baseline, migrated onto the scenario matrix:
+    C4 detection swept over graph families and both generator backends,
+    with per-cell ground-truth validation and legacy-digest pinning."""
+    from repro.scenarios import ScenarioMatrix
+
+    table = Table(
+        "E5 full-learning C4 detection — scenario matrix (b=8)",
+        ["family", "n", "engine", "rounds", "total bits", "contains C4"],
+    )
+    matrix = ScenarioMatrix(
+        protocols=["subgraph_detection"],
+        families=["gnp", "sparse", "bipartite"],
+        sizes=[16, 24],
+        seed=5,
+        engines=["legacy", "fast"],
+    )
+    result = matrix.run()
+    assert not result.mismatches()
+    assert all(cell.status == "ok" for cell in result.cells)
+    from repro.graphs import contains_subgraph
+    from repro.scenarios.matrix import instance_graph
+
+    for cell in result.cells:
+        assert cell.validated is True and cell.matches_reference is True
+        graph = instance_graph(5, cell.protocol, cell.family, cell.n)
+        table.add_row(
+            cell.family,
+            cell.n,
+            cell.engine,
+            cell.rounds,
+            cell.total_bits,
+            contains_subgraph(graph, cycle_graph(4)),
+        )
+    emit(table, capsys, filename="e5_full_learning_matrix.md")
+
+    matrix_small = ScenarioMatrix(
+        protocols=["subgraph_detection"], families=["gnp"], sizes=[12],
+        seed=5, engines=["fast"],
+    )
+    benchmark(lambda: matrix_small.run())
+
+
 def test_asymptotic_shape(benchmark, capsys):
     """The formula's shape at scale: C4 cost ~ √n·log n beats the
     trivial n as n grows; trees stay polylog."""

@@ -1,0 +1,568 @@
+"""The fast engine: zero-churn round loop, bulk lanes, compiled replay.
+
+One backend owns the whole generator-program fast path:
+
+* **Full execution** — per-round classification dispatches each round to
+  the unicast bulk lane, the broadcast lane, or the scalar path, with
+  reusable buffers provided by
+  :class:`~repro.core.engine.delivery.DeliveryBackend`.
+* **Recording** — a program declared oblivious
+  (:func:`~repro.core.compiled.mark_oblivious`) has its first run
+  recorded into a :class:`~repro.core.compiled.CompiledSchedule` cached
+  on the network.
+* **Replay** — later runs (and :meth:`run_many` sweeps, in lockstep
+  through stacked :class:`~repro.core.fastlane.BatchLane` matrices)
+  re-execute payload-only against the compiled structure; any
+  structural deviation evicts the stale entry and falls back to full
+  execution, which re-records.
+
+The fallback chain is the engine's invariant: every path lands on
+results byte-identical to :class:`~repro.core.engine.legacy.LegacyEngine`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.compiled import (
+    BCAST,
+    LANE,
+    SCALAR,
+    CompiledSchedule,
+    ScheduleRecorder,
+    oblivious_key,
+)
+from repro.core.engine.base import Engine
+from repro.core.engine.delivery import DeliveryBackend, deliver_outbox, deliver_round_scalar
+from repro.core.errors import MaxRoundsExceededError, ProtocolError
+
+__all__ = ["FastEngine"]
+
+# A fixed-width round rides the bulk lane only when it averages at least
+# this many messages per sender; sparser rounds are cheaper through the
+# scalar dict path than through per-sender array operations.
+_LANE_DENSITY = 8
+
+
+class FastEngine(Engine):
+    """Zero-churn loop with bulk lanes and compiled replay
+    (``engine="fast"``, the default)."""
+
+    name = "fast"
+    supports_generator_programs = True
+    supports_kernel_programs = False
+    supports_transcript = True
+    supports_compiled_replay = True
+    supports_batched_replay = True
+
+    # -- front door ------------------------------------------------------
+
+    def _run(self, network: Any, program, inputs) -> Any:
+        key = None if network.record_transcript else oblivious_key(program)
+        if key is None:
+            return self._run_full(network, program, inputs)
+        compiled = network._compiled_entry(key)
+        if compiled is not None:
+            replayed = self._try_replay(network, program, [inputs], compiled, key)
+            if replayed is not None:
+                return replayed[0]
+            # Structural deviation: the stale entry was evicted; fall
+            # through to full execution, which re-records.
+        return self._run_recording(network, program, inputs, key)
+
+    def _run_many(self, network: Any, program, inputs_list) -> List[Any]:
+        key = None if network.record_transcript else oblivious_key(program)
+        if key is None or not inputs_list:
+            return [self._run(network, program, inputs) for inputs in inputs_list]
+        results: List[Any] = []
+        rest = inputs_list
+        if network._compiled_entry(key) is None:
+            results.append(self._run_recording(network, program, inputs_list[0], key))
+            rest = inputs_list[1:]
+        # Bound the stacked replay buffers (~64 MB of uint64 send
+        # matrices) by chunking large sweeps; replay state carries over
+        # through the schedule cache, so chunking is invisible apart
+        # from peak memory.
+        chunk_size = max(1, (64 << 20) // (network.n * network.n * 8))
+        for start in range(0, len(rest), chunk_size):
+            chunk = rest[start : start + chunk_size]
+            compiled = network._compiled_entry(key)
+            replayed = (
+                self._try_replay(network, program, chunk, compiled, key)
+                if compiled is not None
+                else None
+            )
+            if replayed is None:
+                # Deviation mid-chunk: re-execute the affected
+                # instances from scratch (programs declared oblivious
+                # must be side-effect-free, so the abandoned partial
+                # executions are unobservable).  The first re-run
+                # re-records, so conforming instances later in the
+                # sweep regain batching; a second deviation within the
+                # same chunk demotes its remainder to plain execution.
+                replayed = [self._run_recording(network, program, chunk[0], key)]
+                tail = chunk[1:]
+                if tail:
+                    compiled = network._compiled_entry(key)
+                    again = (
+                        self._try_replay(network, program, tail, compiled, key)
+                        if compiled is not None
+                        else None
+                    )
+                    if again is None:
+                        again = [
+                            self._run_full(network, program, inputs)
+                            for inputs in tail
+                        ]
+                    replayed.extend(again)
+            results.extend(replayed)
+        return results
+
+    # -- full execution --------------------------------------------------
+
+    def _run_full(self, network: Any, program, inputs, recorder=None) -> Any:
+        from repro.core.network import EMPTY_INBOX, RoundRecord, RunResult
+
+        n = network.n
+        outputs, generators, pending = network._start(program, inputs)
+
+        rounds = 0
+        total_bits = 0
+        max_round_bits = 0
+        recording = network.record_transcript
+        transcript: Optional[List[Any]] = [] if recording else None
+
+        # Reusable per-round state: buffers live for the whole run and
+        # are cleared, never reconstructed; bulk lanes plug in lazily.
+        backend = DeliveryBackend(n)
+        inbox_dicts = backend.inbox_dicts
+        inbox_views = backend.inbox_views
+        fixed_list: List[Tuple[int, Any]] = []
+        bcast_list: List[Tuple[int, Any]] = []
+        lane = None  # FixedLane, allocated on the first bulk round
+        blane = None  # BroadcastLane, allocated on the first bulk round
+        check_outbox = network._check_outbox
+
+        while generators:
+            if rounds >= network.max_rounds:
+                raise MaxRoundsExceededError(
+                    f"protocol still running after {rounds} rounds"
+                )
+            rounds += 1
+
+            # Classify the round: it can ride the unicast bulk lane iff
+            # every non-silent sender yielded a fixed-width outbox of one
+            # width AND the round is dense enough that per-sender array
+            # operations beat per-message dict writes; it can ride the
+            # broadcast lane iff every non-silent sender yielded a
+            # fixed-width broadcast of one width (a broadcast write is
+            # always denser than its n-1 scalar deliveries, so there is
+            # no density threshold).
+            fixed_list.clear()
+            bcast_list.clear()
+            scalar_senders = False
+            lane_width = 0
+            bcast_width = 0
+            fixed_messages = 0
+            for v, outbox in pending.items():
+                kind = outbox.kind
+                if kind == "silent":
+                    continue
+                if kind == "fixed":
+                    width = outbox.width
+                    if lane_width == 0:
+                        lane_width = width
+                    elif width != lane_width:
+                        scalar_senders = True
+                    fixed_list.append((v, outbox))
+                    fixed_messages += outbox.dests.size
+                elif kind == "bfixed":
+                    width = outbox.width
+                    if bcast_width == 0:
+                        bcast_width = width
+                    elif width != bcast_width:
+                        scalar_senders = True
+                    bcast_list.append((v, outbox))
+                else:
+                    scalar_senders = True
+            use_lane = (
+                bool(fixed_list)
+                and not scalar_senders
+                and not bcast_list
+                and fixed_messages >= _LANE_DENSITY * len(fixed_list)
+            )
+            use_bcast_lane = (
+                bool(bcast_list) and not scalar_senders and not fixed_list
+            )
+
+            record = RoundRecord() if recording else None
+            if use_lane:
+                if lane is None:
+                    lane = backend.fixed_lane()
+                round_bits = lane.deliver(fixed_list, lane_width, record)
+            elif use_bcast_lane:
+                if blane is None:
+                    blane = backend.bcast_lane()
+                round_bits = blane.deliver(bcast_list, bcast_width, record)
+            else:
+                backend.begin_scalar_round()
+                if record is not None:
+                    round_bits = 0
+                    for v, outbox in pending.items():
+                        round_bits += deliver_outbox(
+                            network, v, outbox, inbox_dicts, record
+                        )
+                else:
+                    round_bits = deliver_round_scalar(network, pending, inbox_dicts)
+            if recorder is not None:
+                if use_lane:
+                    recorder.lane_round(fixed_list, lane_width, round_bits)
+                elif use_bcast_lane:
+                    recorder.bcast_round(bcast_list, bcast_width, round_bits)
+                else:
+                    recorder.scalar_round(round_bits)
+            total_bits += round_bits
+            if round_bits > max_round_bits:
+                max_round_bits = round_bits
+            if record is not None:
+                transcript.append(record)
+
+            pending = {}
+            finished = []
+            if use_lane:
+                for v, gen in generators.items():
+                    try:
+                        pending[v] = check_outbox(v, gen.send(lane.inbox(v)))
+                    except StopIteration as stop:
+                        outputs[v] = stop.value
+                        finished.append(v)
+            elif use_bcast_lane:
+                for v, gen in generators.items():
+                    try:
+                        pending[v] = check_outbox(v, gen.send(blane.inbox(v)))
+                    except StopIteration as stop:
+                        outputs[v] = stop.value
+                        finished.append(v)
+            else:
+                for v, gen in generators.items():
+                    buf = inbox_dicts[v]
+                    inbox = inbox_views[v] if buf else EMPTY_INBOX
+                    try:
+                        pending[v] = check_outbox(v, gen.send(inbox))
+                    except StopIteration as stop:
+                        outputs[v] = stop.value
+                        finished.append(v)
+            for v in finished:
+                del generators[v]
+
+        return RunResult(
+            outputs=outputs,
+            rounds=rounds,
+            total_bits=total_bits,
+            max_round_bits=max_round_bits,
+            transcript=transcript,
+        )
+
+    # -- recording -------------------------------------------------------
+
+    def _run_recording(self, network: Any, program, inputs, key) -> Any:
+        recorder = ScheduleRecorder()
+        result = self._run_full(network, program, inputs, recorder=recorder)
+        if len(network._compiled) >= 32:
+            # Bounded cache: drop the oldest entry (insertion order).
+            network._compiled.pop(next(iter(network._compiled)))
+        entry = recorder.finish()
+        entry.params = (network.bandwidth, network.mode)
+        network._compiled[key] = entry
+        network.schedule_stats["compiled"] += 1
+        return result
+
+    # -- compiled replay -------------------------------------------------
+
+    def _bail(self, network: Any, key) -> None:
+        """A replayed round deviated from the compiled structure: evict
+        the stale schedule and signal the caller to fall back to full
+        execution (which re-records)."""
+        network._compiled.pop(key, None)
+        network.schedule_stats["fallbacks"] += 1
+        return None
+
+    @staticmethod
+    def _check_outbox_light(sender: int, yielded: Any):
+        """Replay-mode yield check: type only.  Mode, bandwidth and
+        topology conformance are implied by the structural match against
+        the compiled (fully validated) round; any mismatch bails to the
+        full path, which re-validates from scratch."""
+        from repro.core.network import _SILENT_OUTBOX, Outbox
+
+        if yielded is None:
+            return _SILENT_OUTBOX
+        if isinstance(yielded, Outbox):
+            return yielded
+        raise ProtocolError(
+            f"node {sender} yielded {type(yielded).__name__}, expected Outbox"
+        )
+
+    def _try_replay(
+        self,
+        network: Any,
+        program,
+        inputs_list: Sequence[Optional[Sequence[Any]]],
+        compiled: CompiledSchedule,
+        key: Any,
+    ) -> Optional[List[Any]]:
+        """Run every instance of ``inputs_list`` against ``compiled`` in
+        lockstep; returns per-instance RunResults, or ``None`` if any
+        round deviates structurally (after evicting the stale entry)."""
+        import numpy as np
+
+        from repro.core.fastlane import NUMERIC_WIDTH_LIMIT, BatchLane, BroadcastLane
+        from repro.core.network import EMPTY_INBOX, RunResult
+
+        n = network.n
+        num_instances = len(inputs_list)
+        crounds = compiled.rounds
+        num_rounds = len(crounds)
+        light = self._check_outbox_light
+        full = network._check_outbox
+
+        def check_for(r):
+            # Rounds the compiled schedule will bulk-deliver are checked
+            # structurally, so their yields skip validation; scalar
+            # rounds (and anything past the schedule, which bails) go
+            # through the ordinary fully validating check.
+            if r < num_rounds and crounds[r][0] != SCALAR:
+                return light
+            return full
+
+        check = check_for(0)
+        outputs_l: List[List[Any]] = []
+        gens_l: List[Dict[int, Any]] = []
+        pending_l: List[Dict[int, Any]] = []
+        for inputs in inputs_list:
+            outputs, generators, pending = network._start(program, inputs, check=check)
+            outputs_l.append(outputs)
+            gens_l.append(generators)
+            pending_l.append(pending)
+        rounds_l = [0] * num_instances
+        bits_l = [0] * num_instances
+        maxb_l = [0] * num_instances
+
+        lane: Optional[BatchLane] = None
+        blanes: Optional[List[Optional[BroadcastLane]]] = None
+        scalar_state: Optional[List[Optional[DeliveryBackend]]] = None
+        vbuf_num = vbuf_obj = dbuf = None
+        scalar_bits: Dict[int, int] = {}
+        # Per-instance (structure, outbox-list) of the previous lane
+        # round.  Outboxes are immutable, so when a program re-yields
+        # the *same* outbox objects under the same structure (the
+        # zero-churn pattern), the round needs no re-verification and —
+        # because the send matrix already holds those exact values — no
+        # rewrite either.
+        lane_memo: List[Optional[Tuple[Any, List[Any]]]] = [None] * num_instances
+
+        r = 0
+        while True:
+            active = [k for k in range(num_instances) if gens_l[k]]
+            if not active:
+                break
+            if r >= num_rounds:
+                # The protocol outlived its compiled schedule.
+                return self._bail(network, key)
+            kind, payload, round_bits = crounds[r]
+
+            if kind == LANE:
+                struct = payload
+                entries = struct.entries
+                n_entries = len(entries)
+                width = struct.width
+                count = struct.count
+                slices = struct.slices
+                # Pass 1: match each instance's pending outboxes to the
+                # compiled entries.  An outbox identical (by object) to
+                # last lane round's at the same position under the same
+                # structure is already verified *and* already written.
+                need_write: List[int] = []  # instance slots to deliver
+                round_outs: List[Tuple[int, List[Any]]] = []
+                for k in active:
+                    memo = lane_memo[k]
+                    prev_outs = (
+                        memo[1] if memo is not None and memo[0] is struct else None
+                    )
+                    outs: List[Any] = []
+                    fresh = False
+                    j = 0
+                    for v, out in pending_l[k].items():
+                        if out.kind == "silent":
+                            continue
+                        if j >= n_entries or v != entries[j][0]:
+                            return self._bail(network, key)
+                        if prev_outs is None or prev_outs[j] is not out:
+                            if (
+                                out.kind != "fixed"
+                                or out.width != width
+                                or out.dests.size != entries[j][2]
+                            ):
+                                return self._bail(network, key)
+                            fresh = True
+                        outs.append(out)
+                        j += 1
+                    if j != n_entries:
+                        return self._bail(network, key)
+                    lane_memo[k] = (struct, outs)
+                    if fresh:
+                        need_write.append(k)
+                        round_outs.append((k, outs))
+                # Pass 2: verify and deliver only the instances with
+                # fresh outboxes, through stacked flat writes.
+                if need_write and count:
+                    written = len(need_write)
+                    if width <= NUMERIC_WIDTH_LIMIT:
+                        if vbuf_num is None or vbuf_num.shape[1] < count:
+                            vbuf_num = np.empty(
+                                (num_instances, count), dtype=np.uint64
+                            )
+                        vbuf = vbuf_num
+                    else:
+                        if vbuf_obj is None or vbuf_obj.shape[1] < count:
+                            vbuf_obj = np.empty(
+                                (num_instances, count), dtype=object
+                            )
+                        vbuf = vbuf_obj
+                    if dbuf is None or dbuf.shape[1] < count:
+                        dbuf = np.empty((num_instances, count), dtype=np.intp)
+                    for i, (_k, outs) in enumerate(round_outs):
+                        row_v = vbuf[i]
+                        row_d = dbuf[i]
+                        for j, out in enumerate(outs):
+                            start, stop = slices[j]
+                            if start != stop:
+                                row_d[start:stop] = out.dests
+                                row_v[start:stop] = out.values
+                    if (dbuf[:written, :count] != struct.cols).any():
+                        # Same shape, different destinations: still a
+                        # structural deviation (the flat delivery indices
+                        # and the skipped validation both assume the
+                        # recorded destination vectors).
+                        return self._bail(network, key)
+                    # Payload values wider than the recorded width are
+                    # demoted the same way, so the full path raises the
+                    # identical ProtocolError a cold-cache run would.
+                    if vbuf is vbuf_num:
+                        if (vbuf[:written, :count] >> np.uint64(width)).any():
+                            return self._bail(network, key)
+                    elif any(
+                        value >> width
+                        for row in vbuf[:written, :count]
+                        for value in row
+                    ):
+                        return self._bail(network, key)
+                    if lane is None:
+                        lane = BatchLane(n, num_instances)
+                    lane.deliver_compiled(
+                        struct,
+                        need_write,
+                        [vbuf[i, :count] for i in range(written)],
+                    )
+                else:
+                    # Nothing fresh to write (every instance re-yielded
+                    # last round's outboxes, or the structure carries no
+                    # messages): keep the lane's presence mask in sync
+                    # with this structure — a no-op when unchanged.
+                    if lane is None:
+                        lane = BatchLane(n, num_instances)
+                    lane.deliver_compiled(struct, [], [])
+            elif kind == BCAST:
+                ids, width = payload
+                n_ids = len(ids)
+                if blanes is None:
+                    blanes = [None] * num_instances
+                for k in active:
+                    senders = []
+                    j = 0
+                    for v, out in pending_l[k].items():
+                        okind = out.kind
+                        if okind == "silent":
+                            continue
+                        if (
+                            j >= n_ids
+                            or v != ids[j]
+                            or okind != "bfixed"
+                            or out.width != width
+                        ):
+                            return self._bail(network, key)
+                        senders.append((v, out))
+                        j += 1
+                    if j != n_ids:
+                        return self._bail(network, key)
+                    blane = blanes[k]
+                    if blane is None:
+                        blane = blanes[k] = BroadcastLane(n)
+                    blane.deliver(senders, width, None)
+            else:  # SCALAR: ordinary validated delivery, per instance.
+                if scalar_state is None:
+                    scalar_state = [None] * num_instances
+                scalar_bits.clear()
+                for k in active:
+                    backend = scalar_state[k]
+                    if backend is None:
+                        backend = scalar_state[k] = DeliveryBackend(n)
+                    backend.begin_scalar_round()
+                    scalar_bits[k] = deliver_round_scalar(
+                        network, pending_l[k], backend.inbox_dicts
+                    )
+
+            check = check_for(r + 1)
+            for k in active:
+                bits = round_bits if kind != SCALAR else scalar_bits[k]
+                rounds_l[k] += 1
+                bits_l[k] += bits
+                if bits > maxb_l[k]:
+                    maxb_l[k] = bits
+                generators = gens_l[k]
+                outputs = outputs_l[k]
+                new_pending: Dict[int, Any] = {}
+                finished = []
+                if kind == LANE:
+                    for v, gen in generators.items():
+                        try:
+                            new_pending[v] = check(v, gen.send(lane.inbox(k, v)))
+                        except StopIteration as stop:
+                            outputs[v] = stop.value
+                            finished.append(v)
+                elif kind == BCAST:
+                    blane = blanes[k]
+                    for v, gen in generators.items():
+                        try:
+                            new_pending[v] = check(v, gen.send(blane.inbox(v)))
+                        except StopIteration as stop:
+                            outputs[v] = stop.value
+                            finished.append(v)
+                else:
+                    backend = scalar_state[k]
+                    dicts = backend.inbox_dicts
+                    views = backend.inbox_views
+                    for v, gen in generators.items():
+                        inbox = views[v] if dicts[v] else EMPTY_INBOX
+                        try:
+                            new_pending[v] = check(v, gen.send(inbox))
+                        except StopIteration as stop:
+                            outputs[v] = stop.value
+                            finished.append(v)
+                for v in finished:
+                    del generators[v]
+                pending_l[k] = new_pending
+            r += 1
+
+        compiled.replays += num_instances
+        network.schedule_stats["replayed"] += num_instances
+        return [
+            RunResult(
+                outputs=outputs_l[k],
+                rounds=rounds_l[k],
+                total_bits=bits_l[k],
+                max_round_bits=maxb_l[k],
+                transcript=None,
+            )
+            for k in range(num_instances)
+        ]

@@ -1,0 +1,81 @@
+"""The kernel engine: declared SPMD rounds, zero generator steps.
+
+Executes :class:`~repro.core.kernels.KernelProgram`\\ s only — programs
+that declare their round structure up front instead of yielding it.
+Declaration makes them oblivious by construction, so the engine compiles
+the structure straight into a
+:class:`~repro.core.compiled.CompiledSchedule` (no recording run) and
+executes every instance through stacked ``K × count`` payload matrices
+(:func:`repro.core.kernels.execute`).  Generator programs are rejected:
+a generator's round structure is only observable by running it, which is
+exactly what this backend exists to avoid.
+
+Schedules are cached on the network keyed by the program *object*
+(identity — a stale hit is impossible), with the same bandwidth/mode
+eviction rule as recorded schedules.  ``run_many`` sweeps are chunked so
+the stacked buffers stay within ~64 MB.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from repro.core.engine.base import Engine
+
+__all__ = ["KernelEngine"]
+
+
+class KernelEngine(Engine):
+    """Vectorized executor for declared kernel programs."""
+
+    name = "kernel"
+    supports_generator_programs = False
+    supports_kernel_programs = True
+    supports_transcript = True
+    supports_compiled_replay = True
+    supports_batched_replay = True
+
+    def _run(self, network: Any, program, inputs) -> Any:
+        return self._execute(network, program, [inputs])[0]
+
+    def _run_many(self, network: Any, program, inputs_list) -> List[Any]:
+        # Kernel programs batch natively: all K instances move through
+        # each round as one stacked matrix.  Chunk like the replay path
+        # to bound the K×n×n buffers.
+        results: List[Any] = []
+        chunk_size = max(1, (64 << 20) // (network.n * network.n * 8))
+        for start in range(0, len(inputs_list), chunk_size):
+            chunk = inputs_list[start : start + chunk_size]
+            results.extend(self._execute(network, program, chunk))
+        return results
+
+    def _execute(self, network: Any, program, inputs_list: List[Any]) -> List[Any]:
+        """Compile ``program``'s declared structure on first use (cached
+        keyed by the program object), then run every instance through
+        the stacked kernel loop.  Counts in ``schedule_stats`` mirror
+        the generator path: the first instance "records" (compiles),
+        every further instance is a replay."""
+        from repro.core import kernels
+
+        compiled = network._compiled.get(program)
+        if compiled is not None and compiled.params != (
+            network.bandwidth,
+            network.mode,
+        ):
+            del network._compiled[program]
+            compiled = None
+        fresh = compiled is None
+        if fresh:
+            compiled = kernels.compile_program(program, network)
+            if len(network._compiled) >= 32:
+                network._compiled.pop(next(iter(network._compiled)))
+            network._compiled[program] = compiled
+        results = kernels.execute(network, program, compiled, inputs_list)
+        if fresh:
+            network.schedule_stats["compiled"] += 1
+            replays = len(inputs_list) - 1
+        else:
+            replays = len(inputs_list)
+        network.schedule_stats["replayed"] += replays
+        compiled.replays += replays
+        return results

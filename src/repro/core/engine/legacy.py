@@ -1,0 +1,82 @@
+"""The legacy reference engine: per-round allocation, scalar delivery.
+
+This is the original round loop the project started from, kept as the
+*executable reference semantics*: every other backend is pinned
+byte-for-byte to its results by the equivalence suites.  It allocates
+fresh inbox dicts every round, delivers every message through the fully
+validating scalar path, and never caches or replays anything — slow,
+simple, and obviously correct.
+
+It executes generator node programs only; kernel programs declare their
+round structure instead of yielding it, so there is no legacy semantics
+for them to fall back to (the planner routes them to the kernel engine,
+and :meth:`Engine.check_program` rejects a direct request).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.core.engine.base import Engine
+from repro.core.engine.delivery import deliver_outbox
+from repro.core.errors import MaxRoundsExceededError
+
+__all__ = ["LegacyEngine"]
+
+
+class LegacyEngine(Engine):
+    """Reference per-round-allocation loop (``engine="legacy"``)."""
+
+    name = "legacy"
+    supports_generator_programs = True
+    supports_kernel_programs = False
+    supports_transcript = True
+    supports_compiled_replay = False
+    supports_batched_replay = False
+
+    def _run(self, network: Any, program, inputs) -> Any:
+        from repro.core.network import EMPTY_INBOX, Inbox, RoundRecord, RunResult
+
+        outputs, generators, pending_outbox = network._start(program, inputs)
+
+        rounds = 0
+        total_bits = 0
+        max_round_bits = 0
+        recording = network.record_transcript
+        transcript: Optional[List[Any]] = [] if recording else None
+
+        while generators:
+            if rounds >= network.max_rounds:
+                raise MaxRoundsExceededError(
+                    f"protocol still running after {rounds} rounds"
+                )
+            rounds += 1
+            inboxes: Dict[int, Dict[int, Any]] = {v: {} for v in range(network.n)}
+            record = RoundRecord() if recording else None
+            round_bits = 0
+            for v, outbox in pending_outbox.items():
+                round_bits += deliver_outbox(network, v, outbox, inboxes, record)
+            total_bits += round_bits
+            max_round_bits = max(max_round_bits, round_bits)
+            if record is not None:
+                transcript.append(record)
+
+            pending_outbox = {}
+            finished = []
+            for v, gen in generators.items():
+                inbox = Inbox(inboxes[v]) if inboxes[v] else EMPTY_INBOX
+                try:
+                    pending_outbox[v] = network._check_outbox(v, gen.send(inbox))
+                except StopIteration as stop:
+                    outputs[v] = stop.value
+                    finished.append(v)
+            for v in finished:
+                del generators[v]
+
+        return RunResult(
+            outputs=outputs,
+            rounds=rounds,
+            total_bits=total_bits,
+            max_round_bits=max_round_bits,
+            transcript=transcript,
+        )

@@ -1,0 +1,133 @@
+"""The execution planner: one front door, the best backend per program.
+
+:class:`ExecutionPlanner` replaces the attribute-sniffing dispatch that
+used to live inline in :meth:`Network.run`.  Selection walks an ordered
+**dispatch table** of named rules; the first rule that returns an engine
+wins:
+
+1. ``kernel-program`` — a declared
+   :class:`~repro.core.kernels.KernelProgram` runs on the kernel engine
+   (a kernel program *is* its own execution semantics; an explicitly
+   requested backend is honoured only if it advertises
+   ``supports_kernel_programs``).
+2. ``requested`` — the backend the network was constructed with, via the
+   ``Network(engine=...)`` shim: a string naming a registered engine, or
+   any :class:`~repro.core.engine.base.Engine` instance (the plug-in
+   point for new backends).
+3. ``default`` — the fast engine, whose own fallback chain covers
+   compiled replay for oblivious programs and full execution otherwise.
+
+The planner never re-routes around a capability mismatch below rule 1:
+if a requested backend cannot execute the program, the engine's own
+``check_program`` raises, keeping surprises loud.  Selection is pure —
+it never mutates the network — so ``plan`` can also be used to ask
+"which backend *would* run this?" (the scenario matrix does).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.core.engine.base import Engine, is_kernel_program
+from repro.core.engine.fast import FastEngine
+from repro.core.engine.kernel import KernelEngine
+from repro.core.engine.legacy import LegacyEngine
+
+__all__ = [
+    "LEGACY_ENGINE",
+    "FAST_ENGINE",
+    "KERNEL_ENGINE",
+    "ENGINES",
+    "ExecutionPlanner",
+    "resolve_engine",
+]
+
+#: Shared stateless singletons (all per-run state lives on the network).
+LEGACY_ENGINE = LegacyEngine()
+FAST_ENGINE = FastEngine()
+KERNEL_ENGINE = KernelEngine()
+
+#: Registry of built-in backends by name — the values accepted by the
+#: ``Network(engine=...)`` shim besides direct Engine instances.
+ENGINES = {
+    LEGACY_ENGINE.name: LEGACY_ENGINE,
+    FAST_ENGINE.name: FAST_ENGINE,
+    KERNEL_ENGINE.name: KERNEL_ENGINE,
+}
+
+
+def resolve_engine(engine: Any) -> Optional[Engine]:
+    """Normalize a ``Network(engine=...)`` value to an Engine instance.
+
+    ``None`` and ``"auto"`` mean "let the planner choose" and resolve to
+    ``None``; a known name resolves through :data:`ENGINES`; an
+    :class:`Engine` instance passes through.  Anything else raises
+    ``ValueError`` (the shim's historical contract).
+    """
+    if engine is None or engine == "auto":
+        return None
+    if isinstance(engine, Engine):
+        return engine
+    resolved = ENGINES.get(engine)
+    if resolved is None:
+        raise ValueError(f"unknown engine {engine!r}")
+    return resolved
+
+
+def _kernel_program_rule(network: Any, program: Any) -> Optional[Engine]:
+    if not is_kernel_program(program):
+        return None
+    requested = network._requested_engine
+    if requested is not None and requested.supports_kernel_programs:
+        return requested
+    return KERNEL_ENGINE
+
+
+def _requested_rule(network: Any, program: Any) -> Optional[Engine]:
+    return network._requested_engine
+
+
+def _default_rule(network: Any, program: Any) -> Optional[Engine]:
+    return FAST_ENGINE
+
+
+class ExecutionPlanner:
+    """Ordered rule table mapping ``(network, program)`` to an Engine."""
+
+    #: Default dispatch table; each entry is ``(label, rule)`` with
+    #: ``rule(network, program) -> Optional[Engine]``.
+    DEFAULT_TABLE: Tuple[Tuple[str, Callable[[Any, Any], Optional[Engine]]], ...] = (
+        ("kernel-program", _kernel_program_rule),
+        ("requested", _requested_rule),
+        ("default", _default_rule),
+    )
+
+    __slots__ = ("table",)
+
+    def __init__(
+        self,
+        table: Optional[
+            List[Tuple[str, Callable[[Any, Any], Optional[Engine]]]]
+        ] = None,
+    ) -> None:
+        self.table = tuple(table) if table is not None else self.DEFAULT_TABLE
+
+    def plan(self, network: Any, program: Any) -> Engine:
+        """The backend that will execute ``program`` on ``network``."""
+        for _label, rule in self.table:
+            engine = rule(network, program)
+            if engine is not None:
+                return engine
+        raise AssertionError("planner table has no default rule")
+
+    def explain(self, network: Any, program: Any) -> Tuple[str, Engine]:
+        """``(rule label, engine)`` — which table entry decided."""
+        for label, rule in self.table:
+            engine = rule(network, program)
+            if engine is not None:
+                return label, engine
+        raise AssertionError("planner table has no default rule")
+
+
+#: The planner every network uses unless given its own.
+DEFAULT_PLANNER = ExecutionPlanner()

@@ -1,4 +1,4 @@
-"""Synchronous message-passing engine for the congested clique.
+"""Synchronous message-passing front door for the congested clique.
 
 This module implements the three communication models studied in the
 paper:
@@ -18,64 +18,62 @@ is the node's output.  The engine enforces bandwidth per the model,
 counts rounds and bits, and can record a full transcript (needed by the
 communication-complexity reductions of Section 3).
 
-Engine implementations
-----------------------
+Execution engines
+-----------------
 
-Two interchangeable round loops produce identical :class:`RunResult`\\ s:
+*How* a program executes is not decided here: :meth:`Network.run` and
+:meth:`Network.run_many` hand the program to an
+:class:`~repro.core.engine.planner.ExecutionPlanner`, which selects one
+of the pluggable backends in :mod:`repro.core.engine`:
 
-* ``engine="fast"`` (default) keeps per-node inbox buffers alive across
-  rounds (cleared, never reconstructed), reuses :class:`Inbox` wrappers,
-  hoists model-invariant validation out of the per-message loop, and
-  skips all transcript bookkeeping when recording is off.  Rounds in
-  which every sender uses a fixed-width outbox
-  (:meth:`Outbox.fixed_width` for unicast, :meth:`Outbox.broadcast_uint`
-  for the blackboard) are delivered in bulk through numpy array
-  writes — see :mod:`repro.core.fastlane`.
-* ``engine="legacy"`` is the original per-round-allocation loop, kept as
-  the executable reference semantics; the equivalence test suite pins
-  the fast engine to it byte-for-byte.
+* :class:`~repro.core.engine.fast.FastEngine` (default) — zero-churn
+  round loop with the numpy bulk lanes of :mod:`repro.core.fastlane`,
+  plus compiled record/replay for programs declared oblivious via
+  :func:`~repro.core.compiled.mark_oblivious` and batched lockstep
+  ``run_many``.
+* :class:`~repro.core.engine.legacy.LegacyEngine` — the original
+  per-round-allocation loop, kept as the executable reference
+  semantics; the equivalence suites pin every other backend to it
+  byte-for-byte.
+* :class:`~repro.core.engine.kernel.KernelEngine` — declared
+  :class:`~repro.core.kernels.KernelProgram`\\ s executed as stacked
+  matrix operations, zero generator steps.
+
+The ``engine="fast"|"legacy"`` constructor argument is kept as a thin
+compatibility shim over the planner: it pins the named backend for
+generator programs (kernel programs always take the kernel path — they
+have no other semantics).  New code can pass any
+:class:`~repro.core.engine.base.Engine` instance instead, which is how
+additional backends plug in without touching this module.
 
 Inboxes are only valid for the round in which they are delivered: the
 fast engine recycles the underlying buffers, so a program must not stash
 an :class:`Inbox` and read it in a later round (copy what you need).
 
-Compiled schedules
-------------------
-
-Programs declared oblivious (via
-:func:`~repro.core.compiled.mark_oblivious`) are *compiled* on their
-first run: the engine records each round's lane kind, width and
-destination structure into a :class:`~repro.core.compiled.CompiledSchedule`
-cached on the network.  Later runs replay payload-only — a cheap
-structural check per round replaces classification and validation, and
-bulk rounds are delivered through precomputed flat index arrays.  A
-round that deviates from the recorded structure aborts the replay and
-the run falls back to full execution (and re-records).
-:meth:`Network.run_many` extends the replay to K instances in lockstep
-with stacked payload matrices (see
-:class:`~repro.core.fastlane.BatchLane`).
+All cross-run state lives on the :class:`Network` — the compiled
+schedule cache, the RNG state bundle, the kernel lane buffers and the
+``schedule_stats`` counters — so the stateless engine singletons can
+serve any number of networks.
 """
 
 from __future__ import annotations
 
 import enum
 import random
-import weakref
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.bits import Bits
-from repro.core.compiled import (
-    BCAST,
-    LANE,
-    SCALAR,
-    CompiledSchedule,
-    ScheduleRecorder,
-    oblivious_key,
+from repro.core.compiled import CompiledSchedule
+from repro.core.mailbox import (
+    EMPTY_INBOX,
+    _SILENT_OUTBOX,
+    Inbox,
+    Outbox,
+    inbox_uints,
 )
 from repro.core.errors import (
     BandwidthExceededError,
-    MaxRoundsExceededError,
     ProtocolError,
     TopologyError,
 )
@@ -102,214 +100,10 @@ class Mode(enum.Enum):
     CONGEST = "congest"
 
 
-class Inbox:
-    """Messages delivered to one node in one round, keyed by sender id.
-
-    Inboxes are immutable once delivered, so the sorted views produced by
-    :meth:`senders` and :meth:`items` are computed once and cached.
-    """
-
-    __slots__ = ("_by_sender", "_senders", "_items")
-
-    def __init__(self, by_sender: Dict[int, Bits]) -> None:
-        self._by_sender = by_sender
-        self._senders: Optional[Tuple[int, ...]] = None
-        self._items: Optional[Tuple[Tuple[int, Bits], ...]] = None
-
-    def get(self, sender: int) -> Optional[Bits]:
-        return self._by_sender.get(sender)
-
-    def senders(self) -> Tuple[int, ...]:
-        cached = self._senders
-        if cached is None:
-            cached = self._senders = tuple(sorted(self._by_sender))
-        return cached
-
-    def items(self) -> Tuple[Tuple[int, Bits], ...]:
-        cached = self._items
-        if cached is None:
-            cached = self._items = tuple(sorted(self._by_sender.items()))
-        return cached
-
-    def uint_items(self) -> List[Tuple[int, int]]:
-        """``(sender, payload-as-uint)`` pairs sorted by sender — the same
-        accessor the fast lane's array inbox provides."""
-        return [(sender, payload.to_uint()) for sender, payload in self.items()]
-
-    def __len__(self) -> int:
-        return len(self._by_sender)
-
-    def __contains__(self, sender: int) -> bool:
-        return sender in self._by_sender
-
-    def _reset(self) -> None:
-        """Drop cached views; the engine calls this when it recycles the
-        underlying buffer for a new round."""
-        self._senders = None
-        self._items = None
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Inbox({self._by_sender!r})"
-
-
-EMPTY_INBOX = Inbox({})
-
-
-def inbox_uints(inbox: Any) -> List[Tuple[int, int]]:
-    """``(sender, payload-as-uint)`` pairs sorted by sender, for either
-    inbox flavour (dict-backed :class:`Inbox` or the fast lane's
-    array-backed :class:`~repro.core.fastlane.FixedWidthInbox`)."""
-    return inbox.uint_items()
-
-
-class Outbox:
-    """What one node sends in one round.
-
-    Construct with :meth:`unicast`, :meth:`broadcast`, :meth:`silent`,
-    or the bulk fixed-width constructors :meth:`fixed_width` /
-    :meth:`fixed_width_map` / :meth:`broadcast_uint`; the engine
-    validates the kind against the network's :class:`Mode`.
-    """
-
-    __slots__ = (
-        "kind",
-        "messages",
-        "payload",
-        "dests",
-        "values",
-        "width",
-        "trusted_unique",
-        "_validated_for",
-    )
-
-    def __init__(
-        self,
-        kind: str,
-        messages: Optional[Dict[int, Bits]],
-        payload: Optional[Bits],
-        dests: Any = None,
-        values: Any = None,
-        width: int = 0,
-        trusted_unique: bool = False,
-    ):
-        self.kind = kind
-        self.messages = messages
-        self.payload = payload
-        self.dests = dests
-        self.values = values
-        self.width = width
-        self.trusted_unique = trusted_unique
-        # Outboxes are immutable after construction, so a fixed-width
-        # outbox yielded round after round (the zero-churn pattern) is
-        # vector-validated once per (network, sender), not once per
-        # round.  The memo maps id(network) -> (weakref, {senders}):
-        # weakly referenced so a long-lived outbox never pins a network
-        # alive, and per-sender so one outbox shared by several senders
-        # (also a natural zero-churn pattern) keeps every entry instead
-        # of thrashing a single slot.
-        self._validated_for: Any = None
-
-    def _is_validated(self, network: Any, sender: int) -> bool:
-        memo = self._validated_for
-        if memo is None:
-            return False
-        entry = memo.get(id(network))
-        return entry is not None and entry[0]() is network and sender in entry[1]
-
-    def _mark_validated(self, network: Any, sender: int) -> None:
-        memo = self._validated_for
-        if memo is None:
-            memo = self._validated_for = {}
-        key = id(network)
-        entry = memo.get(key)
-        if entry is not None and entry[0]() is network:
-            entry[1].add(sender)
-            return
-        if len(memo) >= 8:
-            # Drop entries whose network is gone (ids may be reused).
-            for stale in [k for k, e in memo.items() if e[0]() is None]:
-                del memo[stale]
-        memo[key] = (weakref.ref(network), {sender})
-
-    @classmethod
-    def unicast(cls, messages: Mapping[int, Bits]) -> "Outbox":
-        return cls("unicast", dict(messages), None)
-
-    @classmethod
-    def broadcast(cls, payload: Bits) -> "Outbox":
-        return cls("broadcast", None, payload)
-
-    @classmethod
-    def broadcast_uint(cls, value: int, width: int) -> "Outbox":
-        """Fixed-width broadcast: write ``value`` as exactly ``width``
-        bits on the blackboard.  Rounds in which every non-silent sender
-        yields a fixed-width broadcast of one width are delivered
-        through the numpy broadcast lane (one vector write, array-backed
-        inboxes — see :mod:`repro.core.fastlane`); mixed rounds
-        materialize the payload as an ordinary :class:`Bits` broadcast.
-        Either way one broadcast of ``width`` bits costs ``width``."""
-        from repro.core import fastlane
-
-        coerced = fastlane.coerce_broadcast(value, width)
-        return cls("bfixed", None, None, values=coerced, width=width)
-
-    @classmethod
-    def silent(cls) -> "Outbox":
-        return _SILENT_OUTBOX
-
-    @classmethod
-    def fixed_width(cls, dests: Sequence[int], values: Sequence[int], width: int) -> "Outbox":
-        """Bulk unicast of fixed-width unsigned-integer payloads:
-        ``values[i]`` (exactly ``width`` bits on the wire) goes to
-        ``dests[i]``.  Rounds in which every sender yields a fixed-width
-        outbox of the same width are delivered through the numpy fast
-        lane; otherwise the messages are materialized as ordinary
-        ``width``-bit :class:`~repro.core.bits.Bits` unicasts."""
-        from repro.core import fastlane
-
-        d, v = fastlane.coerce_fixed(dests, values, width)
-        return cls("fixed", None, None, dests=d, values=v, width=width)
-
-    @classmethod
-    def fixed_width_map(cls, messages: Mapping[int, int], width: int) -> "Outbox":
-        """:meth:`fixed_width` from a ``{dest: uint}`` mapping (dict keys
-        are unique by construction, so the duplicate-destination check is
-        skipped; other Mapping types are copied through ``dict`` first so
-        a broken ``keys()`` cannot smuggle a duplicate past it)."""
-        from repro.core import fastlane
-
-        if type(messages) is not dict:
-            messages = dict(messages)
-        d, v = fastlane.coerce_fixed(list(messages.keys()), list(messages.values()), width)
-        out = cls("fixed", None, None, dests=d, values=v, width=width)
-        out.trusted_unique = True
-        return out
-
-    def _materialize(self) -> Dict[int, Bits]:
-        """A fixed-width outbox as an ordinary ``{dest: Bits}`` dict (the
-        scalar fallback for sparse/mixed rounds and the legacy engine).
-        Memoized in the otherwise-unused ``messages`` slot, so a reused
-        outbox pays the Bits construction once, not once per round."""
-        cached = self.messages
-        if cached is None:
-            width = self.width
-            cached = self.messages = {
-                int(dest): Bits(int(value), width)
-                for dest, value in zip(self.dests, self.values)
-            }
-        return cached
-
-    def _materialize_broadcast(self) -> Bits:
-        """A fixed-width broadcast outbox's payload as :class:`Bits` (the
-        scalar fallback for mixed rounds, the legacy engine, and the
-        transcript).  Memoized in the otherwise-unused ``payload`` slot."""
-        cached = self.payload
-        if cached is None:
-            cached = self.payload = Bits(self.values, self.width)
-        return cached
-
-
-_SILENT_OUTBOX = Outbox("silent", None, None)
+# Message containers live in repro.core.mailbox; re-exported here for
+# compatibility (every protocol module historically imports them from
+# repro.core.network).
+_ = (Inbox, Outbox, inbox_uints, EMPTY_INBOX, _SILENT_OUTBOX)
 
 
 @dataclass
@@ -367,11 +161,6 @@ class RunResult:
 
 NodeProgram = Callable[[Context], Any]
 
-# A fixed-width round rides the bulk lane only when it averages at least
-# this many messages per sender; sparser rounds are cheaper through the
-# scalar dict path than through per-sender array operations.
-_LANE_DENSITY = 8
-
 
 class Network:
     """Synchronous round-based network for ``n`` nodes.
@@ -397,9 +186,14 @@ class Network:
         When true, the result carries a full per-round transcript (used
         by the lower-bound reductions to charge communication).
     engine:
-        ``"fast"`` (default) for the zero-churn loop with the
-        fixed-width bulk lane, ``"legacy"`` for the original reference
-        loop.  Both produce identical :class:`RunResult`\\ s.
+        Which execution backend runs node programs.  ``"fast"`` (the
+        default) and ``"legacy"`` are the historical string shim, kept
+        for compatibility and resolved through the planner's engine
+        registry; ``"auto"`` (or ``None``) lets the planner choose
+        freely.  Any :class:`~repro.core.engine.base.Engine` instance is
+        accepted too — the plug-in point for custom backends.  All
+        backends produce identical :class:`RunResult`\\ s for the
+        programs they support.
     """
 
     def __init__(
@@ -411,21 +205,26 @@ class Network:
         seed: int = 0,
         max_rounds: int = 1_000_000,
         record_transcript: bool = False,
-        engine: str = "fast",
+        engine: Any = "fast",
     ) -> None:
+        from repro.core.engine.planner import DEFAULT_PLANNER, resolve_engine
+
         if n < 1:
             raise ValueError("need at least one node")
         if bandwidth < 1:
             raise ValueError("bandwidth must be at least 1 bit")
-        if engine not in ("fast", "legacy"):
-            raise ValueError(f"unknown engine {engine!r}")
         self.n = n
         self.bandwidth = bandwidth
         self.mode = mode
         self.seed = seed
         self.max_rounds = max_rounds
         self.record_transcript = record_transcript
+        #: The engine argument as given (string shim or Engine instance).
         self.engine = engine
+        #: Resolved backend pin (None = planner's choice), and the
+        #: planner that maps each program to a backend.
+        self._requested_engine = resolve_engine(engine)
+        self._planner = DEFAULT_PLANNER
         if mode is Mode.CONGEST:
             if topology is None:
                 raise TopologyError("CONGEST mode requires a topology")
@@ -451,9 +250,10 @@ class Network:
         # fixed-width outboxes; built lazily on first use.
         self._adj_mask = None
         # Compiled schedules for oblivious programs, keyed by their
-        # mark_oblivious declaration.  Bounded; correctness never
-        # depends on a hit (misses just record, stale entries are
-        # caught by the per-round structural check).
+        # mark_oblivious declaration (kernel programs key by object
+        # identity).  Bounded; correctness never depends on a hit
+        # (misses just record, stale entries are caught by the
+        # per-round structural check).
         self._compiled: Dict[Any, CompiledSchedule] = {}
         #: Counters for the compilation layer: schedules recorded,
         #: instances replayed (incl. batched), structural-deviation
@@ -474,6 +274,65 @@ class Network:
         self._kernel_lanes: Dict[int, Any] = {}
 
     # -- execution -------------------------------------------------------
+
+    def run(
+        self,
+        program: Callable[[Context], Any],
+        inputs: Optional[Sequence[Any]] = None,
+    ) -> RunResult:
+        """Run ``program`` (a generator function taking a Context) on all
+        nodes in lockstep and return the :class:`RunResult`.
+
+        ``inputs[v]`` is exposed as ``ctx.input`` on node ``v``.
+
+        ``program`` may also be a
+        :class:`~repro.core.kernels.KernelProgram`, in which case the
+        planner routes the whole round loop through the vectorized
+        kernel backend (a kernel program *is* its own execution
+        semantics, pinned to the generator reference by the equivalence
+        suites).
+        """
+        return self._planner.plan(self, program).run(self, program, inputs)
+
+    def run_many(
+        self,
+        program: Callable[[Context], Any],
+        inputs_list: Sequence[Optional[Sequence[Any]]],
+    ) -> List[RunResult]:
+        """Run ``program`` once per entry of ``inputs_list`` and return
+        one :class:`RunResult` per instance, byte-identical to calling
+        :meth:`run` sequentially.
+
+        When ``program`` is declared oblivious
+        (:func:`~repro.core.compiled.mark_oblivious`), the fast backend
+        records one compiled schedule and replays the remaining
+        instances **in lockstep** through stacked payload matrices
+        (:class:`~repro.core.fastlane.BatchLane`); kernel programs batch
+        natively.  Undeclared programs, the legacy backend, and
+        transcript-recording networks take the sequential path.
+        """
+        return self._planner.plan(self, program).run_many(self, program, inputs_list)
+
+    def _check_inputs(self, inputs: Optional[Sequence[Any]]) -> None:
+        if inputs is not None and len(inputs) != self.n:
+            raise ProtocolError(
+                f"got {len(inputs)} inputs for {self.n} nodes; "
+                "Network.run needs exactly one input per node "
+                "(pass inputs=None for input-free protocols)"
+            )
+
+    def _compiled_entry(self, key) -> Optional[CompiledSchedule]:
+        """The cached schedule for ``key``, evicting it first if the
+        network's bandwidth or mode was reassigned since it was
+        recorded (the recorded rounds were validated under the old
+        parameters, so replaying them would skip the new limits)."""
+        entry = self._compiled.get(key)
+        if entry is not None and entry.params != (self.bandwidth, self.mode):
+            del self._compiled[key]
+            return None
+        return entry
+
+    # -- per-run state the engines consume -------------------------------
 
     def _rng_state_bundle(self) -> Tuple[Any, List[Any], Any]:
         """(seed, per-node private states, shared state) — hashed once
@@ -516,179 +375,6 @@ class Network:
             )
         return contexts
 
-    def run(
-        self,
-        program: Callable[[Context], Any],
-        inputs: Optional[Sequence[Any]] = None,
-    ) -> RunResult:
-        """Run ``program`` (a generator function taking a Context) on all
-        nodes in lockstep and return the :class:`RunResult`.
-
-        ``inputs[v]`` is exposed as ``ctx.input`` on node ``v``.
-
-        ``program`` may also be a
-        :class:`~repro.core.kernels.KernelProgram`, in which case the
-        whole round loop runs through the vectorized kernel path (the
-        engine selector does not apply — a kernel program *is* its own
-        execution semantics, pinned to the generator reference by the
-        equivalence suites).
-        """
-        self._check_inputs(inputs)
-        if getattr(program, "is_kernel_program", False):
-            return self._run_kernel(program, [inputs])[0]
-        if self.engine == "legacy":
-            return self._run_legacy(program, inputs)
-        key = None if self.record_transcript else oblivious_key(program)
-        if key is None:
-            return self._run_fast(program, inputs)
-        compiled = self._compiled_entry(key)
-        if compiled is not None:
-            replayed = self._try_replay(program, [inputs], compiled, key)
-            if replayed is not None:
-                return replayed[0]
-            # Structural deviation: the stale entry was evicted; fall
-            # through to full execution, which re-records.
-        return self._run_recording(program, inputs, key)
-
-    def run_many(
-        self,
-        program: Callable[[Context], Any],
-        inputs_list: Sequence[Optional[Sequence[Any]]],
-    ) -> List[RunResult]:
-        """Run ``program`` once per entry of ``inputs_list`` and return
-        one :class:`RunResult` per instance, byte-identical to calling
-        :meth:`run` sequentially.
-
-        When ``program`` is declared oblivious
-        (:func:`~repro.core.compiled.mark_oblivious`), the first
-        instance records (or reuses) the compiled schedule and the
-        remaining instances replay it **in lockstep**: each round is
-        structurally checked per instance and delivered through stacked
-        payload matrices (:class:`~repro.core.fastlane.BatchLane`), so
-        classification, validation and accounting are paid once for the
-        whole batch.  Any structural deviation falls back to full
-        sequential execution of the affected instances.  Undeclared
-        programs, the legacy engine, and transcript-recording networks
-        always take the sequential path.
-        """
-        inputs_list = list(inputs_list)
-        for inputs in inputs_list:
-            self._check_inputs(inputs)
-        if getattr(program, "is_kernel_program", False):
-            # Kernel programs batch natively: all K instances move
-            # through each round as one stacked matrix.  Chunk like the
-            # replay path to bound the K×n×n buffers.
-            results: List[RunResult] = []
-            chunk_size = max(1, (64 << 20) // (self.n * self.n * 8))
-            for start in range(0, len(inputs_list), chunk_size):
-                chunk = inputs_list[start : start + chunk_size]
-                results.extend(self._run_kernel(program, chunk))
-            return results
-        key = None if self.record_transcript else oblivious_key(program)
-        if key is None or self.engine == "legacy" or not inputs_list:
-            return [self.run(program, inputs) for inputs in inputs_list]
-        results: List[RunResult] = []
-        rest = inputs_list
-        if self._compiled_entry(key) is None:
-            results.append(self._run_recording(program, inputs_list[0], key))
-            rest = inputs_list[1:]
-        # Bound the stacked replay buffers (~64 MB of uint64 send
-        # matrices) by chunking large sweeps; replay state carries over
-        # through the schedule cache, so chunking is invisible apart
-        # from peak memory.
-        chunk_size = max(1, (64 << 20) // (self.n * self.n * 8))
-        for start in range(0, len(rest), chunk_size):
-            chunk = rest[start : start + chunk_size]
-            compiled = self._compiled_entry(key)
-            replayed = (
-                self._try_replay(program, chunk, compiled, key)
-                if compiled is not None
-                else None
-            )
-            if replayed is None:
-                # Deviation mid-chunk: re-execute the affected
-                # instances from scratch (programs declared oblivious
-                # must be side-effect-free, so the abandoned partial
-                # executions are unobservable).  The first re-run
-                # re-records, so conforming instances later in the
-                # sweep regain batching; a second deviation within the
-                # same chunk demotes its remainder to plain execution.
-                replayed = [self._run_recording(program, chunk[0], key)]
-                tail = chunk[1:]
-                if tail:
-                    compiled = self._compiled_entry(key)
-                    again = (
-                        self._try_replay(program, tail, compiled, key)
-                        if compiled is not None
-                        else None
-                    )
-                    if again is None:
-                        again = [self._run_fast(program, inputs) for inputs in tail]
-                    replayed.extend(again)
-            results.extend(replayed)
-        return results
-
-    def _check_inputs(self, inputs: Optional[Sequence[Any]]) -> None:
-        if inputs is not None and len(inputs) != self.n:
-            raise ProtocolError(
-                f"got {len(inputs)} inputs for {self.n} nodes; "
-                "Network.run needs exactly one input per node "
-                "(pass inputs=None for input-free protocols)"
-            )
-
-    def _compiled_entry(self, key) -> Optional[CompiledSchedule]:
-        """The cached schedule for ``key``, evicting it first if the
-        network's bandwidth or mode was reassigned since it was
-        recorded (the recorded rounds were validated under the old
-        parameters, so replaying them would skip the new limits)."""
-        entry = self._compiled.get(key)
-        if entry is not None and entry.params != (self.bandwidth, self.mode):
-            del self._compiled[key]
-            return None
-        return entry
-
-    def _run_kernel(self, program, inputs_list: List[Any]) -> List[RunResult]:
-        """Execute a kernel program: compile its declared structure into
-        a :class:`~repro.core.compiled.CompiledSchedule` on first use
-        (cached keyed by the program object — identity, so a stale hit
-        is impossible), then run every instance through the stacked
-        kernel loop.  Counts in :attr:`schedule_stats` mirror the
-        generator path: the first instance "records" (compiles), every
-        further instance is a replay."""
-        from repro.core import kernels
-
-        compiled = self._compiled.get(program)
-        if compiled is not None and compiled.params != (self.bandwidth, self.mode):
-            del self._compiled[program]
-            compiled = None
-        fresh = compiled is None
-        if fresh:
-            compiled = kernels.compile_program(program, self)
-            if len(self._compiled) >= 32:
-                self._compiled.pop(next(iter(self._compiled)))
-            self._compiled[program] = compiled
-        results = kernels.execute(self, program, compiled, inputs_list)
-        if fresh:
-            self.schedule_stats["compiled"] += 1
-            replays = len(inputs_list) - 1
-        else:
-            replays = len(inputs_list)
-        self.schedule_stats["replayed"] += replays
-        compiled.replays += replays
-        return results
-
-    def _run_recording(self, program, inputs, key) -> RunResult:
-        recorder = ScheduleRecorder()
-        result = self._run_fast(program, inputs, recorder=recorder)
-        if len(self._compiled) >= 32:
-            # Bounded cache: drop the oldest entry (insertion order).
-            self._compiled.pop(next(iter(self._compiled)))
-        entry = recorder.finish()
-        entry.params = (self.bandwidth, self.mode)
-        self._compiled[key] = entry
-        self.schedule_stats["compiled"] += 1
-        return result
-
     def _start(self, program, inputs, check=None):
         if check is None:
             check = self._check_outbox
@@ -708,561 +394,6 @@ class Network:
             except StopIteration as stop:
                 outputs[v] = stop.value
         return outputs, generators, pending_outbox
-
-    # -- fast engine -----------------------------------------------------
-
-    def _run_fast(self, program, inputs, recorder=None) -> RunResult:
-        n = self.n
-        outputs, generators, pending = self._start(program, inputs)
-
-        rounds = 0
-        total_bits = 0
-        max_round_bits = 0
-        recording = self.record_transcript
-        transcript: Optional[List[RoundRecord]] = [] if recording else None
-
-        # Reusable per-round state: buffers live for the whole run and
-        # are cleared, never reconstructed.
-        inbox_dicts: List[Dict[int, Bits]] = [dict() for _ in range(n)]
-        inbox_views: List[Inbox] = [Inbox(d) for d in inbox_dicts]
-        dicts_dirty = False
-        fixed_list: List[Tuple[int, Outbox]] = []
-        bcast_list: List[Tuple[int, Outbox]] = []
-        lane = None  # FixedLane, allocated on the first bulk round
-        blane = None  # BroadcastLane, allocated on the first bulk round
-
-        while generators:
-            if rounds >= self.max_rounds:
-                raise MaxRoundsExceededError(
-                    f"protocol still running after {rounds} rounds"
-                )
-            rounds += 1
-
-            # Classify the round: it can ride the unicast bulk lane iff
-            # every non-silent sender yielded a fixed-width outbox of one
-            # width AND the round is dense enough that per-sender array
-            # operations beat per-message dict writes; it can ride the
-            # broadcast lane iff every non-silent sender yielded a
-            # fixed-width broadcast of one width (a broadcast write is
-            # always denser than its n-1 scalar deliveries, so there is
-            # no density threshold).
-            fixed_list.clear()
-            bcast_list.clear()
-            scalar_senders = False
-            lane_width = 0
-            bcast_width = 0
-            fixed_messages = 0
-            for v, outbox in pending.items():
-                kind = outbox.kind
-                if kind == "silent":
-                    continue
-                if kind == "fixed":
-                    width = outbox.width
-                    if lane_width == 0:
-                        lane_width = width
-                    elif width != lane_width:
-                        scalar_senders = True
-                    fixed_list.append((v, outbox))
-                    fixed_messages += outbox.dests.size
-                elif kind == "bfixed":
-                    width = outbox.width
-                    if bcast_width == 0:
-                        bcast_width = width
-                    elif width != bcast_width:
-                        scalar_senders = True
-                    bcast_list.append((v, outbox))
-                else:
-                    scalar_senders = True
-            use_lane = (
-                bool(fixed_list)
-                and not scalar_senders
-                and not bcast_list
-                and fixed_messages >= _LANE_DENSITY * len(fixed_list)
-            )
-            use_bcast_lane = (
-                bool(bcast_list) and not scalar_senders and not fixed_list
-            )
-
-            record = RoundRecord() if recording else None
-            if use_lane:
-                if lane is None:
-                    from repro.core.fastlane import FixedLane
-
-                    lane = FixedLane(n)
-                round_bits = lane.deliver(fixed_list, lane_width, record)
-            elif use_bcast_lane:
-                if blane is None:
-                    from repro.core.fastlane import BroadcastLane
-
-                    blane = BroadcastLane(n)
-                round_bits = blane.deliver(bcast_list, bcast_width, record)
-            else:
-                if dicts_dirty:
-                    for u in range(n):
-                        inbox_dicts[u].clear()
-                        inbox_views[u]._reset()
-                dicts_dirty = True
-                if record is not None:
-                    round_bits = 0
-                    for v, outbox in pending.items():
-                        round_bits += self._deliver(v, outbox, inbox_dicts, record)
-                else:
-                    round_bits = self._deliver_round_fast(pending, inbox_dicts)
-            if recorder is not None:
-                if use_lane:
-                    recorder.lane_round(fixed_list, lane_width, round_bits)
-                elif use_bcast_lane:
-                    recorder.bcast_round(bcast_list, bcast_width, round_bits)
-                else:
-                    recorder.scalar_round(round_bits)
-            total_bits += round_bits
-            if round_bits > max_round_bits:
-                max_round_bits = round_bits
-            if record is not None:
-                transcript.append(record)
-
-            pending = {}
-            finished = []
-            if use_lane:
-                for v, gen in generators.items():
-                    try:
-                        pending[v] = self._check_outbox(v, gen.send(lane.inbox(v)))
-                    except StopIteration as stop:
-                        outputs[v] = stop.value
-                        finished.append(v)
-            elif use_bcast_lane:
-                for v, gen in generators.items():
-                    try:
-                        pending[v] = self._check_outbox(v, gen.send(blane.inbox(v)))
-                    except StopIteration as stop:
-                        outputs[v] = stop.value
-                        finished.append(v)
-            else:
-                for v, gen in generators.items():
-                    buf = inbox_dicts[v]
-                    inbox = inbox_views[v] if buf else EMPTY_INBOX
-                    try:
-                        pending[v] = self._check_outbox(v, gen.send(inbox))
-                    except StopIteration as stop:
-                        outputs[v] = stop.value
-                        finished.append(v)
-            for v in finished:
-                del generators[v]
-
-        return RunResult(
-            outputs=outputs,
-            rounds=rounds,
-            total_bits=total_bits,
-            max_round_bits=max_round_bits,
-            transcript=transcript,
-        )
-
-    def _deliver_round_fast(
-        self,
-        pending: Dict[int, Outbox],
-        inbox_dicts: List[Dict[int, Bits]],
-    ) -> int:
-        """Scalar delivery of one whole round, transcript off: no record
-        branches in the loop, reused buffers, hoisted lookups."""
-        n = self.n
-        bandwidth = self.bandwidth
-        neighbors = self._neighbors
-        allowed_sets = self._allowed
-        bits = 0
-        for sender, outbox in pending.items():
-            kind = outbox.kind
-            if kind == "silent":
-                continue
-            if kind == "broadcast" or kind == "bfixed":
-                payload = (
-                    outbox.payload
-                    if kind == "broadcast"
-                    else outbox._materialize_broadcast()
-                )
-                if payload.__class__ is not Bits and not isinstance(payload, Bits):
-                    raise ProtocolError(f"node {sender} broadcast a non-Bits payload")
-                plen = len(payload)
-                if plen > bandwidth:
-                    raise BandwidthExceededError(
-                        f"node {sender} broadcast {plen} bits "
-                        f"(bandwidth {bandwidth})"
-                    )
-                if plen == 0:
-                    continue
-                for dest in neighbors[sender]:
-                    inbox_dicts[dest][sender] = payload
-                bits += plen
-                continue
-            if kind == "fixed":
-                # Sparse or mixed round: this outbox was vector-validated
-                # at yield time; deliver its messages check-free.
-                for dest, payload in outbox._materialize().items():
-                    inbox_dicts[dest][sender] = payload
-                bits += outbox.width * outbox.dests.size
-                continue
-            # unicast / CONGEST
-            allowed = allowed_sets[sender] if allowed_sets is not None else None
-            for dest, payload in outbox.messages.items():
-                if payload.__class__ is not Bits and not isinstance(payload, Bits):
-                    raise ProtocolError(f"node {sender} sent a non-Bits payload")
-                if dest == sender:
-                    raise TopologyError(f"node {sender} sent a message to itself")
-                if not 0 <= dest < n:
-                    raise TopologyError(f"node {sender} sent to out-of-range {dest}")
-                if allowed is not None and dest not in allowed:
-                    raise TopologyError(
-                        f"node {sender} sent to non-neighbour {dest} in CONGEST"
-                    )
-                plen = len(payload)
-                if plen > bandwidth:
-                    raise BandwidthExceededError(
-                        f"node {sender} sent {plen} bits to {dest} "
-                        f"(bandwidth {bandwidth})"
-                    )
-                if plen == 0:
-                    continue
-                inbox_dicts[dest][sender] = payload
-                bits += plen
-        return bits
-
-    # -- compiled replay -------------------------------------------------
-
-    def _bail(self, key) -> None:
-        """A replayed round deviated from the compiled structure: evict
-        the stale schedule and signal the caller to fall back to full
-        execution (which re-records)."""
-        self._compiled.pop(key, None)
-        self.schedule_stats["fallbacks"] += 1
-        return None
-
-    def _check_outbox_light(self, sender: int, yielded: Any) -> Outbox:
-        """Replay-mode yield check: type only.  Mode, bandwidth and
-        topology conformance are implied by the structural match against
-        the compiled (fully validated) round; any mismatch bails to the
-        full path, which re-validates from scratch."""
-        if yielded is None:
-            return _SILENT_OUTBOX
-        if isinstance(yielded, Outbox):
-            return yielded
-        raise ProtocolError(
-            f"node {sender} yielded {type(yielded).__name__}, expected Outbox"
-        )
-
-    def _try_replay(
-        self,
-        program,
-        inputs_list: Sequence[Optional[Sequence[Any]]],
-        compiled: CompiledSchedule,
-        key: Any,
-    ) -> Optional[List[RunResult]]:
-        """Run every instance of ``inputs_list`` against ``compiled`` in
-        lockstep; returns per-instance RunResults, or ``None`` if any
-        round deviates structurally (after evicting the stale entry)."""
-        import numpy as np
-
-        from repro.core.fastlane import NUMERIC_WIDTH_LIMIT, BatchLane, BroadcastLane
-
-        n = self.n
-        num_instances = len(inputs_list)
-        crounds = compiled.rounds
-        num_rounds = len(crounds)
-        light = self._check_outbox_light
-        full = self._check_outbox
-
-        def check_for(r):
-            # Rounds the compiled schedule will bulk-deliver are checked
-            # structurally, so their yields skip validation; scalar
-            # rounds (and anything past the schedule, which bails) go
-            # through the ordinary fully validating check.
-            if r < num_rounds and crounds[r][0] != SCALAR:
-                return light
-            return full
-
-        check = check_for(0)
-        outputs_l: List[List[Any]] = []
-        gens_l: List[Dict[int, Any]] = []
-        pending_l: List[Dict[int, Outbox]] = []
-        for inputs in inputs_list:
-            outputs, generators, pending = self._start(program, inputs, check=check)
-            outputs_l.append(outputs)
-            gens_l.append(generators)
-            pending_l.append(pending)
-        rounds_l = [0] * num_instances
-        bits_l = [0] * num_instances
-        maxb_l = [0] * num_instances
-
-        lane: Optional[BatchLane] = None
-        blanes: Optional[List[Optional[BroadcastLane]]] = None
-        scalar_state: Optional[List[Any]] = None
-        vbuf_num = vbuf_obj = dbuf = None
-        scalar_bits: Dict[int, int] = {}
-        # Per-instance (structure, outbox-list) of the previous lane
-        # round.  Outboxes are immutable, so when a program re-yields
-        # the *same* outbox objects under the same structure (the
-        # zero-churn pattern), the round needs no re-verification and —
-        # because the send matrix already holds those exact values — no
-        # rewrite either.
-        lane_memo: List[Optional[Tuple[Any, List[Any]]]] = [None] * num_instances
-
-        r = 0
-        while True:
-            active = [k for k in range(num_instances) if gens_l[k]]
-            if not active:
-                break
-            if r >= num_rounds:
-                # The protocol outlived its compiled schedule.
-                return self._bail(key)
-            kind, payload, round_bits = crounds[r]
-
-            if kind == LANE:
-                struct = payload
-                entries = struct.entries
-                n_entries = len(entries)
-                width = struct.width
-                count = struct.count
-                slices = struct.slices
-                # Pass 1: match each instance's pending outboxes to the
-                # compiled entries.  An outbox identical (by object) to
-                # last lane round's at the same position under the same
-                # structure is already verified *and* already written.
-                need_write: List[int] = []  # instance slots to deliver
-                round_outs: List[Tuple[int, List[Any]]] = []
-                for k in active:
-                    memo = lane_memo[k]
-                    prev_outs = (
-                        memo[1] if memo is not None and memo[0] is struct else None
-                    )
-                    outs: List[Any] = []
-                    fresh = False
-                    j = 0
-                    for v, out in pending_l[k].items():
-                        if out.kind == "silent":
-                            continue
-                        if j >= n_entries or v != entries[j][0]:
-                            return self._bail(key)
-                        if prev_outs is None or prev_outs[j] is not out:
-                            if (
-                                out.kind != "fixed"
-                                or out.width != width
-                                or out.dests.size != entries[j][2]
-                            ):
-                                return self._bail(key)
-                            fresh = True
-                        outs.append(out)
-                        j += 1
-                    if j != n_entries:
-                        return self._bail(key)
-                    lane_memo[k] = (struct, outs)
-                    if fresh:
-                        need_write.append(k)
-                        round_outs.append((k, outs))
-                # Pass 2: verify and deliver only the instances with
-                # fresh outboxes, through stacked flat writes.
-                if need_write and count:
-                    written = len(need_write)
-                    if width <= NUMERIC_WIDTH_LIMIT:
-                        if vbuf_num is None or vbuf_num.shape[1] < count:
-                            vbuf_num = np.empty(
-                                (num_instances, count), dtype=np.uint64
-                            )
-                        vbuf = vbuf_num
-                    else:
-                        if vbuf_obj is None or vbuf_obj.shape[1] < count:
-                            vbuf_obj = np.empty(
-                                (num_instances, count), dtype=object
-                            )
-                        vbuf = vbuf_obj
-                    if dbuf is None or dbuf.shape[1] < count:
-                        dbuf = np.empty((num_instances, count), dtype=np.intp)
-                    for i, (_k, outs) in enumerate(round_outs):
-                        row_v = vbuf[i]
-                        row_d = dbuf[i]
-                        for j, out in enumerate(outs):
-                            start, stop = slices[j]
-                            if start != stop:
-                                row_d[start:stop] = out.dests
-                                row_v[start:stop] = out.values
-                    if (dbuf[:written, :count] != struct.cols).any():
-                        # Same shape, different destinations: still a
-                        # structural deviation (the flat delivery indices
-                        # and the skipped validation both assume the
-                        # recorded destination vectors).
-                        return self._bail(key)
-                    # Payload values wider than the recorded width are
-                    # demoted the same way, so the full path raises the
-                    # identical ProtocolError a cold-cache run would.
-                    if vbuf is vbuf_num:
-                        if (vbuf[:written, :count] >> np.uint64(width)).any():
-                            return self._bail(key)
-                    elif any(
-                        value >> width
-                        for row in vbuf[:written, :count]
-                        for value in row
-                    ):
-                        return self._bail(key)
-                    if lane is None:
-                        lane = BatchLane(n, num_instances)
-                    lane.deliver_compiled(
-                        struct,
-                        need_write,
-                        [vbuf[i, :count] for i in range(written)],
-                    )
-                else:
-                    # Nothing fresh to write (every instance re-yielded
-                    # last round's outboxes, or the structure carries no
-                    # messages): keep the lane's presence mask in sync
-                    # with this structure — a no-op when unchanged.
-                    if lane is None:
-                        lane = BatchLane(n, num_instances)
-                    lane.deliver_compiled(struct, [], [])
-            elif kind == BCAST:
-                ids, width = payload
-                n_ids = len(ids)
-                if blanes is None:
-                    blanes = [None] * num_instances
-                for k in active:
-                    senders = []
-                    j = 0
-                    for v, out in pending_l[k].items():
-                        okind = out.kind
-                        if okind == "silent":
-                            continue
-                        if (
-                            j >= n_ids
-                            or v != ids[j]
-                            or okind != "bfixed"
-                            or out.width != width
-                        ):
-                            return self._bail(key)
-                        senders.append((v, out))
-                        j += 1
-                    if j != n_ids:
-                        return self._bail(key)
-                    blane = blanes[k]
-                    if blane is None:
-                        blane = blanes[k] = BroadcastLane(n)
-                    blane.deliver(senders, width, None)
-            else:  # SCALAR: ordinary validated delivery, per instance.
-                if scalar_state is None:
-                    scalar_state = [None] * num_instances
-                scalar_bits.clear()
-                for k in active:
-                    state = scalar_state[k]
-                    if state is None:
-                        dicts = [dict() for _ in range(n)]
-                        state = scalar_state[k] = [
-                            dicts,
-                            [Inbox(d) for d in dicts],
-                            False,
-                        ]
-                    dicts, views, dirty = state
-                    if dirty:
-                        for u in range(n):
-                            dicts[u].clear()
-                            views[u]._reset()
-                    state[2] = True
-                    scalar_bits[k] = self._deliver_round_fast(pending_l[k], dicts)
-
-            check = check_for(r + 1)
-            for k in active:
-                bits = round_bits if kind != SCALAR else scalar_bits[k]
-                rounds_l[k] += 1
-                bits_l[k] += bits
-                if bits > maxb_l[k]:
-                    maxb_l[k] = bits
-                generators = gens_l[k]
-                outputs = outputs_l[k]
-                new_pending: Dict[int, Outbox] = {}
-                finished = []
-                if kind == LANE:
-                    for v, gen in generators.items():
-                        try:
-                            new_pending[v] = check(v, gen.send(lane.inbox(k, v)))
-                        except StopIteration as stop:
-                            outputs[v] = stop.value
-                            finished.append(v)
-                elif kind == BCAST:
-                    blane = blanes[k]
-                    for v, gen in generators.items():
-                        try:
-                            new_pending[v] = check(v, gen.send(blane.inbox(v)))
-                        except StopIteration as stop:
-                            outputs[v] = stop.value
-                            finished.append(v)
-                else:
-                    dicts, views, _dirty = scalar_state[k]
-                    for v, gen in generators.items():
-                        inbox = views[v] if dicts[v] else EMPTY_INBOX
-                        try:
-                            new_pending[v] = check(v, gen.send(inbox))
-                        except StopIteration as stop:
-                            outputs[v] = stop.value
-                            finished.append(v)
-                for v in finished:
-                    del generators[v]
-                pending_l[k] = new_pending
-            r += 1
-
-        compiled.replays += num_instances
-        self.schedule_stats["replayed"] += num_instances
-        return [
-            RunResult(
-                outputs=outputs_l[k],
-                rounds=rounds_l[k],
-                total_bits=bits_l[k],
-                max_round_bits=maxb_l[k],
-                transcript=None,
-            )
-            for k in range(num_instances)
-        ]
-
-    # -- legacy engine (reference semantics) -----------------------------
-
-    def _run_legacy(self, program, inputs) -> RunResult:
-        outputs, generators, pending_outbox = self._start(program, inputs)
-
-        rounds = 0
-        total_bits = 0
-        max_round_bits = 0
-        transcript: Optional[List[RoundRecord]] = [] if self.record_transcript else None
-
-        while generators:
-            if rounds >= self.max_rounds:
-                raise MaxRoundsExceededError(
-                    f"protocol still running after {rounds} rounds"
-                )
-            rounds += 1
-            inboxes: Dict[int, Dict[int, Bits]] = {v: {} for v in range(self.n)}
-            record = RoundRecord() if self.record_transcript else None
-            round_bits = 0
-            for v, outbox in pending_outbox.items():
-                round_bits += self._deliver(v, outbox, inboxes, record)
-            total_bits += round_bits
-            max_round_bits = max(max_round_bits, round_bits)
-            if record is not None:
-                transcript.append(record)
-
-            pending_outbox = {}
-            finished = []
-            for v, gen in generators.items():
-                inbox = Inbox(inboxes[v]) if inboxes[v] else EMPTY_INBOX
-                try:
-                    pending_outbox[v] = self._check_outbox(v, gen.send(inbox))
-                except StopIteration as stop:
-                    outputs[v] = stop.value
-                    finished.append(v)
-            for v in finished:
-                del generators[v]
-
-        return RunResult(
-            outputs=outputs,
-            rounds=rounds,
-            total_bits=total_bits,
-            max_round_bits=max_round_bits,
-            transcript=transcript,
-        )
-
-    # -- internals -------------------------------------------------------
 
     def _check_outbox(self, sender: int, yielded: Any) -> Outbox:
         if yielded is None:
@@ -1311,67 +442,6 @@ class Network:
             )
             yielded._mark_validated(self, sender)
         return yielded
-
-    def _deliver(
-        self,
-        sender: int,
-        outbox: Outbox,
-        inboxes,
-        record: Optional[RoundRecord],
-    ) -> int:
-        bits_sent = 0
-        kind = outbox.kind
-        if kind == "silent":
-            return 0
-        if kind == "broadcast" or kind == "bfixed":
-            payload = (
-                outbox.payload
-                if kind == "broadcast"
-                else outbox._materialize_broadcast()
-            )
-            if not isinstance(payload, Bits):
-                raise ProtocolError(f"node {sender} broadcast a non-Bits payload")
-            if len(payload) > self.bandwidth:
-                raise BandwidthExceededError(
-                    f"node {sender} broadcast {len(payload)} bits "
-                    f"(bandwidth {self.bandwidth})"
-                )
-            if len(payload) == 0:
-                return 0
-            for dest in self._neighbors[sender]:
-                inboxes[dest][sender] = payload
-            bits_sent = len(payload)
-            if record is not None:
-                record.sends.append((sender, None, payload))
-            return bits_sent
-        # unicast / CONGEST (fixed-width outboxes are materialized first)
-        messages = outbox.messages if kind == "unicast" else outbox._materialize()
-        allowed = None
-        if self.mode is Mode.CONGEST:
-            allowed = self._allowed[sender]
-        for dest, payload in messages.items():
-            if not isinstance(payload, Bits):
-                raise ProtocolError(f"node {sender} sent a non-Bits payload")
-            if dest == sender:
-                raise TopologyError(f"node {sender} sent a message to itself")
-            if not 0 <= dest < self.n:
-                raise TopologyError(f"node {sender} sent to out-of-range {dest}")
-            if allowed is not None and dest not in allowed:
-                raise TopologyError(
-                    f"node {sender} sent to non-neighbour {dest} in CONGEST"
-                )
-            if len(payload) > self.bandwidth:
-                raise BandwidthExceededError(
-                    f"node {sender} sent {len(payload)} bits to {dest} "
-                    f"(bandwidth {self.bandwidth})"
-                )
-            if len(payload) == 0:
-                continue
-            inboxes[dest][sender] = payload
-            bits_sent += len(payload)
-            if record is not None:
-                record.sends.append((sender, dest, payload))
-        return bits_sent
 
 
 def run_protocol(

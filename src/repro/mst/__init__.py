@@ -1,5 +1,17 @@
 """Minimum spanning trees on the congested clique (related work [30])."""
 
-from repro.mst.boruvka import WeightedGraph, boruvka_mst, mst_reference
+from repro.mst.boruvka import (
+    WeightedGraph,
+    boruvka_message_bits,
+    boruvka_mst,
+    boruvka_program,
+    mst_reference,
+)
 
-__all__ = ["WeightedGraph", "boruvka_mst", "mst_reference"]
+__all__ = [
+    "WeightedGraph",
+    "boruvka_message_bits",
+    "boruvka_mst",
+    "boruvka_program",
+    "mst_reference",
+]

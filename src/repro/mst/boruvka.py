@@ -34,7 +34,13 @@ from repro.core.network import Context, Mode, Network, RunResult
 from repro.core.phases import transmit_broadcast
 from repro.graphs.graph import Edge, Graph, canonical_edge
 
-__all__ = ["WeightedGraph", "mst_reference", "boruvka_mst"]
+__all__ = [
+    "WeightedGraph",
+    "mst_reference",
+    "boruvka_message_bits",
+    "boruvka_program",
+    "boruvka_mst",
+]
 
 
 @dataclass
@@ -85,20 +91,25 @@ def mst_reference(wg: WeightedGraph) -> Set[Edge]:
     return chosen
 
 
-def boruvka_mst(
-    wg: WeightedGraph,
-    bandwidth: int,
-    seed: int = 0,
-    record_transcript: bool = False,
-    engine: str = "fast",
-) -> Tuple[Set[Edge], RunResult]:
-    """Run Borůvka on CLIQUE-BCAST; every node outputs the same MST
-    (minimum spanning forest if disconnected)."""
+def boruvka_message_bits(wg: WeightedGraph) -> int:
+    """Width of one phase broadcast: present flag + weight + two
+    endpoints.  The minimum bandwidth :func:`boruvka_program` needs."""
     n = wg.graph.n
     id_bits = max(1, (max(0, n - 1)).bit_length())
     weight_bits = max(1, wg.max_weight().bit_length())
-    # message: present flag + weight + two endpoints
-    message_bits = 1 + weight_bits + 2 * id_bits
+    return 1 + weight_bits + 2 * id_bits
+
+
+def boruvka_program(wg: WeightedGraph):
+    """Borůvka's node program for CLIQUE-BCAST: O(log n) phases, one
+    :func:`boruvka_message_bits`-wide broadcast per node per phase;
+    every node returns the same frozenset MST (minimum spanning forest
+    if disconnected).  The runnable factory the scenario registry and
+    :func:`boruvka_mst` share."""
+    n = wg.graph.n
+    id_bits = max(1, (max(0, n - 1)).bit_length())
+    weight_bits = max(1, wg.max_weight().bit_length())
+    message_bits = boruvka_message_bits(wg)
     phases = max(1, math.ceil(math.log2(max(2, n))))
 
     def encode(edge: Optional[Tuple[int, int]]) -> Bits:
@@ -178,15 +189,27 @@ def boruvka_mst(
                         component[w] = low
         return frozenset(tree)
 
+    return program
+
+
+def boruvka_mst(
+    wg: WeightedGraph,
+    bandwidth: int,
+    seed: int = 0,
+    record_transcript: bool = False,
+    engine: str = "fast",
+) -> Tuple[Set[Edge], RunResult]:
+    """Run Borůvka on CLIQUE-BCAST; every node outputs the same MST
+    (minimum spanning forest if disconnected)."""
     network = Network(
-        n=n,
+        n=wg.graph.n,
         bandwidth=bandwidth,
         mode=Mode.BROADCAST,
         seed=seed,
         record_transcript=record_transcript,
         engine=engine,
     )
-    result = network.run(program)
+    result = network.run(boruvka_program(wg))
     first = result.outputs[0]
     assert all(out == first for out in result.outputs)
     return set(first), result

@@ -1,0 +1,65 @@
+"""Structured experiment surface: protocols × graph families × engines.
+
+The congested-clique literature states results as sweeps — a problem
+evaluated over instance families and sizes, across models and
+algorithms.  This package turns that shape into code on top of the
+engine subsystem (:mod:`repro.core.engine`):
+
+* :mod:`repro.scenarios.registry` — the **protocol registry**: name →
+  :class:`~repro.scenarios.registry.ProtocolSpec` with a program
+  factory per flavour (generator / kernel), an input builder, the
+  engines the protocol supports, and ground-truth validators.  Ships
+  routing, circuit simulation, matmul triangle detection, subgraph
+  detection and MST; open for registration.
+* :mod:`repro.scenarios.families` — named graph-instance families
+  (``gnp``, ``sparse``, ``complete``, ``cycle``, ``bipartite``).
+* :mod:`repro.scenarios.matrix` — the
+  :class:`~repro.scenarios.matrix.ScenarioMatrix` runner: sweeps
+  problem × family × n × engine, records per-cell timing and bit
+  accounting, validates against ground truth, digests outputs, and
+  checks every backend against the legacy reference engine.  JSON in,
+  JSON out — the benchmark harness and CI smoke sweep are thin callers.
+
+Planner contract (shared with :mod:`repro.core.engine`): a cell names
+its backend explicitly, the network pins it through the
+``Network(engine=...)`` shim, and the planner routes kernel-flavour
+programs to kernel-capable backends only; unsupported combinations are
+*recorded* as unsupported, never silently skipped, so a sweep's JSON
+always states the full capability surface it covered.
+"""
+
+from repro.scenarios.families import (
+    FAMILIES,
+    GraphFamily,
+    family_names,
+    get_family,
+    register_family,
+)
+from repro.scenarios.matrix import MatrixCell, MatrixResult, ScenarioMatrix
+from repro.scenarios.registry import (
+    PROTOCOLS,
+    PreparedScenario,
+    ProtocolSpec,
+    capability_matrix,
+    get_protocol,
+    protocol_names,
+    register_protocol,
+)
+
+__all__ = [
+    "GraphFamily",
+    "FAMILIES",
+    "register_family",
+    "get_family",
+    "family_names",
+    "ProtocolSpec",
+    "PreparedScenario",
+    "PROTOCOLS",
+    "register_protocol",
+    "get_protocol",
+    "protocol_names",
+    "capability_matrix",
+    "ScenarioMatrix",
+    "MatrixCell",
+    "MatrixResult",
+]

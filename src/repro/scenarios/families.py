@@ -1,0 +1,94 @@
+"""Named graph-instance families for scenario sweeps.
+
+A family maps ``(n, rng)`` to a :class:`~repro.graphs.graph.Graph`; the
+matrix runner derives the rng from the sweep seed and the cell
+coordinates, so every cell is reproducible in isolation.  Families are
+deliberately small wrappers over :mod:`repro.graphs.generators` — the
+point is a *registry* (sweeps name families, results carry the name),
+not new generator code.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    random_bipartite,
+    random_graph,
+    random_k_degenerate,
+)
+from repro.graphs.graph import Graph
+
+__all__ = ["GraphFamily", "FAMILIES", "register_family", "get_family", "family_names"]
+
+
+@dataclass(frozen=True)
+class GraphFamily:
+    """A named graph distribution: ``build(n, rng)`` draws one member."""
+
+    name: str
+    description: str
+    build: Callable[[int, random.Random], Graph]
+
+
+FAMILIES: Dict[str, GraphFamily] = {}
+
+
+def register_family(family: GraphFamily) -> GraphFamily:
+    """Add ``family`` to the registry (last registration wins)."""
+    FAMILIES[family.name] = family
+    return family
+
+
+def get_family(name: str) -> GraphFamily:
+    try:
+        return FAMILIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown graph family {name!r}; known: {sorted(FAMILIES)}"
+        ) from None
+
+
+def family_names() -> List[str]:
+    return sorted(FAMILIES)
+
+
+register_family(
+    GraphFamily(
+        "gnp",
+        "Erdős–Rényi G(n, 0.35)",
+        lambda n, rng: random_graph(n, 0.35, rng),
+    )
+)
+register_family(
+    GraphFamily(
+        "sparse",
+        "random 2-degenerate graph (sparse, few triangles)",
+        lambda n, rng: random_k_degenerate(n, 2, rng),
+    )
+)
+register_family(
+    GraphFamily(
+        "complete",
+        "complete graph K_n (densest instance)",
+        lambda n, rng: complete_graph(n),
+    )
+)
+register_family(
+    GraphFamily(
+        "cycle",
+        "single n-cycle (sparsest connected instance)",
+        lambda n, rng: cycle_graph(n),
+    )
+)
+register_family(
+    GraphFamily(
+        "bipartite",
+        "random bipartite G(n/2, n-n/2, 0.5) — triangle-free",
+        lambda n, rng: random_bipartite(n // 2, n - n // 2, 0.5, rng),
+    )
+)

@@ -1,0 +1,315 @@
+"""The scenario-matrix runner: problem × graph family × n × engine.
+
+The complexity-theoretic program around the congested clique frames
+results as sweeps — a protocol family evaluated over instance families
+and sizes, compared across models.  :class:`ScenarioMatrix` is that
+experiment surface on top of the engine subsystem: it takes protocol
+names (from :mod:`repro.scenarios.registry`), graph family names (from
+:mod:`repro.scenarios.families`), sizes and engine names, runs every
+cell, and records per-cell timing, round/bit accounting, a canonical
+output digest, validation status, and whether the cell's digest matches
+the legacy reference engine's — the executable statement that all
+backends compute the same function.
+
+Results serialize to JSON (:meth:`MatrixResult.to_dict` /
+:meth:`MatrixResult.write`), which is what the benchmark harness and
+the CI smoke sweep consume.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.scenarios.families import get_family
+from repro.scenarios.registry import get_protocol
+
+__all__ = ["MatrixCell", "MatrixResult", "ScenarioMatrix", "instance_graph"]
+
+#: The engine the matrix prefers as ground truth for digests; sweeps
+#: that exclude it fall back to the first engine that ran the cell.
+REFERENCE_ENGINE = "legacy"
+
+
+def _cell_coord(seed: int, protocol: str, family: str, n: int) -> str:
+    return f"{seed}:{protocol}:{family}:{n}"
+
+
+def instance_graph(seed: int, protocol: str, family: str, n: int):
+    """The exact graph instance a sweep cell ran on — the same coord
+    derivation :meth:`ScenarioMatrix.run` uses, exposed so callers
+    (benchmarks, reports) never re-implement the convention."""
+    import random
+
+    from repro.scenarios.families import get_family
+
+    return get_family(family).build(
+        n, random.Random(_cell_coord(seed, protocol, family, n))
+    )
+
+
+def _digest(summary: Any, result: Any) -> str:
+    """Canonical digest of one cell's observable behaviour."""
+    blob = repr(
+        (summary, result.rounds, result.total_bits, result.max_round_bits)
+    ).encode()
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+@dataclass
+class MatrixCell:
+    """One (protocol, family, n, engine) execution."""
+
+    protocol: str
+    family: str
+    n: int
+    engine: str
+    status: str  # "ok" | "unsupported" | "failed"
+    seconds: Optional[float] = None
+    rounds: Optional[int] = None
+    total_bits: Optional[int] = None
+    max_round_bits: Optional[int] = None
+    digest: Optional[str] = None
+    validated: Optional[bool] = None
+    matches_reference: Optional[bool] = None
+    error: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "protocol": self.protocol,
+            "family": self.family,
+            "n": self.n,
+            "engine": self.engine,
+            "status": self.status,
+            "seconds": self.seconds,
+            "rounds": self.rounds,
+            "total_bits": self.total_bits,
+            "max_round_bits": self.max_round_bits,
+            "digest": self.digest,
+            "validated": self.validated,
+            "matches_reference": self.matches_reference,
+            "error": self.error,
+        }
+
+
+@dataclass
+class MatrixResult:
+    """All cells of one sweep plus the sweep's coordinates."""
+
+    meta: Dict[str, Any]
+    cells: List[MatrixCell] = field(default_factory=list)
+
+    def ok_cells(self) -> List[MatrixCell]:
+        return [cell for cell in self.cells if cell.status == "ok"]
+
+    def mismatches(self) -> List[MatrixCell]:
+        """Cells whose digest differs from the legacy reference (or that
+        failed validation/execution outright)."""
+        return [
+            cell
+            for cell in self.cells
+            if cell.status == "failed"
+            or cell.matches_reference is False
+            or cell.validated is False
+        ]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "meta": self.meta,
+            "cells": [cell.to_dict() for cell in self.cells],
+        }
+
+    def write(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+
+class ScenarioMatrix:
+    """Sweep registered protocols over graph families, sizes and engines.
+
+    Parameters
+    ----------
+    protocols, families:
+        Names from the protocol / graph-family registries.
+    sizes:
+        Problem sizes ``n`` (one network per cell).
+    engines:
+        Engine names to run each cell on; defaults to every registered
+        backend.  Cells whose protocol does not support an engine are
+        recorded with ``status="unsupported"`` rather than skipped
+        silently.
+    seed:
+        Base seed; each (protocol, family, n) coordinate derives its own
+        instance rng and network seed from it, so cells are reproducible
+        in isolation and identical across engines (which is what makes
+        the cross-engine digest comparison meaningful).
+    repeats:
+        Timing samples per cell (best-of); results are checked on every
+        sample and must stay identical.
+    """
+
+    def __init__(
+        self,
+        protocols: Sequence[str],
+        families: Sequence[str],
+        sizes: Sequence[int],
+        engines: Optional[Sequence[str]] = None,
+        seed: int = 0,
+        repeats: int = 1,
+    ) -> None:
+        from repro.core.engine.planner import ENGINES
+
+        if engines is None:
+            engines = sorted(ENGINES)
+        for engine in engines:
+            if engine not in ENGINES:
+                raise ValueError(
+                    f"unknown engine {engine!r}; known: {sorted(ENGINES)}"
+                )
+        self.protocols = [get_protocol(name).name for name in protocols]
+        self.families = [get_family(name).name for name in families]
+        self.sizes = list(sizes)
+        self.engines = list(engines)
+        self.seed = seed
+        self.repeats = max(1, repeats)
+
+    def run(self) -> MatrixResult:
+        import random
+
+        result = MatrixResult(
+            meta={
+                "protocols": self.protocols,
+                "families": self.families,
+                "sizes": self.sizes,
+                "engines": self.engines,
+                "seed": self.seed,
+                "repeats": self.repeats,
+                "reference_engine": REFERENCE_ENGINE,
+            }
+        )
+        for protocol_name in self.protocols:
+            spec = get_protocol(protocol_name)
+            for family_name in self.families:
+                family = get_family(family_name)
+                for n in self.sizes:
+                    coord = _cell_coord(self.seed, protocol_name, family_name, n)
+                    # Stable across processes (unlike hash(), which is
+                    # salted): the cell's network seed must not change
+                    # between runs or the digests stop being comparable.
+                    cell_seed = int.from_bytes(
+                        hashlib.sha256(coord.encode()).digest()[:4], "big"
+                    )
+                    rng = random.Random(coord)
+                    try:
+                        graph = family.build(n, rng)
+                        prepared = spec.prepare(n, graph, rng)
+                    except Exception as exc:  # noqa: BLE001 - isolate the cell
+                        result.cells.extend(
+                            MatrixCell(
+                                protocol=protocol_name,
+                                family=family_name,
+                                n=n,
+                                engine=engine,
+                                status="failed",
+                                error=f"{type(exc).__name__}: {exc}",
+                            )
+                            for engine in self.engines
+                        )
+                        continue
+                    cells: List[MatrixCell] = []
+                    # Reference engine first so every other cell can be
+                    # compared against its digest in one pass.
+                    ordered = sorted(
+                        self.engines, key=lambda e: e != REFERENCE_ENGINE
+                    )
+                    for engine in ordered:
+                        cells.append(
+                            self._run_cell(
+                                spec, prepared, family_name, n, engine, cell_seed
+                            )
+                        )
+                    # Prefer the legacy digest as ground truth; a sweep
+                    # that excludes legacy still cross-checks the cells
+                    # it ran against the first one (mismatches() must
+                    # never be vacuously empty just because the
+                    # reference engine was left out).
+                    reference_digest: Optional[str] = next(
+                        (c.digest for c in cells if c.status == "ok"), None
+                    )
+                    for cell in cells:
+                        if cell.status == "ok" and reference_digest is not None:
+                            cell.matches_reference = (
+                                cell.digest == reference_digest
+                            )
+                    # Report in the caller's engine order.
+                    order = {name: i for i, name in enumerate(self.engines)}
+                    cells.sort(key=lambda cell: order[cell.engine])
+                    result.cells.extend(cells)
+        return result
+
+    def _run_cell(
+        self,
+        spec,
+        prepared,
+        family_name: str,
+        n: int,
+        engine: str,
+        cell_seed: int,
+    ) -> MatrixCell:
+        from repro.core.network import Network
+
+        cell = MatrixCell(
+            protocol=spec.name, family=family_name, n=n, engine=engine,
+            status="unsupported",
+        )
+        if engine not in spec.engines:
+            return cell
+        flavour = spec.program_for(engine)
+        program = prepared.programs.get(flavour)
+        if program is None:
+            return cell
+        try:
+            best: Optional[float] = None
+            summary = digest = run = None
+            for _ in range(self.repeats):
+                # A fresh network per sample keeps cells independent:
+                # no compiled-schedule carry-over between engines or
+                # repeats beyond what one run legitimately builds.  The
+                # per-cell seed applies unless the prepare hook pinned
+                # its own.
+                kwargs = dict(prepared.network_kwargs)
+                kwargs.setdefault("seed", cell_seed)
+                network = Network(engine=engine, **kwargs)
+                start = time.perf_counter()
+                run = network.run(program, inputs=prepared.inputs)
+                elapsed = time.perf_counter() - start
+                sample_summary = prepared.summarize(run)
+                sample_digest = _digest(sample_summary, run)
+                if digest is not None and sample_digest != digest:
+                    raise AssertionError(
+                        "nondeterministic cell: digest changed across repeats"
+                    )
+                summary, digest = sample_summary, sample_digest
+                if best is None or elapsed < best:
+                    best = elapsed
+            cell.status = "ok"
+            cell.seconds = best
+            cell.rounds = run.rounds
+            cell.total_bits = run.total_bits
+            cell.max_round_bits = run.max_round_bits
+            cell.digest = digest
+            if prepared.validate is not None:
+                try:
+                    prepared.validate(summary)
+                    cell.validated = True
+                except AssertionError as exc:
+                    cell.validated = False
+                    cell.error = str(exc)
+        except Exception as exc:  # noqa: BLE001 - cell isolation is the point
+            cell.status = "failed"
+            cell.error = f"{type(exc).__name__}: {exc}"
+        return cell

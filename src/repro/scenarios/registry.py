@@ -1,0 +1,380 @@
+"""The protocol registry: name → runnable scenario factory.
+
+Each :class:`ProtocolSpec` packages one protocol family from the paper
+as a *scenario*: given a problem size, a graph instance and an rng, its
+``prepare`` hook returns a :class:`PreparedScenario` — network
+parameters, one node program per program flavour (generator and, where
+the protocol has a kernel twin, kernel), the per-node inputs, a
+``summarize`` function that reduces a
+:class:`~repro.core.network.RunResult` to a canonical (repr-stable)
+summary, and a ``validate`` hook that checks the summary against ground
+truth computed locally.
+
+``engines`` names the execution backends the protocol supports (keys of
+:data:`repro.core.engine.planner.ENGINES`); the matrix runner marks the
+rest unsupported instead of guessing.  The registry ships the five
+families the experiment suites exercise — Lenzen routing, Theorem 2
+circuit simulation, matmul triangle detection, subgraph detection, and
+Borůvka MST — and is open: :func:`register_protocol` accepts new specs,
+and :func:`capability_matrix` reports the protocol × engine support
+table (the README's "Execution engines" matrix is generated from it).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.bits import Bits
+from repro.core.network import Mode, RunResult
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "PreparedScenario",
+    "ProtocolSpec",
+    "PROTOCOLS",
+    "register_protocol",
+    "get_protocol",
+    "protocol_names",
+    "capability_matrix",
+]
+
+
+@dataclass
+class PreparedScenario:
+    """One concrete, runnable scenario instance (engine not yet chosen)."""
+
+    #: Keyword arguments for :class:`~repro.core.network.Network`:
+    #: n, bandwidth, mode.  ``engine`` is chosen by the matrix runner
+    #: and ``seed`` defaults to the runner's per-cell seed (a prepare
+    #: hook may pin its own ``seed`` here to override).
+    network_kwargs: Dict[str, Any]
+    #: Program per flavour: ``"generator"`` (legacy/fast backends) and
+    #: optionally ``"kernel"``.
+    programs: Dict[str, Any]
+    #: Per-node inputs, or None for input-free protocols.
+    inputs: Optional[List[Any]]
+    #: RunResult -> canonical summary (repr-stable: only ints, strings,
+    #: bools, and sorted tuples), used for cross-engine digests.
+    summarize: Callable[[RunResult], Any]
+    #: summary -> None, raising AssertionError on ground-truth mismatch.
+    validate: Optional[Callable[[Any], None]] = None
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """A named protocol family the scenario matrix can sweep."""
+
+    name: str
+    description: str
+    mode: Mode
+    #: Engine names (keys of the planner registry) this protocol runs on.
+    engines: Tuple[str, ...]
+    #: ``prepare(n, graph, rng) -> PreparedScenario``.
+    prepare: Callable[[int, Graph, random.Random], PreparedScenario]
+
+    def program_for(self, engine: str) -> str:
+        """Which program flavour the named engine executes."""
+        return "kernel" if engine == "kernel" else "generator"
+
+
+PROTOCOLS: Dict[str, ProtocolSpec] = {}
+
+
+def register_protocol(spec: ProtocolSpec) -> ProtocolSpec:
+    """Add ``spec`` to the registry (last registration wins)."""
+    PROTOCOLS[spec.name] = spec
+    return spec
+
+
+def get_protocol(name: str) -> ProtocolSpec:
+    try:
+        return PROTOCOLS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown protocol {name!r}; known: {sorted(PROTOCOLS)}"
+        ) from None
+
+
+def protocol_names() -> List[str]:
+    return sorted(PROTOCOLS)
+
+
+def capability_matrix() -> Dict[str, Dict[str, bool]]:
+    """``{protocol: {engine: supported}}`` over all registered engines."""
+    from repro.core.engine.planner import ENGINES
+
+    return {
+        name: {engine: engine in spec.engines for engine in sorted(ENGINES)}
+        for name, spec in sorted(PROTOCOLS.items())
+    }
+
+
+# -- built-in protocol specs ----------------------------------------------
+
+
+def _sorted_edges(graph: Graph) -> Tuple[Tuple[int, int], ...]:
+    return tuple(sorted(graph.edges()))
+
+
+def _prepare_routing(n: int, graph: Graph, rng: random.Random) -> PreparedScenario:
+    from repro.routing.lenzen import route_kernel_program, route_program
+    from repro.routing.schedule import build_schedule
+
+    frame_size = 16
+    # One frame per direction of every graph edge: the demand pattern is
+    # the graph, the payloads are random frame contents.
+    demand = {}
+    for u, v in _sorted_edges(graph):
+        demand[(u, v)] = 1
+        demand[(v, u)] = 1
+    if not demand:
+        # An empty graph routes nothing; keep the schedule non-degenerate.
+        if n < 2:
+            raise ValueError("the routing scenario needs n >= 2")
+        demand[(0, 1)] = 1
+    schedule = build_schedule(demand, n)
+    inputs: List[Dict[Any, Bits]] = [dict() for _ in range(n)]
+    expected = {}
+    for (src, dst), count in sorted(demand.items()):
+        for idx in range(count):
+            payload = Bits.from_uint(rng.getrandbits(frame_size), frame_size)
+            inputs[src][(src, dst, idx)] = payload
+            expected[(src, dst, idx)] = payload.to_uint()
+
+    def summarize(result: RunResult):
+        delivered = []
+        for node, frames in enumerate(result.outputs):
+            for (src, dst, idx), payload in sorted((frames or {}).items()):
+                delivered.append((node, src, dst, idx, payload.to_uint()))
+        return tuple(delivered)
+
+    def validate(summary) -> None:
+        got = {(src, dst, idx): value for node, src, dst, idx, value in summary}
+        assert got == expected, "routing delivered wrong frames"
+        for node, src, dst, idx, _value in summary:
+            assert node == dst, f"frame ({src},{dst},{idx}) landed on {node}"
+
+    return PreparedScenario(
+        network_kwargs=dict(n=n, bandwidth=frame_size, mode=Mode.UNICAST),
+        programs={
+            "generator": route_program(schedule, frame_size),
+            "kernel": route_kernel_program(schedule, frame_size),
+        },
+        inputs=inputs,
+        summarize=summarize,
+        validate=validate,
+    )
+
+
+def _prepare_circuit(n: int, graph: Graph, rng: random.Random) -> PreparedScenario:
+    from repro.circuits.builders import threshold_parity_circuit
+    from repro.simulation.kernel import make_kernel_program
+    from repro.simulation.protocol import build_plan, make_program
+
+    # Input bit i: does the graph contain edge (i, i+1 mod n)?  The
+    # instance family shows through the input vector while the circuit
+    # (and hence the round structure) depends only on n.
+    circuit = threshold_parity_circuit(n)
+    input_values = [graph.has_edge(i, (i + 1) % n) for i in range(n)]
+    expected = tuple(circuit.evaluate_outputs(input_values))
+    plan = build_plan(circuit, n, None, None)
+    partition = [i % n for i in range(circuit.num_inputs)]
+    per_node: List[Dict[int, bool]] = [dict() for _ in range(n)]
+    for position, gid in enumerate(circuit.input_ids):
+        per_node[partition[position]][gid] = bool(input_values[position])
+    output_ids = tuple(circuit.outputs)
+
+    def summarize(result: RunResult):
+        outputs: Dict[int, bool] = {}
+        for node_output in result.outputs:
+            if node_output:
+                outputs.update(node_output)
+        return tuple(bool(outputs[gid]) for gid in output_ids)
+
+    def validate(summary) -> None:
+        assert summary == expected, (
+            f"circuit simulation disagreed with local evaluation: "
+            f"{summary} != {expected}"
+        )
+
+    return PreparedScenario(
+        network_kwargs=dict(n=n, bandwidth=plan.bandwidth, mode=Mode.UNICAST),
+        programs={
+            "generator": make_program(plan),
+            "kernel": make_kernel_program(plan),
+        },
+        inputs=per_node,
+        summarize=summarize,
+        validate=validate,
+    )
+
+
+def _prepare_triangle_mm(n: int, graph: Graph, rng: random.Random) -> PreparedScenario:
+    from repro.circuits.arithmetic import matmul_circuit_strassen
+    from repro.graphs.generators import complete_graph
+    from repro.graphs.subgraph_iso import contains_subgraph
+    from repro.matmul.distributed import (
+        matmul_input_partition,
+        triangle_mm_kernel_program,
+        triangle_mm_program,
+    )
+    from repro.simulation.protocol import build_plan
+
+    trials = 4
+    plan = build_plan(
+        matmul_circuit_strassen(n), n, matmul_input_partition(n), None
+    )
+    rows = [
+        [1 if graph.has_edge(v, u) else 0 for u in range(n)] for v in range(n)
+    ]
+    has_triangle = contains_subgraph(graph, complete_graph(3))
+    adjacency = {v: frozenset(graph.neighbors(v)) for v in range(n)}
+
+    def summarize(result: RunResult):
+        outcome = result.outputs[0]
+        witness = outcome.witness
+        return (
+            bool(outcome.found),
+            None if witness is None else (int(witness[0]), int(witness[1])),
+            int(outcome.trials),
+        )
+
+    def validate(summary) -> None:
+        found, witness, _trials = summary
+        # One-sided error: "found" answers are always correct (witness
+        # edge closes a triangle), misses are possible but a triangle
+        # can never be found in a triangle-free graph.
+        if not has_triangle:
+            assert not found, "triangle reported in a triangle-free graph"
+        if found:
+            assert witness is not None
+            u, v = witness
+            assert v in adjacency[u], "witness is not an edge"
+            assert adjacency[u] & adjacency[v], "witness edge closes no triangle"
+
+    return PreparedScenario(
+        network_kwargs=dict(n=n, bandwidth=plan.bandwidth, mode=Mode.UNICAST),
+        programs={
+            "generator": triangle_mm_program(graph, plan, trials),
+            "kernel": triangle_mm_kernel_program(graph, plan, trials),
+        },
+        inputs=rows,
+        summarize=summarize,
+        validate=validate,
+    )
+
+
+def _prepare_subgraph_detection(
+    n: int, graph: Graph, rng: random.Random
+) -> PreparedScenario:
+    from repro.graphs.generators import cycle_graph
+    from repro.graphs.subgraph_iso import contains_subgraph
+    from repro.subgraphs.detection import full_learning_program
+
+    pattern = cycle_graph(4)
+    bandwidth = 8
+    expected = contains_subgraph(graph, pattern)
+    inputs = [graph.neighbors(v) for v in range(n)]
+
+    def summarize(result: RunResult):
+        outcome = result.outputs[0]
+        witness = outcome.witness
+        return (
+            bool(outcome.contains),
+            None if witness is None else tuple(sorted(witness)),
+        )
+
+    def validate(summary) -> None:
+        contains, _witness = summary
+        assert contains == expected, (
+            f"full-learning detection answered {contains}, truth {expected}"
+        )
+
+    return PreparedScenario(
+        network_kwargs=dict(n=n, bandwidth=bandwidth, mode=Mode.BROADCAST),
+        programs={"generator": full_learning_program(pattern)},
+        inputs=inputs,
+        summarize=summarize,
+        validate=validate,
+    )
+
+
+def _prepare_mst(n: int, graph: Graph, rng: random.Random) -> PreparedScenario:
+    from repro.graphs.graph import canonical_edge
+    from repro.mst.boruvka import (
+        WeightedGraph,
+        boruvka_message_bits,
+        boruvka_program,
+        mst_reference,
+    )
+
+    weights = {
+        canonical_edge(u, v): rng.randint(1, 63) for u, v in graph.edges()
+    }
+    wg = WeightedGraph(graph, weights)
+    expected = tuple(sorted(mst_reference(wg)))
+
+    def summarize(result: RunResult):
+        return tuple(sorted(result.outputs[0]))
+
+    def validate(summary) -> None:
+        assert summary == expected, "Borůvka tree differs from Kruskal reference"
+
+    return PreparedScenario(
+        network_kwargs=dict(
+            n=n, bandwidth=boruvka_message_bits(wg), mode=Mode.BROADCAST
+        ),
+        programs={"generator": boruvka_program(wg)},
+        inputs=None,
+        summarize=summarize,
+        validate=validate,
+    )
+
+
+register_protocol(
+    ProtocolSpec(
+        name="routing",
+        description="Lenzen-style frame routing of the graph's edge demand",
+        mode=Mode.UNICAST,
+        engines=("legacy", "fast", "kernel"),
+        prepare=_prepare_routing,
+    )
+)
+register_protocol(
+    ProtocolSpec(
+        name="circuit_simulation",
+        description="Theorem 2 simulation of a threshold/parity circuit",
+        mode=Mode.UNICAST,
+        engines=("legacy", "fast", "kernel"),
+        prepare=_prepare_circuit,
+    )
+)
+register_protocol(
+    ProtocolSpec(
+        name="triangle_mm",
+        description="Section 2.1 matmul-circuit triangle detection",
+        mode=Mode.UNICAST,
+        engines=("legacy", "fast", "kernel"),
+        prepare=_prepare_triangle_mm,
+    )
+)
+register_protocol(
+    ProtocolSpec(
+        name="subgraph_detection",
+        description="full-learning C4 detection on the blackboard",
+        mode=Mode.BROADCAST,
+        engines=("legacy", "fast"),
+        prepare=_prepare_subgraph_detection,
+    )
+)
+register_protocol(
+    ProtocolSpec(
+        name="mst",
+        description="Borůvka minimum spanning forest on CLIQUE-BCAST",
+        mode=Mode.BROADCAST,
+        engines=("legacy", "fast"),
+        prepare=_prepare_mst,
+    )
+)

@@ -1,0 +1,228 @@
+"""The scenario layer: protocol registry, graph families, and the
+matrix runner's cross-engine reference check."""
+
+import json
+import random
+
+import pytest
+
+from repro.core.network import Mode, Network
+from repro.scenarios import (
+    FAMILIES,
+    PROTOCOLS,
+    GraphFamily,
+    MatrixResult,
+    ProtocolSpec,
+    ScenarioMatrix,
+    capability_matrix,
+    family_names,
+    get_family,
+    get_protocol,
+    protocol_names,
+    register_family,
+    register_protocol,
+)
+
+SMOKE_SIZES = [8]
+SMOKE_FAMILIES = ["gnp", "cycle"]
+
+
+def _with_seed(prepared):
+    prepared.network_kwargs["seed"] = 1234
+    return prepared
+
+
+class TestRegistries:
+    def test_builtin_protocols_present(self):
+        assert {
+            "routing",
+            "circuit_simulation",
+            "triangle_mm",
+            "subgraph_detection",
+            "mst",
+        } <= set(protocol_names())
+
+    def test_builtin_families_present(self):
+        assert {"gnp", "sparse", "complete", "cycle", "bipartite"} <= set(
+            family_names()
+        )
+
+    def test_unknown_names_raise(self):
+        with pytest.raises(KeyError, match="unknown protocol"):
+            get_protocol("sorting-networks")
+        with pytest.raises(KeyError, match="unknown graph family"):
+            get_family("hypercube")
+
+    def test_family_builders_are_seed_deterministic(self):
+        for name in family_names():
+            family = get_family(name)
+            g1 = family.build(10, random.Random("x"))
+            g2 = family.build(10, random.Random("x"))
+            assert g1.n == g2.n == 10
+            assert sorted(g1.edges()) == sorted(g2.edges())
+
+    def test_capability_matrix_shape(self):
+        matrix = capability_matrix()
+        for name, spec in PROTOCOLS.items():
+            assert set(matrix[name]) == {"legacy", "fast", "kernel"}
+            for engine in spec.engines:
+                assert matrix[name][engine]
+        # Every protocol must run on the reference engine.
+        assert all(row["legacy"] for row in matrix.values())
+
+    def test_registration_is_open(self):
+        family = GraphFamily("empty-test", "edgeless", lambda n, rng: get_family("cycle").build(n, rng))
+        register_family(family)
+        try:
+            assert get_family("empty-test") is family
+        finally:
+            del FAMILIES["empty-test"]
+
+    def test_prepared_scenarios_declare_kernel_flavour_consistently(self):
+        rng = random.Random(0)
+        for name in protocol_names():
+            spec = get_protocol(name)
+            graph = get_family("gnp").build(8, random.Random(name))
+            prepared = spec.prepare(8, graph, rng)
+            assert "generator" in prepared.programs
+            if "kernel" in spec.engines:
+                assert "kernel" in prepared.programs
+            assert spec.program_for("kernel") == "kernel"
+            assert spec.program_for("fast") == "generator"
+
+
+class TestScenarioMatrix:
+    def test_full_smoke_sweep_matches_legacy_reference(self):
+        matrix = ScenarioMatrix(
+            protocols=protocol_names(),
+            families=SMOKE_FAMILIES,
+            sizes=SMOKE_SIZES,
+            seed=11,
+        )
+        result = matrix.run()
+        expected_cells = len(PROTOCOLS) * len(SMOKE_FAMILIES) * len(SMOKE_SIZES) * 3
+        assert len(result.cells) == expected_cells
+        assert not result.mismatches()
+        ok = result.ok_cells()
+        # Every supported cell ran, validated, and matched the legacy
+        # reference digest.
+        for cell in ok:
+            assert cell.validated is True
+            assert cell.matches_reference is True
+            assert cell.rounds >= 1
+            assert cell.total_bits >= 0
+            assert cell.seconds >= 0
+        # Unsupported combinations are recorded, not skipped.
+        unsupported = [c for c in result.cells if c.status == "unsupported"]
+        assert all(c.engine == "kernel" for c in unsupported)
+        assert {c.protocol for c in unsupported} == {"subgraph_detection", "mst"}
+
+    def test_json_round_trip(self, tmp_path):
+        matrix = ScenarioMatrix(
+            protocols=["mst"], families=["cycle"], sizes=[6], seed=3,
+            engines=["legacy", "fast"],
+        )
+        result = matrix.run()
+        path = tmp_path / "matrix.json"
+        result.write(str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded["meta"]["protocols"] == ["mst"]
+        assert loaded["meta"]["reference_engine"] == "legacy"
+        assert len(loaded["cells"]) == 2
+        for cell in loaded["cells"]:
+            assert cell["status"] == "ok"
+            assert cell["matches_reference"] is True
+
+    def test_cells_are_reproducible_across_runs(self):
+        def digests():
+            result = ScenarioMatrix(
+                protocols=["routing"], families=["gnp"], sizes=[8], seed=5,
+                engines=["fast"],
+            ).run()
+            return [cell.digest for cell in result.cells]
+
+        assert digests() == digests()
+
+    def test_reference_falls_back_when_legacy_excluded(self):
+        # A sweep without the legacy engine still cross-checks the
+        # cells it ran: mismatches() must not be vacuously empty.
+        result = ScenarioMatrix(
+            protocols=["routing"], families=["cycle"], sizes=[8], seed=9,
+            engines=["fast", "kernel"],
+        ).run()
+        assert all(cell.status == "ok" for cell in result.cells)
+        assert all(cell.matches_reference is True for cell in result.cells)
+        assert not result.mismatches()
+
+    def test_instance_graph_matches_sweep_cells(self):
+        from repro.scenarios.matrix import instance_graph
+
+        g1 = instance_graph(5, "subgraph_detection", "gnp", 12)
+        g2 = instance_graph(5, "subgraph_detection", "gnp", 12)
+        assert sorted(g1.edges()) == sorted(g2.edges())
+
+    def test_prepare_seed_override_wins(self):
+        # A prepare hook may pin its own network seed; the matrix's
+        # per-cell seed must not collide with it.
+        spec = get_protocol("mst")
+        pinned = ProtocolSpec(
+            name="mst-pinned-seed",
+            description="mst with a pinned network seed",
+            mode=spec.mode,
+            engines=("legacy", "fast"),
+            prepare=lambda n, graph, rng: _with_seed(spec.prepare(n, graph, rng)),
+        )
+        register_protocol(pinned)
+        try:
+            result = ScenarioMatrix(
+                protocols=["mst-pinned-seed"], families=["cycle"], sizes=[6],
+                engines=["legacy", "fast"],
+            ).run()
+        finally:
+            del PROTOCOLS["mst-pinned-seed"]
+        assert all(cell.status == "ok" for cell in result.cells)
+        assert not result.mismatches()
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            ScenarioMatrix(
+                protocols=["mst"], families=["cycle"], sizes=[6],
+                engines=["warp"],
+            )
+
+    def test_failed_cell_is_isolated(self):
+        def broken_prepare(n, graph, rng):
+            raise RuntimeError("boom")
+
+        spec = ProtocolSpec(
+            name="broken-test",
+            description="always fails to prepare",
+            mode=Mode.UNICAST,
+            engines=("legacy", "fast"),
+            prepare=broken_prepare,
+        )
+        register_protocol(spec)
+        try:
+            result = ScenarioMatrix(
+                protocols=["broken-test", "mst"],
+                families=["cycle"],
+                sizes=[6],
+                engines=["legacy", "fast"],
+            ).run()
+        finally:
+            del PROTOCOLS["broken-test"]
+        by_protocol = {}
+        for cell in result.cells:
+            by_protocol.setdefault(cell.protocol, []).append(cell)
+        assert all(c.status == "failed" for c in by_protocol["broken-test"])
+        assert all("boom" in c.error for c in by_protocol["broken-test"])
+        # The healthy protocol still ran.
+        assert all(c.status == "ok" for c in by_protocol["mst"])
+
+    def test_repeats_keep_results_identical(self):
+        result = ScenarioMatrix(
+            protocols=["subgraph_detection"], families=["bipartite"],
+            sizes=[8], seed=2, engines=["legacy", "fast"], repeats=3,
+        ).run()
+        assert not result.mismatches()
+        assert all(cell.status == "ok" for cell in result.cells)
