@@ -753,6 +753,61 @@ def bench_scenario_matrix(quick, repeats):
     return report
 
 
+def bench_faults(quick, repeats):
+    """The zero-overhead contract of the fault layer: carrying an
+    *inactive* FaultPlan (all rates zero, no triggers) must cost the
+    fast engine nothing measurable — one attribute check per run — so
+    the chaos machinery can ship enabled-by-default.  An active chaos
+    run is timed alongside for context (no gate: it legitimately takes
+    the full-execution path)."""
+    from repro.core.faults import FaultPlan
+
+    n = 16 if quick else 32
+    rounds = rounds_for("unicast", n, quick)
+    samples = max(5, repeats * 3)
+
+    def run_with(plan):
+        network = Network(
+            n=n,
+            bandwidth=WIDTH,
+            mode=Mode.UNICAST,
+            engine="fast",
+            fault_plan=plan,
+        )
+        seconds, result = time_run(network, unicast_fixed_program(rounds), samples)
+        return seconds, result
+
+    base_seconds, base = run_with(None)
+    idle_seconds, idle = run_with(FaultPlan(seed=1))
+    chaos_seconds, chaos = run_with(
+        FaultPlan(seed=1, drop_rate=0.02, corrupt_rate=0.02)
+    )
+    assert base.total_bits == idle.total_bits
+    assert base.faults is None and idle.faults is None
+    assert chaos.faults, "active plan injected nothing — widen the workload"
+    overhead = idle_seconds / base_seconds
+    record = {
+        "n": n,
+        "rounds": rounds,
+        "samples": samples,
+        "no_plan_seconds": round(base_seconds, 6),
+        "inactive_plan_seconds": round(idle_seconds, 6),
+        "chaos_plan_seconds": round(chaos_seconds, 6),
+        "chaos_fault_events": len(chaos.faults),
+        "inactive_plan_overhead": round(overhead, 4),
+    }
+    print(
+        f"   faults  n={n:<4} inactive-plan overhead "
+        f"{overhead:.3f}x  chaos {chaos_seconds / base_seconds:.2f}x "
+        f"({len(chaos.faults)} events)"
+    )
+    assert overhead <= 1.05, (
+        f"inactive FaultPlan costs {overhead:.3f}x on the fast path "
+        "(budget 1.05x) — the no-plan short-circuit regressed"
+    )
+    return record
+
+
 def bench_meta():
     """Environment stamp so BENCH_engine.json files are comparable
     across PRs and machines."""
@@ -821,6 +876,7 @@ def main(argv=None):
     replay = bench_replay(args.quick, repeats)
     kernels = bench_kernels(args.quick, repeats)
     scenario_matrix = bench_scenario_matrix(args.quick, repeats)
+    faults = bench_faults(args.quick, repeats)
 
     top_n = max(sizes)
     acceptance_key = f"unicast/n={top_n}"
@@ -868,6 +924,7 @@ def main(argv=None):
         ),
         "scenario_cells_total": len(scenario_matrix["cells"]),
         "scenario_mismatches": scenario_matrix["mismatch_count"],
+        "faults_disabled_overhead": faults["inactive_plan_overhead"],
     }
     report = {
         "generated_by": "benchmarks/bench_engine.py",
@@ -881,6 +938,7 @@ def main(argv=None):
         "replay": replay,
         "kernels": kernels,
         "scenario_matrix": scenario_matrix,
+        "faults": faults,
         "acceptance": acceptance,
     }
     args.out.write_text(json.dumps(report, indent=2) + "\n")

@@ -32,6 +32,16 @@ Delivery is shared, not per-engine: the lanes in
 :class:`~repro.core.engine.delivery.DeliveryBackend`, and the fully
 validating scalar paths live in :mod:`repro.core.engine.delivery` so
 every backend charges bits and raises protocol errors identically.
+
+Resilience rides the same seams: a
+:class:`~repro.core.faults.FaultPlan` on the network swaps the fast
+engine's backend for the fault-applying
+:class:`~repro.core.faults.FaultyDeliveryBackend` (the legacy loop and
+kernel executor apply the same per-run
+:class:`~repro.core.faults.FaultSession` to their own buffers), so an
+identical deterministic chaos schedule hits every backend; and the
+planner's ``execute``/``execute_many`` front door adds the graceful
+kernel → fast → legacy degradation chain for engine failures.
 """
 
 from repro.core.engine.base import Engine, is_kernel_program

@@ -39,6 +39,12 @@ from repro.core.errors import (
 __all__ = ["DeliveryBackend", "deliver_outbox", "deliver_round_scalar"]
 
 
+def _at(round_index: Optional[int]) -> str:
+    """Round context appended to delivery-layer errors (empty when the
+    caller did not say which round it is delivering)."""
+    return "" if round_index is None else f" in round {round_index}"
+
+
 class DeliveryBackend:
     """Per-run delivery state: reusable scalar buffers + lazy bulk lanes.
 
@@ -103,9 +109,12 @@ def deliver_outbox(
     outbox: Any,
     inboxes,
     record: Optional[Any],
+    round_index: Optional[int] = None,
 ) -> int:
     """Deliver one sender's outbox with full per-message validation and
-    optional transcript recording; returns the bits charged."""
+    optional transcript recording; returns the bits charged.  Errors
+    carry (round, sender, receiver) context when ``round_index`` is
+    given."""
     bits_sent = 0
     kind = outbox.kind
     if kind == "silent":
@@ -117,11 +126,13 @@ def deliver_outbox(
             else outbox._materialize_broadcast()
         )
         if not isinstance(payload, Bits):
-            raise ProtocolError(f"node {sender} broadcast a non-Bits payload")
+            raise ProtocolError(
+                f"node {sender} broadcast a non-Bits payload{_at(round_index)}"
+            )
         if len(payload) > network.bandwidth:
             raise BandwidthExceededError(
                 f"node {sender} broadcast {len(payload)} bits "
-                f"(bandwidth {network.bandwidth})"
+                f"(bandwidth {network.bandwidth}){_at(round_index)}"
             )
         if len(payload) == 0:
             return 0
@@ -138,19 +149,27 @@ def deliver_outbox(
         allowed = network._allowed[sender]
     for dest, payload in messages.items():
         if not isinstance(payload, Bits):
-            raise ProtocolError(f"node {sender} sent a non-Bits payload")
+            raise ProtocolError(
+                f"node {sender} sent a non-Bits payload to "
+                f"{dest}{_at(round_index)}"
+            )
         if dest == sender:
-            raise TopologyError(f"node {sender} sent a message to itself")
+            raise TopologyError(
+                f"node {sender} sent a message to itself{_at(round_index)}"
+            )
         if not 0 <= dest < network.n:
-            raise TopologyError(f"node {sender} sent to out-of-range {dest}")
+            raise TopologyError(
+                f"node {sender} sent to out-of-range {dest}{_at(round_index)}"
+            )
         if allowed is not None and dest not in allowed:
             raise TopologyError(
-                f"node {sender} sent to non-neighbour {dest} in CONGEST"
+                f"node {sender} sent to non-neighbour {dest} in "
+                f"CONGEST{_at(round_index)}"
             )
         if len(payload) > network.bandwidth:
             raise BandwidthExceededError(
                 f"node {sender} sent {len(payload)} bits to {dest} "
-                f"(bandwidth {network.bandwidth})"
+                f"(bandwidth {network.bandwidth}){_at(round_index)}"
             )
         if len(payload) == 0:
             continue
@@ -165,9 +184,11 @@ def deliver_round_scalar(
     network: Any,
     pending: Dict[int, Any],
     inbox_dicts: List[Dict[int, Bits]],
+    round_index: Optional[int] = None,
 ) -> int:
     """Scalar delivery of one whole round, transcript off: no record
-    branches in the loop, reused buffers, hoisted lookups."""
+    branches in the loop, reused buffers, hoisted lookups.  Errors carry
+    (round, sender, receiver) context when ``round_index`` is given."""
     n = network.n
     bandwidth = network.bandwidth
     neighbors = network._neighbors
@@ -184,12 +205,15 @@ def deliver_round_scalar(
                 else outbox._materialize_broadcast()
             )
             if payload.__class__ is not Bits and not isinstance(payload, Bits):
-                raise ProtocolError(f"node {sender} broadcast a non-Bits payload")
+                raise ProtocolError(
+                    f"node {sender} broadcast a non-Bits "
+                    f"payload{_at(round_index)}"
+                )
             plen = len(payload)
             if plen > bandwidth:
                 raise BandwidthExceededError(
                     f"node {sender} broadcast {plen} bits "
-                    f"(bandwidth {bandwidth})"
+                    f"(bandwidth {bandwidth}){_at(round_index)}"
                 )
             if plen == 0:
                 continue
@@ -208,20 +232,29 @@ def deliver_round_scalar(
         allowed = allowed_sets[sender] if allowed_sets is not None else None
         for dest, payload in outbox.messages.items():
             if payload.__class__ is not Bits and not isinstance(payload, Bits):
-                raise ProtocolError(f"node {sender} sent a non-Bits payload")
+                raise ProtocolError(
+                    f"node {sender} sent a non-Bits payload to "
+                    f"{dest}{_at(round_index)}"
+                )
             if dest == sender:
-                raise TopologyError(f"node {sender} sent a message to itself")
+                raise TopologyError(
+                    f"node {sender} sent a message to itself{_at(round_index)}"
+                )
             if not 0 <= dest < n:
-                raise TopologyError(f"node {sender} sent to out-of-range {dest}")
+                raise TopologyError(
+                    f"node {sender} sent to out-of-range "
+                    f"{dest}{_at(round_index)}"
+                )
             if allowed is not None and dest not in allowed:
                 raise TopologyError(
-                    f"node {sender} sent to non-neighbour {dest} in CONGEST"
+                    f"node {sender} sent to non-neighbour {dest} in "
+                    f"CONGEST{_at(round_index)}"
                 )
             plen = len(payload)
             if plen > bandwidth:
                 raise BandwidthExceededError(
                     f"node {sender} sent {plen} bits to {dest} "
-                    f"(bandwidth {bandwidth})"
+                    f"(bandwidth {bandwidth}){_at(round_index)}"
                 )
             if plen == 0:
                 continue

@@ -34,7 +34,7 @@ from repro.core.compiled import (
 )
 from repro.core.engine.base import Engine
 from repro.core.engine.delivery import DeliveryBackend, deliver_outbox, deliver_round_scalar
-from repro.core.errors import MaxRoundsExceededError, ProtocolError
+from repro.core.errors import ProtocolError
 
 __all__ = ["FastEngine"]
 
@@ -58,6 +58,13 @@ class FastEngine(Engine):
     # -- front door ------------------------------------------------------
 
     def _run(self, network: Any, program, inputs) -> Any:
+        plan = network.fault_plan
+        if plan is not None and plan.is_active:
+            # Chaos mode: replay and recording assume fault-free
+            # structure (a fault changes what nodes receive, hence what
+            # they send next), so every faulty run takes the full
+            # scalar-delivery path under its own fresh session.
+            return self._run_full(network, program, inputs)
         key = None if network.record_transcript else oblivious_key(program)
         if key is None:
             return self._run_full(network, program, inputs)
@@ -71,6 +78,15 @@ class FastEngine(Engine):
         return self._run_recording(network, program, inputs, key)
 
     def _run_many(self, network: Any, program, inputs_list) -> List[Any]:
+        plan = network.fault_plan
+        if plan is not None and plan.is_active:
+            # One fresh session per instance: the schedule is a pure
+            # function of (plan, coordinates), so sequential execution
+            # matches run() exactly — the determinism contract.
+            return [
+                self._run_full(network, program, inputs)
+                for inputs in inputs_list
+            ]
         key = None if network.record_transcript else oblivious_key(program)
         if key is None or not inputs_list:
             return [self._run(network, program, inputs) for inputs in inputs_list]
@@ -132,9 +148,20 @@ class FastEngine(Engine):
         recording = network.record_transcript
         transcript: Optional[List[Any]] = [] if recording else None
 
+        faults = network._fault_session()
+        round_cap = network._round_cap()
+
         # Reusable per-round state: buffers live for the whole run and
         # are cleared, never reconstructed; bulk lanes plug in lazily.
-        backend = DeliveryBackend(n)
+        # Under an active fault plan the backend is the fault-applying
+        # wrapper and every round is forced through it (scalar), so the
+        # plan sees each delivered message individually.
+        if faults is not None:
+            from repro.core.faults import FaultyDeliveryBackend
+
+            backend: DeliveryBackend = FaultyDeliveryBackend(n, faults)
+        else:
+            backend = DeliveryBackend(n)
         inbox_dicts = backend.inbox_dicts
         inbox_views = backend.inbox_views
         fixed_list: List[Tuple[int, Any]] = []
@@ -144,10 +171,8 @@ class FastEngine(Engine):
         check_outbox = network._check_outbox
 
         while generators:
-            if rounds >= network.max_rounds:
-                raise MaxRoundsExceededError(
-                    f"protocol still running after {rounds} rounds"
-                )
+            if rounds >= round_cap:
+                raise network._round_cap_error(rounds)
             rounds += 1
 
             # Classify the round: it can ride the unicast bulk lane iff
@@ -186,13 +211,17 @@ class FastEngine(Engine):
                 else:
                     scalar_senders = True
             use_lane = (
-                bool(fixed_list)
+                faults is None
+                and bool(fixed_list)
                 and not scalar_senders
                 and not bcast_list
                 and fixed_messages >= _LANE_DENSITY * len(fixed_list)
             )
             use_bcast_lane = (
-                bool(bcast_list) and not scalar_senders and not fixed_list
+                faults is None
+                and bool(bcast_list)
+                and not scalar_senders
+                and not fixed_list
             )
 
             record = RoundRecord() if recording else None
@@ -210,10 +239,14 @@ class FastEngine(Engine):
                     round_bits = 0
                     for v, outbox in pending.items():
                         round_bits += deliver_outbox(
-                            network, v, outbox, inbox_dicts, record
+                            network, v, outbox, inbox_dicts, record, rounds
                         )
                 else:
-                    round_bits = deliver_round_scalar(network, pending, inbox_dicts)
+                    round_bits = deliver_round_scalar(
+                        network, pending, inbox_dicts, rounds
+                    )
+                if faults is not None:
+                    backend.apply_round(rounds)
             if recorder is not None:
                 if use_lane:
                     recorder.lane_round(fixed_list, lane_width, round_bits)
@@ -261,6 +294,7 @@ class FastEngine(Engine):
             total_bits=total_bits,
             max_round_bits=max_round_bits,
             transcript=transcript,
+            faults=faults.events if faults is not None else None,
         )
 
     # -- recording -------------------------------------------------------
@@ -361,11 +395,16 @@ class FastEngine(Engine):
         # rewrite either.
         lane_memo: List[Optional[Tuple[Any, List[Any]]]] = [None] * num_instances
 
+        round_cap = network._round_cap()
         r = 0
         while True:
             active = [k for k in range(num_instances) if gens_l[k]]
             if not active:
                 break
+            if r >= round_cap:
+                # The watchdog binds replays too: a schedule recorded
+                # under a looser budget must not sneak past the limit.
+                raise network._round_cap_error(r)
             if r >= num_rounds:
                 # The protocol outlived its compiled schedule.
                 return self._bail(network, key)
@@ -509,7 +548,7 @@ class FastEngine(Engine):
                         backend = scalar_state[k] = DeliveryBackend(n)
                     backend.begin_scalar_round()
                     scalar_bits[k] = deliver_round_scalar(
-                        network, pending_l[k], backend.inbox_dicts
+                        network, pending_l[k], backend.inbox_dicts, r + 1
                     )
 
             check = check_for(r + 1)

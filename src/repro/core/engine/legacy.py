@@ -19,7 +19,6 @@ from typing import Any, Dict, List, Optional
 
 from repro.core.engine.base import Engine
 from repro.core.engine.delivery import deliver_outbox
-from repro.core.errors import MaxRoundsExceededError
 
 __all__ = ["LegacyEngine"]
 
@@ -44,22 +43,29 @@ class LegacyEngine(Engine):
         max_round_bits = 0
         recording = network.record_transcript
         transcript: Optional[List[Any]] = [] if recording else None
+        faults = network._fault_session()
+        round_cap = network._round_cap()
 
         while generators:
-            if rounds >= network.max_rounds:
-                raise MaxRoundsExceededError(
-                    f"protocol still running after {rounds} rounds"
-                )
+            if rounds >= round_cap:
+                raise network._round_cap_error(rounds)
             rounds += 1
             inboxes: Dict[int, Dict[int, Any]] = {v: {} for v in range(network.n)}
             record = RoundRecord() if recording else None
             round_bits = 0
             for v, outbox in pending_outbox.items():
-                round_bits += deliver_outbox(network, v, outbox, inboxes, record)
+                round_bits += deliver_outbox(
+                    network, v, outbox, inboxes, record, rounds
+                )
             total_bits += round_bits
             max_round_bits = max(max_round_bits, round_bits)
             if record is not None:
                 transcript.append(record)
+            if faults is not None:
+                # Receive-side chaos: the wire (transcript, bit counts)
+                # saw the real sends; what each node reads is the plan's
+                # business from here on.
+                faults.apply_scalar(rounds, inboxes)
 
             pending_outbox = {}
             finished = []
@@ -79,4 +85,5 @@ class LegacyEngine(Engine):
             total_bits=total_bits,
             max_round_bits=max_round_bits,
             transcript=transcript,
+            faults=faults.events if faults is not None else None,
         )

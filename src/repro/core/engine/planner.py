@@ -22,6 +22,20 @@ if a requested backend cannot execute the program, the engine's own
 ``check_program`` raises, keeping surprises loud.  Selection is pure —
 it never mutates the network — so ``plan`` can also be used to ask
 "which backend *would* run this?" (the scenario matrix does).
+
+Graceful degradation
+--------------------
+
+:meth:`ExecutionPlanner.execute` / :meth:`~ExecutionPlanner.execute_many`
+wrap selection with the degradation chain: when the planned backend dies
+with a *non-protocol* exception (an engine bug, a resource failure — not
+a :class:`~repro.core.errors.ReproError`, which is the program's own
+semantics and always propagates), the run is re-executed on the next
+capable backend in kernel → fast → legacy order and the fallback is
+recorded on the result.  The legacy engine is the reference semantics,
+so *its* exceptions propagate unchanged; if the chain is exhausted
+without reaching it, :class:`~repro.core.errors.EngineFallbackError`
+chains the original failure.  ``Network(degrade=False)`` opts out.
 """
 
 from __future__ import annotations
@@ -32,6 +46,7 @@ from repro.core.engine.base import Engine, is_kernel_program
 from repro.core.engine.fast import FastEngine
 from repro.core.engine.kernel import KernelEngine
 from repro.core.engine.legacy import LegacyEngine
+from repro.core.errors import EngineFallbackError, ReproError
 
 __all__ = [
     "LEGACY_ENGINE",
@@ -127,6 +142,83 @@ class ExecutionPlanner:
             if engine is not None:
                 return label, engine
         raise AssertionError("planner table has no default rule")
+
+    # -- graceful degradation --------------------------------------------
+
+    def fallback_chain(self, program: Any, failed: Engine) -> List[Engine]:
+        """The engines that may stand in for ``failed`` on ``program``,
+        most capable first (kernel → fast → legacy), restricted to
+        backends that can execute the program's flavour at all."""
+        kernel = is_kernel_program(program)
+        chain: List[Engine] = []
+        for engine in (KERNEL_ENGINE, FAST_ENGINE, LEGACY_ENGINE):
+            if engine is failed or engine.name == failed.name:
+                continue
+            if kernel and not engine.supports_kernel_programs:
+                continue
+            if not kernel and not engine.supports_generator_programs:
+                continue
+            chain.append(engine)
+        return chain
+
+    def execute(self, network: Any, program: Any, inputs: Any = None) -> Any:
+        """Plan and run one execution, degrading on engine failure."""
+        return self._degrade(
+            network, program, lambda engine: engine.run(network, program, inputs)
+        )
+
+    def execute_many(self, network: Any, program: Any, inputs_list: Any) -> Any:
+        """Plan and run a sweep, degrading on engine failure."""
+        return self._degrade(
+            network,
+            program,
+            lambda engine: engine.run_many(network, program, inputs_list),
+        )
+
+    def _degrade(self, network: Any, program: Any, call: Callable[[Engine], Any]) -> Any:
+        planned = self.plan(network, program)
+        if not getattr(network, "degrade", True):
+            return call(planned)
+        try:
+            return call(planned)
+        except ReproError:
+            # Protocol semantics (bandwidth, topology, round budget,
+            # program contract): deterministic behaviour of the program
+            # itself, identical on every backend — never masked.
+            raise
+        except Exception as exc:
+            failures = [(planned.name, f"{type(exc).__name__}: {exc}")]
+            chain = self.fallback_chain(program, planned)
+            if not chain:
+                raise
+            last_exc: BaseException = exc
+            for engine in chain:
+                try:
+                    result = call(engine)
+                except ReproError:
+                    raise
+                except Exception as fallback_exc:  # noqa: BLE001
+                    if engine is LEGACY_ENGINE:
+                        # The reference semantics failed too: its
+                        # exception *is* the truth about the program.
+                        raise
+                    failures.append(
+                        (engine.name, f"{type(fallback_exc).__name__}: {fallback_exc}")
+                    )
+                    last_exc = fallback_exc
+                    continue
+                info = {
+                    "from": planned.name,
+                    "to": engine.name,
+                    "error": failures[0][1],
+                }
+                for item in result if isinstance(result, list) else (result,):
+                    item.fallback = dict(info)
+                return result
+            raise EngineFallbackError(
+                "every engine in the degradation chain failed: "
+                + "; ".join(f"{name}: {error}" for name, error in failures)
+            ) from last_exc
 
 
 #: The planner every network uses unless given its own.

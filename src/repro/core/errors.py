@@ -30,6 +30,31 @@ class MaxRoundsExceededError(ReproError):
     """The protocol did not terminate within the configured round budget."""
 
 
+class RoundLimitExceeded(MaxRoundsExceededError):
+    """The watchdog round limit (``Network(round_limit=...)``) fired: the
+    protocol was still running after the configured number of rounds.
+
+    Subclasses :class:`MaxRoundsExceededError` so existing handlers of
+    the round budget keep working; the distinct type lets chaos harnesses
+    tell "the protocol livelocked under faults" apart from "the safety
+    budget was simply too small".
+    """
+
+
+class FaultInjectionError(ReproError):
+    """A :class:`~repro.core.faults.FaultPlan` is malformed (bad
+    probabilities, bad triggers) or was applied in a context it cannot
+    express (e.g. per-receiver corruption of a broadcast word)."""
+
+
+class EngineFallbackError(ReproError):
+    """Every engine in the graceful-degradation chain failed to execute
+    the program.  Raised by
+    :meth:`~repro.core.engine.planner.ExecutionPlanner.execute` after the
+    kernel → fast → legacy chain is exhausted; the original engine's
+    exception is chained as ``__cause__``."""
+
+
 class DecodeError(ReproError):
     """A bit-level decoder was asked to read past the end of its input or
     encountered a malformed encoding."""

@@ -474,9 +474,19 @@ class BatchLane:
 
     def delivered(self):
         """The active ``(K × n × n values, n × n present)`` buffers —
-        the raw matrices a kernel round consumes."""
+        the raw matrices a kernel round consumes.  These are the lane's
+        *live* buffers, maintained incrementally across rounds: callers
+        must treat them as read-only (mutating them corrupts later
+        rounds' presence bookkeeping) — anything that needs to edit a
+        delivered round works on :meth:`delivered_copy`."""
         buf = self._active
         return buf.values, buf.present
+
+    def delivered_copy(self):
+        """Fresh, safely mutable copies of :meth:`delivered` — what
+        fault injection and other delivered-round editors consume."""
+        buf = self._active
+        return buf.values.copy(), buf.present.copy()
 
 
 class _BcastBatchBuffers:
@@ -533,9 +543,15 @@ class BatchBroadcastLane:
         self._active = buf
 
     def delivered(self):
-        """The active ``(K × n values, n present)`` blackboard buffers."""
+        """The active ``(K × n values, n present)`` blackboard buffers
+        (live, read-only — see :meth:`BatchLane.delivered`)."""
         buf = self._active
         return buf.values, buf.present
+
+    def delivered_copy(self):
+        """Fresh, safely mutable copies of :meth:`delivered`."""
+        buf = self._active
+        return buf.values.copy(), buf.present.copy()
 
 
 class BroadcastInbox:

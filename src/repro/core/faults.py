@@ -1,0 +1,548 @@
+"""Deterministic fault injection for the congested clique.
+
+The paper's model assumes perfectly reliable all-to-all links; a
+production service does not get that luxury.  This module lets any run
+execute under a *chaos schedule* — dropped, corrupted, duplicated,
+delayed messages and crashed (send-omitting) nodes — that is a pure
+function of a seed and the message coordinates, so the **same fault
+schedule** hits a protocol no matter which engine executes it and no
+matter in which order the engine touches the messages.
+
+Design
+------
+
+* :class:`FaultPlan` is the immutable description: per-kind
+  probabilities, explicit ``(round, src, dst) -> kind`` triggers, a
+  round window, and crash parameters.  Every decision is derived by
+  hashing ``seed | kind | round | src | dst`` (sha256), never by
+  consuming a shared RNG stream — two engines that deliver the same
+  logical messages reach identical decisions even if they iterate
+  receivers in different orders or batch instances differently.
+* :class:`FaultSession` is the per-run applicator: it mutates delivered
+  inboxes *after* the wire delivery (bits are charged for what was
+  sent, exactly as a real lossy network charges the sender), records
+  every injected fault as a :class:`FaultEvent`, and carries the
+  delayed-delivery queue between rounds.
+* :class:`FaultyDeliveryBackend` is the drop-in
+  :class:`~repro.core.engine.delivery.DeliveryBackend` that applies the
+  session to its scalar inbox buffers — the plug-in point the fast
+  engine uses; the legacy loop and the kernel executor call the session
+  directly on their own buffers.
+
+Semantics
+---------
+
+Faults are *receive-side*: the transcript and the bit accounting record
+what was put on the wire, then the plan decides what each receiver
+actually sees.  In broadcast mode a fault is keyed ``(round, src,
+dst=None)`` and hits **all** receivers identically (one blackboard word
+has one fate — per-receiver divergence of a broadcast is not expressible
+in the kernel path and is therefore not expressible at all).
+
+A crashed node suffers send omission: from its crash round onward none
+of its messages are delivered.  Its program keeps running locally (crash
+≠ halt in this model), which keeps round structure engine-independent.
+
+Scalar engines (legacy, fast) implement all five kinds exactly.  The
+kernel path exposes inboxes as structure-indexed matrices, so a dropped
+slot reads as ``present=False`` with a zeroed payload, and a
+delayed/duplicated payload only resurfaces when a later round's declared
+structure carries the same link; the recorded *schedule* (the
+:class:`FaultEvent` list) is identical across engines even where the
+observable effect is capability-limited — divergence between engines
+under faults is exactly what ``verify="cross-engine"`` sweeps exist to
+surface.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.bits import Bits
+from repro.core.engine.delivery import DeliveryBackend
+from repro.core.errors import FaultInjectionError
+
+__all__ = ["FaultEvent", "FaultPlan", "FaultSession", "FaultyDeliveryBackend"]
+
+#: Fault kinds a plan may inject, in decision-priority order: an
+#: explicit trigger wins, then the first probabilistic kind whose coin
+#: lands decides (one fault per message per round).
+FAULT_KINDS = ("drop", "corrupt", "duplicate", "delay", "crash")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault: what happened to which message.
+
+    ``dst`` is ``None`` for broadcast words and for crash events.
+    ``detail`` is kind-specific: the flipped bit index for ``corrupt``,
+    the delivery round for ``duplicate``/``delay``, ``None`` otherwise.
+    """
+
+    round: int
+    src: int
+    dst: Optional[int]
+    kind: str
+    detail: Optional[int] = None
+
+    def key(self) -> Tuple[int, int, int, str]:
+        """Canonical per-round sort key (engine-order independent)."""
+        return (self.round, self.src, -1 if self.dst is None else self.dst, self.kind)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "round": self.round,
+            "src": self.src,
+            "dst": self.dst,
+            "kind": self.kind,
+            "detail": self.detail,
+        }
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, deterministic chaos schedule.
+
+    Parameters
+    ----------
+    seed:
+        Hash seed; two plans with equal parameters produce identical
+        schedules everywhere.
+    drop_rate, corrupt_rate, duplicate_rate, delay_rate:
+        Per-message per-round probabilities in ``[0, 1]``.  Decisions
+        are independent coins hashed from the message coordinates.
+    crash_rate:
+        Per-node probability of crashing; a crashed node's crash round
+        is drawn uniformly from ``[1, crash_horizon]`` and from then on
+        all of its sends are omitted.
+    crashes:
+        Explicit ``{node: crash_round}`` overrides (applied regardless
+        of ``crash_rate``).
+    triggers:
+        Explicit ``{(round, src, dst): kind}`` faults; ``dst=None``
+        targets a broadcast word.  Rounds are 1-based, matching
+        :class:`~repro.core.network.RunResult.rounds`.
+    from_round, until_round:
+        Inclusive round window outside which no probabilistic fault
+        fires (triggers are always honoured).
+    delay_rounds:
+        How many rounds later a delayed or duplicated payload is
+        re-delivered (into the slot only if it is empty — a fresh
+        message always wins).
+    """
+
+    seed: int = 0
+    drop_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    delay_rate: float = 0.0
+    crash_rate: float = 0.0
+    crash_horizon: int = 16
+    crashes: Dict[int, int] = field(default_factory=dict)
+    triggers: Dict[Tuple[int, int, Optional[int]], str] = field(default_factory=dict)
+    from_round: int = 1
+    until_round: Optional[int] = None
+    delay_rounds: int = 1
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Raise :class:`FaultInjectionError` on a malformed plan."""
+        for name in ("drop_rate", "corrupt_rate", "duplicate_rate", "delay_rate", "crash_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise FaultInjectionError(f"{name} must be in [0, 1], got {rate!r}")
+        if self.crash_horizon < 1:
+            raise FaultInjectionError("crash_horizon must be at least 1 round")
+        if self.delay_rounds < 1:
+            raise FaultInjectionError("delay_rounds must be at least 1 round")
+        if self.from_round < 1:
+            raise FaultInjectionError("from_round is 1-based, must be >= 1")
+        if self.until_round is not None and self.until_round < self.from_round:
+            raise FaultInjectionError("until_round must be >= from_round")
+        for coord, kind in self.triggers.items():
+            if kind not in FAULT_KINDS or kind == "crash":
+                raise FaultInjectionError(
+                    f"trigger {coord!r} names unknown fault kind {kind!r}; "
+                    f"use one of {FAULT_KINDS[:-1]} (crashes go in `crashes`)"
+                )
+            if len(coord) != 3 or coord[0] < 1:
+                raise FaultInjectionError(
+                    f"trigger key {coord!r} must be (round>=1, src, dst-or-None)"
+                )
+        for node, crash_round in self.crashes.items():
+            if crash_round < 1:
+                raise FaultInjectionError(
+                    f"crash round for node {node} must be >= 1, got {crash_round}"
+                )
+
+    @property
+    def is_active(self) -> bool:
+        """False for the no-op plan — the zero-overhead fast path: an
+        inactive plan never allocates a session, so runs behave exactly
+        as if no plan were installed."""
+        return bool(
+            self.drop_rate
+            or self.corrupt_rate
+            or self.duplicate_rate
+            or self.delay_rate
+            or self.crash_rate
+            or self.crashes
+            or self.triggers
+        )
+
+    # -- deterministic coins --------------------------------------------
+
+    def _coin(self, label: str, round_index: int, src: int, dst: Optional[int]) -> float:
+        """Uniform in ``[0, 1)``, a pure function of the coordinates —
+        no stream, no ordering sensitivity."""
+        key = f"{self.seed}|{label}|{round_index}|{src}|{-1 if dst is None else dst}"
+        digest = hashlib.sha256(key.encode()).digest()
+        return int.from_bytes(digest[:7], "big") / float(1 << 56)
+
+    def fault_for(self, round_index: int, src: int, dst: Optional[int]) -> Optional[str]:
+        """The fault kind (if any) hitting the message ``src -> dst`` in
+        ``round_index``; ``dst=None`` is a broadcast word."""
+        trigger = self.triggers.get((round_index, src, dst))
+        if trigger is not None:
+            return trigger
+        if round_index < self.from_round:
+            return None
+        if self.until_round is not None and round_index > self.until_round:
+            return None
+        if self.drop_rate and self._coin("drop", round_index, src, dst) < self.drop_rate:
+            return "drop"
+        if self.corrupt_rate and self._coin("corrupt", round_index, src, dst) < self.corrupt_rate:
+            return "corrupt"
+        if self.duplicate_rate and self._coin("duplicate", round_index, src, dst) < self.duplicate_rate:
+            return "duplicate"
+        if self.delay_rate and self._coin("delay", round_index, src, dst) < self.delay_rate:
+            return "delay"
+        return None
+
+    def corrupt_bit(self, round_index: int, src: int, dst: Optional[int], width: int) -> int:
+        """Which bit a ``corrupt`` fault flips (deterministic, < width)."""
+        return min(width - 1, int(self._coin("bit", round_index, src, dst) * width))
+
+    def crash_round(self, node: int) -> Optional[int]:
+        """The round from which ``node`` omits all sends, or ``None``."""
+        explicit = self.crashes.get(node)
+        if explicit is not None:
+            return explicit
+        if self.crash_rate and self._coin("crash?", 0, node, None) < self.crash_rate:
+            return 1 + int(self._coin("crash@", 0, node, None) * self.crash_horizon)
+        return None
+
+    # -- session / serialization ----------------------------------------
+
+    def session(self, network: Any) -> Optional["FaultSession"]:
+        """A fresh per-run :class:`FaultSession`, or ``None`` when the
+        plan is inactive (the zero-overhead path)."""
+        if not self.is_active:
+            return None
+        return FaultSession(self, network.n, network.mode.value == "broadcast")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "drop_rate": self.drop_rate,
+            "corrupt_rate": self.corrupt_rate,
+            "duplicate_rate": self.duplicate_rate,
+            "delay_rate": self.delay_rate,
+            "crash_rate": self.crash_rate,
+            "crash_horizon": self.crash_horizon,
+            "crashes": {str(k): v for k, v in sorted(self.crashes.items())},
+            "triggers": {
+                f"{r}:{s}:{'*' if d is None else d}": kind
+                for (r, s, d), kind in sorted(
+                    self.triggers.items(),
+                    key=lambda item: (item[0][0], item[0][1], -1 if item[0][2] is None else item[0][2]),
+                )
+            },
+            "from_round": self.from_round,
+            "until_round": self.until_round,
+            "delay_rounds": self.delay_rounds,
+        }
+
+
+class FaultSession:
+    """Per-run fault state: the event log, the delayed-delivery queue
+    and the precomputed crash schedule.  One session serves exactly one
+    run (``run_many`` instances executed under faults each get their
+    own), so the event list is that run's complete, canonical fault
+    record: per round, events are sorted by ``(src, dst, kind)`` no
+    matter in which order the engine touched the messages.
+    """
+
+    __slots__ = ("plan", "n", "broadcast_mode", "events", "_delayed", "_crash_rounds", "_round_events")
+
+    def __init__(self, plan: FaultPlan, n: int, broadcast_mode: bool) -> None:
+        self.plan = plan
+        self.n = n
+        self.broadcast_mode = broadcast_mode
+        self.events: List[FaultEvent] = []
+        self._delayed: Dict[int, List[Tuple[int, Optional[int], Any]]] = {}
+        self._crash_rounds: Dict[int, int] = {}
+        for v in range(n):
+            crash = plan.crash_round(v)
+            if crash is not None:
+                self._crash_rounds[v] = crash
+        self._round_events: List[FaultEvent] = []
+
+    # -- shared bookkeeping ---------------------------------------------
+
+    def _record(self, round_index: int, src: int, dst: Optional[int], kind: str, detail: Optional[int]) -> None:
+        self._round_events.append(FaultEvent(round_index, src, dst, kind, detail))
+
+    def _record_crashes(self, round_index: int) -> None:
+        for v, crash in self._crash_rounds.items():
+            if crash == round_index:
+                self._record(round_index, v, None, "crash", None)
+
+    def _seal_round(self) -> None:
+        if self._round_events:
+            self._round_events.sort(key=FaultEvent.key)
+            self.events.extend(self._round_events)
+            self._round_events = []
+
+    def _stash(self, round_index: int, src: int, dst: Optional[int], payload: Any) -> None:
+        due = round_index + self.plan.delay_rounds
+        self._delayed.setdefault(due, []).append((src, dst, payload))
+
+    # -- scalar path (legacy engine, fast engine) ------------------------
+
+    def apply_scalar(self, round_index: int, inbox_dicts: Any) -> None:
+        """Mutate the per-receiver inbox dicts of one delivered round.
+
+        ``inbox_dicts`` is indexable by receiver id (the legacy loop's
+        dict-of-dicts and the delivery backend's list both qualify).
+        """
+        boxes = [inbox_dicts[v] for v in range(self.n)]
+        self._record_crashes(round_index)
+        if self.broadcast_mode:
+            self._apply_scalar_broadcast(round_index, boxes)
+        else:
+            self._apply_scalar_unicast(round_index, boxes)
+        due = self._delayed.pop(round_index, None)
+        if due:
+            # Late payloads fill only empty slots: a fresh message from
+            # the same sender always wins over a stale one.
+            for src, dst, payload in due:
+                if dst is None:
+                    for v, box in enumerate(boxes):
+                        if v != src:
+                            box.setdefault(src, payload)
+                else:
+                    boxes[dst].setdefault(src, payload)
+        self._seal_round()
+
+    def _apply_scalar_broadcast(self, round_index: int, boxes: List[Dict[int, Bits]]) -> None:
+        senders: set = set()
+        for box in boxes:
+            senders.update(box)
+        for src in sorted(senders):
+            crash = self._crash_rounds.get(src)
+            if crash is not None and round_index >= crash:
+                for box in boxes:
+                    box.pop(src, None)
+                continue
+            kind = self.plan.fault_for(round_index, src, None)
+            if kind is None:
+                continue
+            payload = next(box[src] for box in boxes if src in box)
+            if kind == "drop":
+                for box in boxes:
+                    box.pop(src, None)
+                self._record(round_index, src, None, "drop", None)
+            elif kind == "corrupt":
+                width = len(payload)
+                bit = self.plan.corrupt_bit(round_index, src, None, width)
+                flipped = Bits(payload.to_uint() ^ (1 << bit), width)
+                for box in boxes:
+                    if src in box:
+                        box[src] = flipped
+                self._record(round_index, src, None, "corrupt", bit)
+            elif kind == "duplicate":
+                self._stash(round_index, src, None, payload)
+                self._record(round_index, src, None, "duplicate",
+                             round_index + self.plan.delay_rounds)
+            elif kind == "delay":
+                for box in boxes:
+                    box.pop(src, None)
+                self._stash(round_index, src, None, payload)
+                self._record(round_index, src, None, "delay",
+                             round_index + self.plan.delay_rounds)
+
+    def _apply_scalar_unicast(self, round_index: int, boxes: List[Dict[int, Bits]]) -> None:
+        for dst, box in enumerate(boxes):
+            if not box:
+                continue
+            for src in sorted(box):
+                crash = self._crash_rounds.get(src)
+                if crash is not None and round_index >= crash:
+                    del box[src]
+                    continue
+                kind = self.plan.fault_for(round_index, src, dst)
+                if kind is None:
+                    continue
+                payload = box[src]
+                if kind == "drop":
+                    del box[src]
+                    self._record(round_index, src, dst, "drop", None)
+                elif kind == "corrupt":
+                    width = len(payload)
+                    bit = self.plan.corrupt_bit(round_index, src, dst, width)
+                    box[src] = Bits(payload.to_uint() ^ (1 << bit), width)
+                    self._record(round_index, src, dst, "corrupt", bit)
+                elif kind == "duplicate":
+                    self._stash(round_index, src, dst, payload)
+                    self._record(round_index, src, dst, "duplicate",
+                                 round_index + self.plan.delay_rounds)
+                elif kind == "delay":
+                    del box[src]
+                    self._stash(round_index, src, dst, payload)
+                    self._record(round_index, src, dst, "delay",
+                                 round_index + self.plan.delay_rounds)
+
+    # -- kernel path ------------------------------------------------------
+
+    def apply_kernel_unicast(self, round_index, values, present, rows, cols, width, widths):
+        """Fault-adjusted copies of one kernel unicast round's delivered
+        ``(K × n × n values, n × n present)`` matrices (the originals are
+        the lane's live, incrementally-maintained buffers and must never
+        be mutated).  Returns the inputs unchanged when no fault hits."""
+        self._record_crashes(round_index)
+        count = len(rows)
+        decisions = []
+        for j in range(count):
+            src, dst = int(rows[j]), int(cols[j])
+            crash = self._crash_rounds.get(src)
+            if crash is not None and round_index >= crash:
+                decisions.append((j, src, dst, "crash-omit"))
+                continue
+            kind = self.plan.fault_for(round_index, src, dst)
+            if kind is not None:
+                decisions.append((j, src, dst, kind))
+        due = self._delayed.pop(round_index, None)
+        if not decisions and not due:
+            self._seal_round()
+            return values, present
+        vals = values.copy()
+        pres = present.copy()
+        for j, src, dst, kind in decisions:
+            slot_width = width if widths is None else int(widths[j])
+            if kind == "crash-omit":
+                pres[src, dst] = False
+                vals[:, src, dst] = 0
+            elif kind == "drop":
+                pres[src, dst] = False
+                vals[:, src, dst] = 0
+                self._record(round_index, src, dst, "drop", None)
+            elif kind == "corrupt":
+                bit = self.plan.corrupt_bit(round_index, src, dst, slot_width)
+                _xor_bit(vals, (slice(None), src, dst), bit)
+                self._record(round_index, src, dst, "corrupt", bit)
+            else:  # duplicate / delay
+                self._stash(round_index, src, dst, values[:, src, dst].copy())
+                if kind == "delay":
+                    pres[src, dst] = False
+                    vals[:, src, dst] = 0
+                self._record(round_index, src, dst, kind,
+                             round_index + self.plan.delay_rounds)
+        if due:
+            # A late payload resurfaces only where this round's declared
+            # structure carries the link and the fresh slot is empty —
+            # the structural limit of matrix-shaped inboxes.
+            slots = {(int(rows[j]), int(cols[j])) for j in range(count)}
+            for src, dst, column in due:
+                if dst is not None and (src, dst) in slots and not pres[src, dst]:
+                    vals[:, src, dst] = column
+                    pres[src, dst] = True
+        self._seal_round()
+        return vals, pres
+
+    def apply_kernel_broadcast(self, round_index, values, present, writers, width):
+        """Broadcast twin of :meth:`apply_kernel_unicast` over the
+        ``(K × n values, n present)`` blackboard buffers."""
+        self._record_crashes(round_index)
+        decisions = []
+        for w in writers:
+            src = int(w)
+            crash = self._crash_rounds.get(src)
+            if crash is not None and round_index >= crash:
+                decisions.append((src, "crash-omit"))
+                continue
+            kind = self.plan.fault_for(round_index, src, None)
+            if kind is not None:
+                decisions.append((src, kind))
+        due = self._delayed.pop(round_index, None)
+        if not decisions and not due:
+            self._seal_round()
+            return values, present
+        vals = values.copy()
+        pres = present.copy()
+        for src, kind in decisions:
+            if kind == "crash-omit":
+                pres[src] = False
+                vals[:, src] = 0
+            elif kind == "drop":
+                pres[src] = False
+                vals[:, src] = 0
+                self._record(round_index, src, None, "drop", None)
+            elif kind == "corrupt":
+                bit = self.plan.corrupt_bit(round_index, src, None, width)
+                _xor_bit(vals, (slice(None), src), bit)
+                self._record(round_index, src, None, "corrupt", bit)
+            else:  # duplicate / delay
+                self._stash(round_index, src, None, values[:, src].copy())
+                if kind == "delay":
+                    pres[src] = False
+                    vals[:, src] = 0
+                self._record(round_index, src, None, kind,
+                             round_index + self.plan.delay_rounds)
+        if due:
+            writer_set = {int(w) for w in writers}
+            for src, _dst, column in due:
+                if src in writer_set and not pres[src]:
+                    vals[:, src] = column
+                    pres[src] = True
+        self._seal_round()
+        return vals, pres
+
+
+def _xor_bit(vals, index, bit: int) -> None:
+    """Flip one bit in a stacked payload column, dtype-aware (uint64
+    matrices XOR natively; object matrices hold Python ints)."""
+    if vals.dtype == object:
+        column = vals[index]
+        vals[index] = [int(v) ^ (1 << bit) for v in column]
+    else:
+        import numpy as np
+
+        vals[index] ^= np.uint64(1 << bit)
+
+
+class FaultyDeliveryBackend(DeliveryBackend):
+    """A :class:`~repro.core.engine.delivery.DeliveryBackend` that owns a
+    :class:`FaultSession` and applies it to its scalar inbox buffers.
+
+    Engines that deliver through a backend (the fast engine) swap this
+    in when the network carries an active plan and call
+    :meth:`apply_round` after each round's delivery; engines with their
+    own buffers (the legacy loop, the kernel executor) call the session
+    directly.  Either way the schedule is identical — it depends only on
+    the plan and the message coordinates.
+    """
+
+    __slots__ = ("session",)
+
+    def __init__(self, n: int, session: FaultSession) -> None:
+        super().__init__(n)
+        self.session = session
+
+    def apply_round(self, round_index: int) -> None:
+        """Apply the session to the scalar buffers of ``round_index``."""
+        self.session.apply_scalar(round_index, self.inbox_dicts)

@@ -66,6 +66,7 @@ from repro.core.errors import (
     BandwidthExceededError,
     MaxRoundsExceededError,
     ProtocolError,
+    RoundLimitExceeded,
     TopologyError,
 )
 from repro.core.fastlane import NUMERIC_WIDTH_LIMIT, BatchBroadcastLane, BatchLane
@@ -616,13 +617,20 @@ def execute(
     """Run ``inputs_list`` (K instances) through the compiled kernel
     rounds in lockstep; returns one :class:`RunResult` per instance."""
     execs: List[_ExecRound] = compiled.kernel
-    if len(execs) > network.max_rounds:
+    if len(execs) > network._round_cap():
+        limit = network.round_limit
+        if limit is not None and len(execs) > limit:
+            raise RoundLimitExceeded(
+                f"kernel program declares {len(execs)} rounds "
+                f"(round_limit {limit})"
+            )
         raise MaxRoundsExceededError(
             f"kernel program declares {len(execs)} rounds "
             f"(max_rounds {network.max_rounds})"
         )
     n = network.n
     instances = len(inputs_list)
+    faults = network._fault_session()
     _seed, private_states, shared_state = network._rng_state_bundle()
     kctx = KernelContext(
         n, network.bandwidth, network.mode, inputs_list,
@@ -683,6 +691,14 @@ def execute(
                     else (None, None)
                 )
             values, present = lane.delivered()
+            if faults is not None:
+                # Chaos runs read fault-adjusted *copies*; the lane's
+                # live buffers (incrementally maintained, shared across
+                # rounds) must never see a mutation.
+                values, present = faults.apply_kernel_unicast(
+                    r + 1, values, present, struct.rows, struct.cols,
+                    rec.width, spec.widths,
+                )
             inbox: Any = KernelUnicastInbox(
                 values, present, rec.width, spec.widths,
                 struct.rows, struct.cols,
@@ -737,6 +753,10 @@ def execute(
                     else (None, None)
                 )
             values, present = blane.delivered()
+            if faults is not None:
+                values, present = faults.apply_kernel_broadcast(
+                    r + 1, values, present, writers, rec.width
+                )
             inbox = KernelBroadcastInbox(values, present, rec.width, writers)
             if recording:
                 for k in range(instances):
@@ -781,6 +801,9 @@ def execute(
                 total_bits=total_bits,
                 max_round_bits=max_round_bits,
                 transcript=transcripts[k] if recording else None,
+                # One stacked delivery serves every instance, so the
+                # injected schedule is shared verbatim across them.
+                faults=faults.events if faults is not None else None,
             )
         )
     return results

@@ -74,7 +74,9 @@ from repro.core.mailbox import (
 )
 from repro.core.errors import (
     BandwidthExceededError,
+    MaxRoundsExceededError,
     ProtocolError,
+    RoundLimitExceeded,
     TopologyError,
 )
 
@@ -145,13 +147,23 @@ class RoundRecord:
 
 @dataclass
 class RunResult:
-    """Outcome of one protocol execution."""
+    """Outcome of one protocol execution.
+
+    ``faults`` is the canonical list of
+    :class:`~repro.core.faults.FaultEvent`\\ s injected by an active
+    :class:`~repro.core.faults.FaultPlan` (``None`` when no plan was
+    active).  ``fallback`` records a graceful engine degradation —
+    ``{"from": ..., "to": ..., "error": ...}`` — when the planned
+    backend failed and the chain re-executed the run elsewhere.
+    """
 
     outputs: List[Any]
     rounds: int
     total_bits: int
     max_round_bits: int
     transcript: Optional[List[RoundRecord]] = None
+    faults: Optional[List[Any]] = None
+    fallback: Optional[Dict[str, str]] = None
 
     def blackboard_bits(self) -> int:
         """Total bits written, counting each broadcast once (the natural
@@ -185,6 +197,26 @@ class Network:
     record_transcript:
         When true, the result carries a full per-round transcript (used
         by the lower-bound reductions to charge communication).
+    fault_plan:
+        An optional :class:`~repro.core.faults.FaultPlan`.  When the
+        plan is *active*, every run executes under its deterministic
+        chaos schedule (applied receive-side, identically on every
+        engine) and the result's ``faults`` field lists the injected
+        events; an inactive (all-zero) plan — and ``None`` — cost
+        nothing on the hot path.
+    round_limit:
+        Watchdog bound on the round loop, independent of ``max_rounds``:
+        exceeding it raises :class:`~repro.core.errors.RoundLimitExceeded`
+        (a ``MaxRoundsExceededError`` subclass).  Use it to bound
+        retransmission loops under fault injection without touching the
+        safety budget.
+    degrade:
+        When true (the default), an engine that fails with a
+        *non-protocol* error (a bug, a resource failure) triggers the
+        planner's graceful-degradation chain — kernel → fast → legacy —
+        and the fallback is recorded on the result.  Protocol-semantic
+        errors (any :class:`~repro.core.errors.ReproError`) always
+        propagate: they are the program's behaviour, not the engine's.
     engine:
         Which execution backend runs node programs.  ``"fast"`` (the
         default) and ``"legacy"`` are the historical string shim, kept
@@ -206,6 +238,9 @@ class Network:
         max_rounds: int = 1_000_000,
         record_transcript: bool = False,
         engine: Any = "fast",
+        fault_plan: Optional[Any] = None,
+        round_limit: Optional[int] = None,
+        degrade: bool = True,
     ) -> None:
         from repro.core.engine.planner import DEFAULT_PLANNER, resolve_engine
 
@@ -213,12 +248,19 @@ class Network:
             raise ValueError("need at least one node")
         if bandwidth < 1:
             raise ValueError("bandwidth must be at least 1 bit")
+        if round_limit is not None and round_limit < 1:
+            raise ValueError("round_limit must be at least 1 round")
+        if fault_plan is not None:
+            fault_plan.validate()
         self.n = n
         self.bandwidth = bandwidth
         self.mode = mode
         self.seed = seed
         self.max_rounds = max_rounds
         self.record_transcript = record_transcript
+        self.fault_plan = fault_plan
+        self.round_limit = round_limit
+        self.degrade = degrade
         #: The engine argument as given (string shim or Engine instance).
         self.engine = engine
         #: Resolved backend pin (None = planner's choice), and the
@@ -292,7 +334,7 @@ class Network:
         semantics, pinned to the generator reference by the equivalence
         suites).
         """
-        return self._planner.plan(self, program).run(self, program, inputs)
+        return self._planner.execute(self, program, inputs)
 
     def run_many(
         self,
@@ -311,7 +353,7 @@ class Network:
         natively.  Undeclared programs, the legacy backend, and
         transcript-recording networks take the sequential path.
         """
-        return self._planner.plan(self, program).run_many(self, program, inputs_list)
+        return self._planner.execute_many(self, program, inputs_list)
 
     def _check_inputs(self, inputs: Optional[Sequence[Any]]) -> None:
         if inputs is not None and len(inputs) != self.n:
@@ -331,6 +373,37 @@ class Network:
             del self._compiled[key]
             return None
         return entry
+
+    # -- resilience hooks the engines consume ----------------------------
+
+    def _fault_session(self) -> Optional[Any]:
+        """A fresh per-run fault session, or ``None`` when no active
+        plan is installed (one attribute check — the zero-overhead
+        contract of disabled fault injection)."""
+        plan = self.fault_plan
+        if plan is None:
+            return None
+        return plan.session(self)
+
+    def _round_cap(self) -> int:
+        """The binding round bound: the watchdog ``round_limit`` when it
+        is tighter than ``max_rounds``."""
+        limit = self.round_limit
+        if limit is not None and limit < self.max_rounds:
+            return limit
+        return self.max_rounds
+
+    def _round_cap_error(self, rounds: int) -> MaxRoundsExceededError:
+        """The exception matching whichever bound ``rounds`` hit."""
+        limit = self.round_limit
+        if limit is not None and rounds >= limit:
+            return RoundLimitExceeded(
+                f"watchdog: protocol still running after {rounds} rounds "
+                f"(round_limit {limit})"
+            )
+        return MaxRoundsExceededError(
+            f"protocol still running after {rounds} rounds"
+        )
 
     # -- per-run state the engines consume -------------------------------
 

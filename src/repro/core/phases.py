@@ -36,9 +36,10 @@ compiled schedule instead of re-classifying every frame round.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional
+from typing import Dict, Mapping, Optional, Tuple
 
 from repro.core.bits import BitReader, Bits, BitWriter
+from repro.core.errors import DecodeError
 from repro.core.network import Context, Outbox, inbox_uints
 
 __all__ = [
@@ -46,6 +47,8 @@ __all__ = [
     "phase_length",
     "transmit_unicast",
     "transmit_broadcast",
+    "transmit_unicast_acked",
+    "transmit_broadcast_redundant",
     "idle",
     "kernel_transmit_unicast",
     "kernel_transmit_broadcast",
@@ -164,6 +167,124 @@ def idle(rounds: int):
     """Stay silent (but synchronized) for ``rounds`` rounds."""
     for _ in range(rounds):
         yield Outbox.silent()
+
+
+# -- resilient form ------------------------------------------------------
+#
+# The wrappers below buy fault tolerance with *bounded, public* extra
+# rounds: every node agrees on the schedule (number of attempts /
+# copies) without communicating, so the protocols stay synchronous and
+# the engines' round accounting stays honest — retransmissions and
+# redundant copies are charged like any other send.  They are **not**
+# oblivious: which links carry traffic in later attempts depends on
+# which earlier deliveries were lost, so do not wrap programs built on
+# them with :func:`~repro.core.compiled.mark_oblivious`.
+
+
+def transmit_unicast_acked(
+    ctx: Context,
+    payloads: Mapping[int, Bits],
+    max_bits: int,
+    attempts: int = 2,
+):
+    """:func:`transmit_unicast` hardened against message *loss*: up to
+    ``attempts`` rounds of (transmit phase + one 1-bit ack round), each
+    attempt retransmitting only the payloads whose receivers have not
+    acknowledged them yet.
+
+    Receivers acknowledge every sender they have heard from so far (not
+    just this attempt), so a lost *ack* merely costs one redundant
+    retransmission.  Returns the reassembled ``{sender: payload}`` dict
+    like the plain phase; a payload dropped in every attempt is simply
+    absent.  Corruption is not detected here — a flipped bit is
+    reassembled and acknowledged like any payload; pair with
+    redundant sending or validators when corruption is in the fault
+    model.  Costs at most ``attempts * (phase_length(max_bits, b) + 1)``
+    rounds, identical on every node.
+    """
+    if attempts < 1:
+        raise ValueError("attempts must be at least 1")
+    received: Dict[int, Bits] = {}
+    remaining = dict(payloads)
+    for _ in range(attempts):
+        got = yield from transmit_unicast(ctx, remaining, max_bits)
+        for sender, payload in got.items():
+            # First delivery wins: a retransmission of something we
+            # already reassembled (its ack was lost) changes nothing.
+            received.setdefault(sender, payload)
+        acks = {sender: 1 for sender in received}
+        inbox = yield (
+            Outbox.fixed_width_map(acks, 1) if acks else Outbox.silent()
+        )
+        acked = {sender for sender, value in inbox_uints(inbox) if value == 1}
+        remaining = {
+            dest: payload
+            for dest, payload in remaining.items()
+            if dest not in acked
+        }
+    return received
+
+
+def transmit_broadcast_redundant(
+    ctx: Context,
+    payload: Optional[Bits],
+    max_bits: int,
+    copies: int = 3,
+):
+    """:func:`transmit_broadcast` hardened against *corruption* (and,
+    with enough copies, loss): the payload is broadcast ``copies`` times
+    and each receiver keeps, per sender, the majority value among the
+    copies that arrived.
+
+    Ties (and the no-majority case) resolve deterministically to the
+    smallest ``(length, value)`` candidate, so all receivers of the same
+    copies agree.  With at most ``floor((copies-1)/2)`` of a sender's
+    copies corrupted, the true payload wins the vote outright.  A copy
+    whose corrupted length header no longer parses is discarded rather
+    than allowed to abort the phase (the strict single-shot
+    :func:`transmit_broadcast` raises there — redundancy exists exactly
+    so one bad copy is survivable).  Costs
+    ``copies * phase_length(max_bits, b)`` rounds.
+    """
+    if copies < 1:
+        raise ValueError("copies must be at least 1")
+    rounds = phase_length(max_bits, ctx.bandwidth)
+    bandwidth = ctx.bandwidth
+    frames = (
+        None
+        if payload is None
+        else _frame_payload(payload, max_bits, rounds, bandwidth)
+    )
+    votes: Dict[int, Dict[Tuple[int, int], int]] = {}
+    for _ in range(copies):
+        received: Dict[int, list] = {}
+        for r in range(rounds):
+            outbox = (
+                Outbox.silent()
+                if frames is None
+                else Outbox.broadcast_uint(frames[r], bandwidth)
+            )
+            inbox = yield outbox
+            for sender, value in inbox_uints(inbox):
+                received.setdefault(sender, []).append(value)
+        for sender, chunks in received.items():
+            if len(chunks) != rounds:
+                continue
+            try:
+                copy = _parse_concat(
+                    Bits.from_uint_concat(chunks, bandwidth), max_bits
+                )
+            except DecodeError:
+                continue
+            key = (len(copy), copy.to_uint())
+            counts = votes.setdefault(sender, {})
+            counts[key] = counts.get(key, 0) + 1
+    result: Dict[int, Bits] = {}
+    for sender, counts in votes.items():
+        best = max(counts.values())
+        length, value = min(key for key, c in counts.items() if c == best)
+        result[sender] = Bits(value, length)
+    return result
 
 
 # -- kernel form --------------------------------------------------------

@@ -11,9 +11,27 @@ output digest, validation status, and whether the cell's digest matches
 the legacy reference engine's — the executable statement that all
 backends compute the same function.
 
+Self-checking execution
+-----------------------
+
+Two orthogonal chaos facilities ride the sweep:
+
+* ``verify="cross-engine"`` re-runs every ok cell on a second engine
+  and compares digests — a structured divergence report
+  (:meth:`MatrixResult.fault_reports`) instead of a silent wrong
+  answer.
+* ``fault_plan=`` executes every cell under a deterministic
+  :class:`~repro.core.faults.FaultPlan` **and** once more without it
+  (the clean baseline): a cell whose injected faults moved the digest,
+  failed validation, or diverged cross-engine counts as *detected*;
+  :meth:`MatrixResult.silent_passes` lists injected-but-undetected
+  cells, which a chaos CI job asserts empty.
+
 Results serialize to JSON (:meth:`MatrixResult.to_dict` /
 :meth:`MatrixResult.write`), which is what the benchmark harness and
-the CI smoke sweep consume.
+the CI smoke sweep consume.  Failed cells persist the exception type
+and a traceback digest so chaos runs stay debuggable from the JSON
+alone.
 """
 
 from __future__ import annotations
@@ -21,6 +39,7 @@ from __future__ import annotations
 import hashlib
 import json
 import time
+import traceback
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -59,6 +78,18 @@ def _digest(summary: Any, result: Any) -> str:
     return hashlib.sha256(blob).hexdigest()[:16]
 
 
+def _failure_fields(cell: "MatrixCell", exc: BaseException) -> None:
+    """Persist a debuggable failure record on ``cell``: message, type
+    and a short digest of the traceback (stable enough to dedupe crash
+    signatures across a sweep without shipping whole stacks in JSON)."""
+    cell.status = "failed"
+    cell.error = f"{type(exc).__name__}: {exc}"
+    cell.error_type = type(exc).__name__
+    cell.traceback_digest = hashlib.sha256(
+        traceback.format_exc().encode()
+    ).hexdigest()[:12]
+
+
 @dataclass
 class MatrixCell:
     """One (protocol, family, n, engine) execution."""
@@ -76,6 +107,20 @@ class MatrixCell:
     validated: Optional[bool] = None
     matches_reference: Optional[bool] = None
     error: Optional[str] = None
+    #: Failure forensics (satellite of the chaos work: a failed cell is
+    #: debuggable from the JSON record alone).
+    error_type: Optional[str] = None
+    traceback_digest: Optional[str] = None
+    #: Chaos fields — populated only when the sweep carries a FaultPlan.
+    fault_count: Optional[int] = None
+    clean_digest: Optional[str] = None
+    detected: Optional[bool] = None
+    #: Cross-engine verification fields (``verify="cross-engine"``).
+    verify_engine: Optional[str] = None
+    verify_digest: Optional[str] = None
+    verify_match: Optional[bool] = None
+    #: Graceful degradation, if the planned backend failed mid-sweep.
+    engine_fallback: Optional[str] = None
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -92,6 +137,15 @@ class MatrixCell:
             "validated": self.validated,
             "matches_reference": self.matches_reference,
             "error": self.error,
+            "error_type": self.error_type,
+            "traceback_digest": self.traceback_digest,
+            "fault_count": self.fault_count,
+            "clean_digest": self.clean_digest,
+            "detected": self.detected,
+            "verify_engine": self.verify_engine,
+            "verify_digest": self.verify_digest,
+            "verify_match": self.verify_match,
+            "engine_fallback": self.engine_fallback,
         }
 
 
@@ -107,14 +161,69 @@ class MatrixResult:
 
     def mismatches(self) -> List[MatrixCell]:
         """Cells whose digest differs from the legacy reference (or that
-        failed validation/execution outright)."""
+        failed validation/execution/cross-engine verification)."""
         return [
             cell
             for cell in self.cells
             if cell.status == "failed"
             or cell.matches_reference is False
             or cell.validated is False
+            or cell.verify_match is False
         ]
+
+    def injected_cells(self) -> List[MatrixCell]:
+        """Cells that actually received at least one injected fault."""
+        return [cell for cell in self.cells if (cell.fault_count or 0) > 0]
+
+    def silent_passes(self) -> List[MatrixCell]:
+        """The chaos sweep's cardinal sin: cells whose injected faults
+        left no observable trace (digest equal to the clean baseline,
+        validation green, cross-engine agreement).  A chaos CI job
+        asserts this list is empty."""
+        return [
+            cell
+            for cell in self.injected_cells()
+            if cell.detected is False
+        ]
+
+    def fault_reports(self) -> List[Dict[str, Any]]:
+        """Structured per-cell divergence reports: every cell that
+        failed, failed validation, mismatched the reference, diverged
+        cross-engine or diverged from its clean baseline, with the
+        reasons flagged explicitly."""
+        reports: List[Dict[str, Any]] = []
+        for cell in self.cells:
+            flags = []
+            if cell.status == "failed":
+                flags.append("execution-failed")
+            if cell.validated is False:
+                flags.append("validation-failed")
+            if cell.matches_reference is False:
+                flags.append("reference-digest-mismatch")
+            if cell.verify_match is False:
+                flags.append("cross-engine-divergence")
+            if (
+                cell.clean_digest is not None
+                and cell.digest is not None
+                and cell.digest != cell.clean_digest
+            ):
+                flags.append("diverged-from-clean-run")
+            if not flags:
+                continue
+            reports.append(
+                {
+                    "protocol": cell.protocol,
+                    "family": cell.family,
+                    "n": cell.n,
+                    "engine": cell.engine,
+                    "flags": flags,
+                    "fault_count": cell.fault_count,
+                    "error": cell.error,
+                    "error_type": cell.error_type,
+                    "traceback_digest": cell.traceback_digest,
+                }
+            )
+        return reports
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -150,6 +259,16 @@ class ScenarioMatrix:
     repeats:
         Timing samples per cell (best-of); results are checked on every
         sample and must stay identical.
+    verify:
+        ``"cross-engine"`` re-runs every ok cell once on a second engine
+        (preferring the legacy reference) and records
+        ``verify_engine``/``verify_digest``/``verify_match`` — the
+        self-checking execution mode.  ``None`` (default) skips it.
+    fault_plan:
+        An optional :class:`~repro.core.faults.FaultPlan` applied to
+        every cell.  Each faulted cell also runs a clean (no-plan)
+        baseline on the same network coordinates; the pair of digests is
+        what decides ``detected``.
     """
 
     def __init__(
@@ -160,6 +279,8 @@ class ScenarioMatrix:
         engines: Optional[Sequence[str]] = None,
         seed: int = 0,
         repeats: int = 1,
+        verify: Optional[str] = None,
+        fault_plan: Optional[Any] = None,
     ) -> None:
         from repro.core.engine.planner import ENGINES
 
@@ -170,12 +291,20 @@ class ScenarioMatrix:
                 raise ValueError(
                     f"unknown engine {engine!r}; known: {sorted(ENGINES)}"
                 )
+        if verify not in (None, "cross-engine"):
+            raise ValueError(
+                f"unknown verify mode {verify!r}; use None or 'cross-engine'"
+            )
+        if fault_plan is not None:
+            fault_plan.validate()
         self.protocols = [get_protocol(name).name for name in protocols]
         self.families = [get_family(name).name for name in families]
         self.sizes = list(sizes)
         self.engines = list(engines)
         self.seed = seed
         self.repeats = max(1, repeats)
+        self.verify = verify
+        self.fault_plan = fault_plan
 
     def run(self) -> MatrixResult:
         import random
@@ -189,6 +318,12 @@ class ScenarioMatrix:
                 "seed": self.seed,
                 "repeats": self.repeats,
                 "reference_engine": REFERENCE_ENGINE,
+                "verify": self.verify,
+                "fault_plan": (
+                    self.fault_plan.to_dict()
+                    if self.fault_plan is not None
+                    else None
+                ),
             }
         )
         for protocol_name in self.protocols:
@@ -216,6 +351,7 @@ class ScenarioMatrix:
                                 engine=engine,
                                 status="failed",
                                 error=f"{type(exc).__name__}: {exc}",
+                                error_type=type(exc).__name__,
                             )
                             for engine in self.engines
                         )
@@ -245,6 +381,30 @@ class ScenarioMatrix:
                             cell.matches_reference = (
                                 cell.digest == reference_digest
                             )
+                    # Chaos detection verdict: a faulted cell counts as
+                    # detected iff *any* check tripped — the run failed
+                    # outright, validation rejected the summary, the
+                    # digest diverged from the clean baseline, the
+                    # cross-engine verify disagreed, or the cell broke
+                    # ranks with the sweep's reference digest.  Cells
+                    # whose schedule injected nothing stay None: there
+                    # was no corruption to detect.
+                    if self.fault_plan is not None and self.fault_plan.is_active:
+                        for cell in cells:
+                            if cell.status == "unsupported":
+                                continue
+                            if cell.status == "failed":
+                                cell.detected = True
+                            elif cell.fault_count:
+                                cell.detected = (
+                                    cell.validated is False
+                                    or (
+                                        cell.clean_digest is not None
+                                        and cell.digest != cell.clean_digest
+                                    )
+                                    or cell.verify_match is False
+                                    or cell.matches_reference is False
+                                )
                     # Report in the caller's engine order.
                     order = {name: i for i, name in enumerate(self.engines)}
                     cells.sort(key=lambda cell: order[cell.engine])
@@ -272,6 +432,8 @@ class ScenarioMatrix:
         program = prepared.programs.get(flavour)
         if program is None:
             return cell
+        plan = self.fault_plan
+        chaos = plan is not None and plan.is_active
         try:
             best: Optional[float] = None
             summary = digest = run = None
@@ -283,6 +445,8 @@ class ScenarioMatrix:
                 # its own.
                 kwargs = dict(prepared.network_kwargs)
                 kwargs.setdefault("seed", cell_seed)
+                if chaos:
+                    kwargs["fault_plan"] = plan
                 network = Network(engine=engine, **kwargs)
                 start = time.perf_counter()
                 run = network.run(program, inputs=prepared.inputs)
@@ -302,6 +466,21 @@ class ScenarioMatrix:
             cell.total_bits = run.total_bits
             cell.max_round_bits = run.max_round_bits
             cell.digest = digest
+            if run.fallback is not None:
+                cell.engine_fallback = (
+                    f"{run.fallback['from']}->{run.fallback['to']}"
+                )
+            if chaos:
+                cell.fault_count = len(run.faults or ())
+                # Clean baseline: the same cell, same seed, no plan.
+                # Its digest is what "the faults changed the answer"
+                # is measured against.
+                clean_kwargs = dict(prepared.network_kwargs)
+                clean_kwargs.setdefault("seed", cell_seed)
+                clean = Network(engine=engine, **clean_kwargs).run(
+                    program, inputs=prepared.inputs
+                )
+                cell.clean_digest = _digest(prepared.summarize(clean), clean)
             if prepared.validate is not None:
                 try:
                     prepared.validate(summary)
@@ -309,7 +488,55 @@ class ScenarioMatrix:
                 except AssertionError as exc:
                     cell.validated = False
                     cell.error = str(exc)
+            if self.verify == "cross-engine":
+                self._verify_cell(cell, spec, prepared, cell_seed, digest)
         except Exception as exc:  # noqa: BLE001 - cell isolation is the point
-            cell.status = "failed"
-            cell.error = f"{type(exc).__name__}: {exc}"
+            _failure_fields(cell, exc)
         return cell
+
+    def _verify_cell(
+        self,
+        cell: MatrixCell,
+        spec,
+        prepared,
+        cell_seed: int,
+        digest: Optional[str],
+    ) -> None:
+        """Re-run one ok cell on a second engine and compare digests.
+
+        Prefers the legacy reference engine as the witness; a cell that
+        already ran on legacy is checked against the next engine the
+        protocol supports.  A witness failure counts as a divergence
+        (``verify_match=False``) — self-checking must not fail open.
+        """
+        from repro.core.network import Network
+
+        witness = next(
+            (
+                name
+                for name in [REFERENCE_ENGINE]
+                + [e for e in spec.engines if e != REFERENCE_ENGINE]
+                if name != cell.engine and name in spec.engines
+            ),
+            None,
+        )
+        if witness is None:
+            return
+        program = prepared.programs.get(spec.program_for(witness))
+        if program is None:
+            return
+        cell.verify_engine = witness
+        try:
+            kwargs = dict(prepared.network_kwargs)
+            kwargs.setdefault("seed", cell_seed)
+            if self.fault_plan is not None and self.fault_plan.is_active:
+                kwargs["fault_plan"] = self.fault_plan
+            run = Network(engine=witness, **kwargs).run(
+                program, inputs=prepared.inputs
+            )
+            cell.verify_digest = _digest(prepared.summarize(run), run)
+            cell.verify_match = cell.verify_digest == digest
+        except Exception as exc:  # noqa: BLE001 - divergence, not crash
+            cell.verify_match = False
+            if cell.error is None:
+                cell.error = f"verify[{witness}] {type(exc).__name__}: {exc}"
