@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import random
 
-from repro.analysis import Table, theorem7_round_bound
+from repro.analysis import Table
 from repro.graphs import (
     contains_subgraph,
     cycle_graph,

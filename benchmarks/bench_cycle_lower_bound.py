@@ -11,7 +11,7 @@ from __future__ import annotations
 import random
 
 from repro.analysis import Table, theorem7_round_bound
-from repro.graphs import contains_subgraph, cycle_graph
+from repro.graphs import cycle_graph
 from repro.lower_bounds import (
     DisjointnessReduction,
     cycle_lower_bound_graph,

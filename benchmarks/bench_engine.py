@@ -50,6 +50,12 @@ every backend to the legacy reference engine.  The sweep aborts the
 benchmark if any cell diverges, so the JSON doubles as an equivalence
 certificate for the engine subsystem.
 
+An ``analysis`` section runs the static protocol verifier
+(:mod:`repro.analysis`) over the registry — obliviousness proofs,
+bandwidth-budget checks, registry consistency — and aborts the
+benchmark on any violation: numbers measured against an unproven
+registry are not published.
+
 Run from the repo root (writes ``BENCH_engine.json`` there)::
 
     PYTHONPATH=src python benchmarks/bench_engine.py            # full sweep
@@ -753,6 +759,24 @@ def bench_scenario_matrix(quick, repeats):
     return report
 
 
+def bench_analysis(quick):
+    """Static-analysis gate inside the benchmark report: the verifier
+    must prove every registered protocol (obliviousness + budget +
+    registry consistency) at the analyzed sizes — a benchmark run over
+    an unproven registry is not a result worth publishing."""
+    from repro.analysis.verifier import analyze_all
+
+    sizes = [6] if quick else [6, 8]
+    report = analyze_all(sizes=sizes)
+    violations = report.violations()
+    assert not violations, (
+        "static analysis failed on the registry: " + "; ".join(violations[:5])
+    )
+    payload = report.to_dict()
+    payload["violation_count"] = len(violations)
+    return payload
+
+
 def bench_faults(quick, repeats):
     """The zero-overhead contract of the fault layer: carrying an
     *inactive* FaultPlan (all rates zero, no triggers) must cost the
@@ -877,6 +901,7 @@ def main(argv=None):
     kernels = bench_kernels(args.quick, repeats)
     scenario_matrix = bench_scenario_matrix(args.quick, repeats)
     faults = bench_faults(args.quick, repeats)
+    analysis = bench_analysis(args.quick)
 
     top_n = max(sizes)
     acceptance_key = f"unicast/n={top_n}"
@@ -925,6 +950,7 @@ def main(argv=None):
         "scenario_cells_total": len(scenario_matrix["cells"]),
         "scenario_mismatches": scenario_matrix["mismatch_count"],
         "faults_disabled_overhead": faults["inactive_plan_overhead"],
+        "analysis_violations": analysis["violation_count"],
     }
     report = {
         "generated_by": "benchmarks/bench_engine.py",
@@ -939,6 +965,7 @@ def main(argv=None):
         "kernels": kernels,
         "scenario_matrix": scenario_matrix,
         "faults": faults,
+        "analysis": analysis,
         "acceptance": acceptance,
     }
     args.out.write_text(json.dumps(report, indent=2) + "\n")

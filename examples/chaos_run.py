@@ -20,7 +20,7 @@ Run:  PYTHONPATH=src python examples/chaos_run.py
 
 from __future__ import annotations
 
-from repro.core import Bits, Mode, Network, Outbox
+from repro.core import Bits, Mode, Network
 from repro.core.faults import FaultPlan
 from repro.core.phases import (
     transmit_broadcast,

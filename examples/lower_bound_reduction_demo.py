@@ -78,7 +78,6 @@ def main() -> None:
         f"Ruzsa–Szemerédi graph: n={nof.rs.graph.n} nodes, "
         f"m={nof.universe_size} edge-disjoint triangles (the universe)"
     )
-    m = nof.universe_size
     cases = [
         ("three-way hit", ({0, 3}, {0, 5}, {0, 7})),
         ("pairwise only", ({1, 2}, {2, 3}, {3, 1})),

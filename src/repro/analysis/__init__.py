@@ -1,4 +1,6 @@
-"""Predicted bounds per theorem plus table rendering for the harness."""
+"""Analysis layer: predicted bounds, report tables, and the static
+protocol verifier (structure extraction, obliviousness proofs/refutations,
+bandwidth budgets, determinism lint — see ``python -m repro.analysis``)."""
 
 from repro.analysis.bounds import (
     dlp_round_bound,
@@ -12,7 +14,42 @@ from repro.analysis.bounds import (
     theorem22_lb_rounds,
     theorem24_lb_rounds,
 )
+from repro.analysis.budget import BandwidthBudget, BudgetCheck, check_budget, log2_ceil
+from repro.analysis.lint import LintFinding, lint_file, lint_paths, lint_source
+from repro.analysis.oblivious import (
+    ObliviousnessVerdict,
+    perturb_inputs,
+    verify_obliviousness,
+)
 from repro.analysis.reporting import Table, fmt, geometric_mean, ratio
+from repro.analysis.structure import (
+    ProtocolStructure,
+    RoundShape,
+    kernel_structure,
+    trace_structure,
+)
+
+# The verifier imports the scenario registry, which itself imports
+# repro.analysis.budget (budgets live on ProtocolSpec); loading it lazily
+# keeps this package importable from the registry without a cycle.
+_VERIFIER_EXPORTS = (
+    "AnalysisReport",
+    "ProtocolAnalysis",
+    "RegistryFinding",
+    "analyze_all",
+    "analyze_protocol",
+    "check_registry",
+    "DEFAULT_SIZES",
+)
+
+
+def __getattr__(name):
+    if name in _VERIFIER_EXPORTS:
+        from repro.analysis import verifier
+
+        return getattr(verifier, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "theorem2_round_bound",
@@ -29,4 +66,20 @@ __all__ = [
     "ratio",
     "geometric_mean",
     "fmt",
+    "BandwidthBudget",
+    "BudgetCheck",
+    "check_budget",
+    "log2_ceil",
+    "LintFinding",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "ObliviousnessVerdict",
+    "perturb_inputs",
+    "verify_obliviousness",
+    "ProtocolStructure",
+    "RoundShape",
+    "kernel_structure",
+    "trace_structure",
+    *_VERIFIER_EXPORTS,
 ]

@@ -8,7 +8,6 @@ a theory paper — constants are implementation artefacts.
 from __future__ import annotations
 
 import math
-from typing import Optional
 
 from repro.core.phases import phase_length
 from repro.graphs.graph import Graph

@@ -1,0 +1,135 @@
+"""Bandwidth budgets: declared per-round bit bounds, checked statically.
+
+The congested clique's defining constraint is the per-round message
+width — :math:`O(\\log n)` bits per link in the paper's CLIQUE-UCAST,
+one :math:`O(\\log n)`-bit blackboard word per node in CLIQUE-BCAST.
+:class:`BandwidthBudget` turns that asymptotic statement into a checkable
+concrete bound: a protocol declares the coefficients of
+
+.. math::
+
+    \\text{bits}(n) = \\text{flat}
+        + \\text{log\\_coeff} \\cdot L
+        + \\text{log\\_sq\\_coeff} \\cdot L^2
+        + \\text{linear\\_coeff} \\cdot n,
+    \\qquad L = \\lceil \\log_2 \\max(2, n) \\rceil
+
+and the analyzer verifies that the protocol's worst-case per-message
+width (its declared network ``bandwidth``) never exceeds the budget at
+any analyzed ``n``.  The :math:`L^2` term admits the paper's
+simulation-based protocols, whose word size carries a
+:math:`\\log^2 n` factor from pointer-per-level encodings; the linear
+term exists only so deliberately over-budget *fixtures* can be written —
+no registered protocol uses it.
+
+This module is dependency-free (no imports from the scenario layer) so
+:mod:`repro.scenarios.registry` can attach budgets to its specs without
+an import cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["BandwidthBudget", "BudgetCheck", "check_budget", "log2_ceil"]
+
+
+def log2_ceil(n: int) -> int:
+    """:math:`\\lceil \\log_2 \\max(2, n) \\rceil` — the model's word
+    size at problem size ``n`` (clamped so tiny instances still get a
+    positive word)."""
+    m = max(2, int(n))
+    return (m - 1).bit_length()
+
+
+@dataclass(frozen=True)
+class BandwidthBudget:
+    """A declared per-round message-width bound, bits as a function of n."""
+
+    flat: int = 0
+    log_coeff: int = 0
+    log_sq_coeff: int = 0
+    linear_coeff: int = 0
+
+    def bits(self, n: int) -> int:
+        """The budgeted maximum message width at problem size ``n``."""
+        level = log2_ceil(n)
+        return (
+            self.flat
+            + self.log_coeff * level
+            + self.log_sq_coeff * level * level
+            + self.linear_coeff * int(n)
+        )
+
+    @property
+    def is_loglinear(self) -> bool:
+        """True when the budget is :math:`O(\\mathrm{polylog}\\,n)` —
+        i.e. it respects the clique model's word-size regime (no linear
+        term)."""
+        return self.linear_coeff == 0
+
+    def describe(self) -> str:
+        """Human form, e.g. ``"2*log(n) + 9"`` or ``"16*log^2(n)"``."""
+        terms = []
+        if self.linear_coeff:
+            terms.append(f"{self.linear_coeff}*n")
+        if self.log_sq_coeff:
+            terms.append(f"{self.log_sq_coeff}*log^2(n)")
+        if self.log_coeff:
+            terms.append(f"{self.log_coeff}*log(n)")
+        if self.flat or not terms:
+            terms.append(str(self.flat))
+        return " + ".join(terms)
+
+
+@dataclass(frozen=True)
+class BudgetCheck:
+    """Verdict of one budget comparison at one problem size."""
+
+    n: int
+    allowed: int
+    observed: int
+    ok: bool
+    detail: str
+
+    def to_dict(self) -> dict:
+        return {
+            "n": self.n,
+            "allowed": self.allowed,
+            "observed": self.observed,
+            "ok": self.ok,
+            "detail": self.detail,
+        }
+
+
+def check_budget(
+    budget: Optional[BandwidthBudget], n: int, observed_bits: int
+) -> BudgetCheck:
+    """Compare a protocol's observed worst-case message width against
+    its declared budget at size ``n``.
+
+    A missing budget is itself a violation in strict mode — every
+    registered protocol must state its width bound explicitly.
+    """
+    if budget is None:
+        return BudgetCheck(
+            n=n,
+            allowed=0,
+            observed=observed_bits,
+            ok=False,
+            detail="no bandwidth_budget declared",
+        )
+    allowed = budget.bits(n)
+    ok = observed_bits <= allowed
+    detail = (
+        f"width {observed_bits} <= {allowed} = {budget.describe()} @ n={n}"
+        if ok
+        else (
+            f"width {observed_bits} EXCEEDS budget "
+            f"{allowed} = {budget.describe()} @ n={n}"
+        )
+    )
+    return BudgetCheck(
+        n=n, allowed=allowed, observed=observed_bits, ok=ok, detail=detail
+    )

@@ -1,0 +1,199 @@
+"""Obliviousness verification: prove or refute structure-independence.
+
+A program is *oblivious* when its communication structure — who sends,
+to whom, how many bits, per round — depends only on the problem size and
+public parameters, never on the inputs or the seed.  Obliviousness is
+the compiled-replay contract: :func:`~repro.core.compiled.mark_oblivious`
+asserts it, the fast engine bets a recording run on it, and a wrong
+assertion costs an eviction (now a
+:class:`~repro.core.errors.ReplayEvictionWarning`) *after* the wasted
+run.  This pass makes the same judgement *before* the first recording
+run:
+
+* **Kernel programs** are oblivious by construction — their structure is
+  declared, not computed — so the verdict is a proof, no execution
+  needed.
+
+* **Generator programs** are checked by abstract interpretation over
+  probe inputs: the program runs through the tracing network stub
+  (:func:`~repro.analysis.structure.trace_structure`) on its base
+  inputs, on seed variants, and on systematically perturbed inputs
+  (:func:`perturb_inputs` flips payload bits and booleans while
+  preserving every *public* parameter — key sets, lengths, widths).
+  Identical structural signatures across all probes prove obliviousness
+  up to the probe family; any divergence refutes it with the exact
+  offending round.
+
+A refutation is definitive.  A pass is a proof relative to the probe
+set — the same epistemic status as the runtime replay check, reached
+without spending a recording run, and strong enough in practice to
+catch every mis-marked program the eviction path would.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.analysis.structure import ProtocolStructure, kernel_structure, trace_structure
+from repro.core.bits import Bits
+
+__all__ = ["ObliviousnessVerdict", "perturb_inputs", "verify_obliviousness"]
+
+
+def perturb_inputs(inputs: Any, rng: random.Random) -> Any:
+    """A structure-preserving perturbation of a per-node input value.
+
+    Flips payloads while keeping everything a protocol may treat as a
+    public parameter fixed: dict key sets, sequence lengths,
+    :class:`~repro.core.bits.Bits` widths.  Values it cannot perturb
+    safely (general ints encoding graph structure, None, sets) pass
+    through unchanged — a conservative choice: a missed perturbation can
+    only weaken a probe, never fabricate a refutation.
+    """
+    if isinstance(inputs, bool):
+        return not inputs
+    if isinstance(inputs, Bits):
+        if len(inputs) == 0:
+            return inputs
+        position = rng.randrange(len(inputs))
+        flipped = [bool(b) for b in inputs]
+        flipped[position] = not flipped[position]
+        return Bits.from_bools(flipped)
+    if isinstance(inputs, int):
+        return 1 - inputs if inputs in (0, 1) else inputs
+    if isinstance(inputs, dict):
+        return {key: perturb_inputs(value, rng) for key, value in inputs.items()}
+    if isinstance(inputs, tuple):
+        return tuple(perturb_inputs(value, rng) for value in inputs)
+    if isinstance(inputs, list):
+        return [perturb_inputs(value, rng) for value in inputs]
+    return inputs
+
+
+@dataclass
+class ObliviousnessVerdict:
+    """Outcome of one obliviousness check."""
+
+    program: str
+    #: True = proven over the probe family; False = refuted.
+    oblivious: bool
+    #: Whether the program carries a ``mark_oblivious`` declaration.
+    declared: bool
+    #: 0-based index of the first structurally divergent round
+    #: (refutations only).
+    round: Optional[int]
+    #: How the verdict was reached.
+    method: str  # "kernel-declared" | "traced"
+    probes: int
+    detail: str
+
+    @property
+    def mismarked(self) -> bool:
+        """A declared-oblivious program the analyzer refuted — the
+        exact population the replay-eviction path punishes at runtime."""
+        return self.declared and not self.oblivious
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "program": self.program,
+            "oblivious": self.oblivious,
+            "declared": self.declared,
+            "round": self.round,
+            "method": self.method,
+            "probes": self.probes,
+            "detail": self.detail,
+            "mismarked": self.mismarked,
+        }
+
+
+def _describe(program: Any) -> str:
+    from repro.core.compiled import describe_program
+
+    return describe_program(program)
+
+
+def verify_obliviousness(
+    program: Any,
+    inputs: Optional[List[Any]],
+    network_kwargs: Dict[str, Any],
+    *,
+    seed: int = 0,
+    seed_variants: int = 2,
+    input_variants: int = 2,
+) -> ObliviousnessVerdict:
+    """Prove or refute that ``program``'s communication structure is
+    independent of its inputs and seed.
+
+    Probes: the base trace, ``seed_variants`` re-traces under different
+    network seeds, and ``input_variants`` re-traces on perturbed inputs
+    (when there are inputs to perturb).  The first probe whose per-round
+    structural signature deviates from the base refutes obliviousness,
+    and the verdict carries the 0-based index of the offending round.
+    """
+    from repro.core.compiled import oblivious_key
+
+    declared = oblivious_key(program) is not None
+    name = _describe(program)
+
+    if getattr(program, "is_kernel_program", False):
+        structure = kernel_structure(program)
+        return ObliviousnessVerdict(
+            program=name,
+            oblivious=True,
+            declared=declared,
+            round=None,
+            method="kernel-declared",
+            probes=0,
+            detail=(
+                f"structure fully declared ({structure.num_rounds} rounds); "
+                f"oblivious by construction"
+            ),
+        )
+
+    base = trace_structure(program, inputs, network_kwargs, seed=seed)
+    probes: List[ProtocolStructure] = []
+    probe_names: List[str] = []
+    for offset in range(1, seed_variants + 1):
+        probes.append(
+            trace_structure(program, inputs, network_kwargs, seed=seed + offset)
+        )
+        probe_names.append(f"seed+{offset}")
+    if inputs is not None:
+        for variant in range(input_variants):
+            rng = random.Random(f"{seed}:perturb:{variant}")
+            perturbed = [perturb_inputs(node_inputs, rng) for node_inputs in inputs]
+            probes.append(
+                trace_structure(program, perturbed, network_kwargs, seed=seed)
+            )
+            probe_names.append(f"inputs#{variant}")
+
+    for probe_name, probe in zip(probe_names, probes):
+        divergence = base.first_divergence(probe)
+        if divergence is not None:
+            return ObliviousnessVerdict(
+                program=name,
+                oblivious=False,
+                declared=declared,
+                round=divergence,
+                method="traced",
+                probes=len(probes),
+                detail=(
+                    f"probe {probe_name} diverged structurally at round "
+                    f"{divergence} (base: {base.num_rounds} rounds, probe: "
+                    f"{probe.num_rounds} rounds)"
+                ),
+            )
+    return ObliviousnessVerdict(
+        program=name,
+        oblivious=True,
+        declared=declared,
+        round=None,
+        method="traced",
+        probes=len(probes),
+        detail=(
+            f"structure identical over {len(probes)} probes "
+            f"({base.num_rounds} rounds)"
+        ),
+    )

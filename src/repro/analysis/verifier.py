@@ -1,0 +1,345 @@
+"""The protocol verifier: one report over every registered protocol.
+
+Pulls the analysis passes together against the scenario registry:
+
+* per protocol × n, an :class:`ObliviousnessVerdict` for every program
+  flavour the spec ships (kernel programs prove by declaration,
+  generator programs by probe tracing), checked for *consistency with
+  the declaration* — a ``mark_oblivious`` program the tracer refutes is
+  a violation naming the offending round;
+* per protocol × n, a :class:`~repro.analysis.budget.BudgetCheck` of the
+  prepared instance's declared message width against the spec's
+  ``bandwidth_budget``;
+* one registry-consistency pass (:func:`check_registry`): every engine a
+  spec claims must have a program flavour to run and a backend that
+  accepts that flavour, and every engine it *doesn't* claim is explained
+  (these unclaimed pairs are exactly the scenario matrix's
+  ``unsupported`` cells);
+* optionally, the determinism lint over ``src/repro``.
+
+:func:`analyze_all` is what ``python -m repro.analysis`` and the
+``ScenarioMatrix(analyze=True)`` integration call; its
+:class:`AnalysisReport` serializes to the JSON artifact CI uploads.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.analysis.budget import BudgetCheck, check_budget
+from repro.analysis.lint import LintFinding, lint_paths
+from repro.analysis.oblivious import ObliviousnessVerdict, verify_obliviousness
+from repro.analysis.structure import kernel_structure, trace_structure
+
+__all__ = [
+    "ProtocolAnalysis",
+    "RegistryFinding",
+    "AnalysisReport",
+    "analyze_protocol",
+    "check_registry",
+    "analyze_all",
+    "DEFAULT_SIZES",
+]
+
+#: Sizes the CLI analyzes by default: small enough that tracing every
+#: protocol stays in CI-smoke territory, large enough that log-term
+#: budgets actually bind.
+DEFAULT_SIZES = (6, 8)
+
+
+@dataclass
+class ProtocolAnalysis:
+    """Verdicts for one (protocol, n) coordinate."""
+
+    protocol: str
+    n: int
+    family: str
+    #: flavour ("generator"/"kernel") -> verdict.
+    oblivious: Dict[str, ObliviousnessVerdict] = field(default_factory=dict)
+    budget: Optional[BudgetCheck] = None
+    #: Widest message the structure extraction actually saw (traced or
+    #: declared) — the evidence behind the budget check.
+    observed_width: Optional[int] = None
+    rounds: Optional[int] = None
+    violations: List[str] = field(default_factory=list)
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and not self.violations
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "protocol": self.protocol,
+            "n": self.n,
+            "family": self.family,
+            "oblivious": {
+                flavour: verdict.to_dict()
+                for flavour, verdict in sorted(self.oblivious.items())
+            },
+            "budget": self.budget.to_dict() if self.budget else None,
+            "observed_width": self.observed_width,
+            "rounds": self.rounds,
+            "violations": list(self.violations),
+            "error": self.error,
+            "ok": self.ok,
+        }
+
+
+@dataclass(frozen=True)
+class RegistryFinding:
+    """One registry-consistency fact: a violation or an explained gap."""
+
+    protocol: str
+    engine: str
+    kind: str  # "violation" | "unsupported"
+    detail: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "protocol": self.protocol,
+            "engine": self.engine,
+            "kind": self.kind,
+            "detail": self.detail,
+        }
+
+
+def analyze_protocol(
+    spec: Any,
+    n: int,
+    *,
+    family: str = "gnp",
+    seed: int = 0,
+) -> ProtocolAnalysis:
+    """Run the static passes on one registered protocol at size ``n``.
+
+    The instance is drawn the same way a matrix cell would draw it
+    (family rng keyed on a stable coordinate), so analyzer verdicts
+    describe the same population of runs the sweeps execute.
+    """
+    from repro.scenarios.families import get_family
+
+    analysis = ProtocolAnalysis(protocol=spec.name, n=n, family=family)
+    try:
+        rng = random.Random(f"analysis:{seed}:{spec.name}:{family}:{n}")
+        graph = get_family(family).build(n, rng)
+        prepared = spec.prepare(n, graph, rng)
+    except Exception as exc:  # noqa: BLE001 - isolate per coordinate
+        analysis.error = f"prepare failed: {type(exc).__name__}: {exc}"
+        return analysis
+
+    observed_width = 0
+    rounds = None
+    for flavour, program in sorted(prepared.programs.items()):
+        try:
+            verdict = verify_obliviousness(
+                program,
+                prepared.inputs,
+                prepared.network_kwargs,
+                seed=seed,
+            )
+        except Exception as exc:  # noqa: BLE001 - isolate per flavour
+            analysis.violations.append(
+                f"{flavour}: obliviousness check crashed: "
+                f"{type(exc).__name__}: {exc}"
+            )
+            continue
+        analysis.oblivious[flavour] = verdict
+        if verdict.mismarked:
+            analysis.violations.append(
+                f"{flavour}: {verdict.program} is marked oblivious but "
+                f"was refuted at round {verdict.round} — {verdict.detail}"
+            )
+        if getattr(program, "is_kernel_program", False):
+            structure = kernel_structure(program)
+        else:
+            structure = trace_structure(
+                program, prepared.inputs, prepared.network_kwargs, seed=seed
+            )
+        observed_width = max(observed_width, structure.max_message_width)
+        if rounds is None:
+            rounds = structure.num_rounds
+
+    # The budget binds the *declared* per-message width (what the
+    # protocol demands of the model), which dominates every width the
+    # structure extraction observed.
+    declared_width = int(prepared.network_kwargs.get("bandwidth", 0))
+    analysis.observed_width = max(observed_width, declared_width)
+    analysis.rounds = rounds
+    analysis.budget = check_budget(
+        spec.bandwidth_budget, n, analysis.observed_width
+    )
+    if not analysis.budget.ok:
+        analysis.violations.append(f"budget: {analysis.budget.detail}")
+    return analysis
+
+
+def check_registry(*, n: int = 6, family: str = "gnp") -> List[RegistryFinding]:
+    """Cross-check every spec's engine claims against what it prepares
+    and what the backends accept.
+
+    Violations: a claimed engine with no program flavour to run, or a
+    claimed engine whose backend rejects the flavour's program type.
+    ``unsupported`` findings are not violations — they are the explained
+    gaps behind the scenario matrix's unsupported cells (e.g. a protocol
+    with no kernel twin cannot claim the kernel engine).
+    """
+    from repro.core.engine.planner import ENGINES
+    from repro.scenarios.families import get_family
+    from repro.scenarios.registry import PROTOCOLS
+
+    findings: List[RegistryFinding] = []
+    for name, spec in sorted(PROTOCOLS.items()):
+        try:
+            rng = random.Random(f"registry-check:{name}:{family}:{n}")
+            prepared = spec.prepare(n, get_family(family).build(n, rng), rng)
+        except Exception as exc:  # noqa: BLE001 - isolate per spec
+            findings.append(
+                RegistryFinding(
+                    protocol=name,
+                    engine="*",
+                    kind="violation",
+                    detail=f"prepare failed: {type(exc).__name__}: {exc}",
+                )
+            )
+            continue
+        for engine_name in sorted(ENGINES):
+            engine = ENGINES[engine_name]
+            flavour = spec.program_for(engine_name)
+            program = prepared.programs.get(flavour)
+            if engine_name in spec.engines:
+                if program is None:
+                    findings.append(
+                        RegistryFinding(
+                            protocol=name,
+                            engine=engine_name,
+                            kind="violation",
+                            detail=(
+                                f"spec claims engine {engine_name!r} but "
+                                f"prepares no {flavour!r} program"
+                            ),
+                        )
+                    )
+                    continue
+                is_kernel = bool(getattr(program, "is_kernel_program", False))
+                accepts = (
+                    engine.supports_kernel_programs
+                    if is_kernel
+                    else engine.supports_generator_programs
+                )
+                if not accepts:
+                    kind_name = "kernel" if is_kernel else "generator"
+                    findings.append(
+                        RegistryFinding(
+                            protocol=name,
+                            engine=engine_name,
+                            kind="violation",
+                            detail=(
+                                f"spec claims engine {engine_name!r} but the "
+                                f"backend rejects {kind_name} programs"
+                            ),
+                        )
+                    )
+            else:
+                if program is not None:
+                    detail = (
+                        f"engine {engine_name!r} unclaimed although a "
+                        f"{flavour!r} program exists — claim it or drop the "
+                        f"flavour"
+                    )
+                    kind = "violation"
+                else:
+                    detail = (
+                        f"no {flavour!r} program flavour: the matrix marks "
+                        f"({name}, {engine_name}) cells unsupported"
+                    )
+                    kind = "unsupported"
+                findings.append(
+                    RegistryFinding(
+                        protocol=name, engine=engine_name, kind=kind,
+                        detail=detail,
+                    )
+                )
+    return findings
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one ``python -m repro.analysis`` invocation decided."""
+
+    analyses: List[ProtocolAnalysis] = field(default_factory=list)
+    registry: List[RegistryFinding] = field(default_factory=list)
+    lint: List[LintFinding] = field(default_factory=list)
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def violations(self) -> List[str]:
+        """Flat, human-readable list of every hard violation."""
+        out: List[str] = []
+        for analysis in self.analyses:
+            coordinate = f"{analysis.protocol} @ n={analysis.n}"
+            if analysis.error is not None:
+                out.append(f"{coordinate}: {analysis.error}")
+            out.extend(
+                f"{coordinate}: {violation}"
+                for violation in analysis.violations
+            )
+        out.extend(
+            f"registry {finding.protocol}/{finding.engine}: {finding.detail}"
+            for finding in self.registry
+            if finding.kind == "violation"
+        )
+        out.extend(str(finding) for finding in self.lint)
+        return out
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "meta": self.meta,
+            "ok": self.ok,
+            "violations": self.violations(),
+            "protocols": [analysis.to_dict() for analysis in self.analyses],
+            "registry": [finding.to_dict() for finding in self.registry],
+            "lint": [finding.to_dict() for finding in self.lint],
+        }
+
+
+def analyze_all(
+    *,
+    protocols: Optional[Sequence[str]] = None,
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    family: str = "gnp",
+    seed: int = 0,
+    lint_roots: Optional[Sequence[Any]] = None,
+) -> AnalysisReport:
+    """Run every pass over the registered protocols.
+
+    ``lint_roots=None`` skips the lint pass (the CLI passes the
+    ``src/repro`` tree; library callers like the matrix integration
+    usually only want the per-protocol verdicts).
+    """
+    from repro.scenarios.registry import PROTOCOLS, get_protocol
+
+    names = sorted(PROTOCOLS) if protocols is None else list(protocols)
+    report = AnalysisReport(
+        meta={
+            "protocols": names,
+            "sizes": list(sizes),
+            "family": family,
+            "seed": seed,
+        }
+    )
+    for name in names:
+        spec = get_protocol(name)
+        for n in sizes:
+            report.analyses.append(
+                analyze_protocol(spec, n, family=family, seed=seed)
+            )
+    report.registry = check_registry(n=min(sizes) if sizes else 6, family=family)
+    if lint_roots is not None:
+        report.lint = lint_paths(lint_roots)
+    return report

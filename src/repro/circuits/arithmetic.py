@@ -60,7 +60,7 @@ def _mult_naive(circuit: Circuit, a: Matrix, b: Matrix) -> Matrix:
         row: List[int] = []
         for j in range(size):
             products = [
-                circuit.add_gate(AND, [a[i][l], b[l][j]]) for l in range(size)
+                circuit.add_gate(AND, [a[i][k], b[k][j]]) for k in range(size)
             ]
             row.append(_xor_of(circuit, products))
         result.append(row)

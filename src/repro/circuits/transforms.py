@@ -9,10 +9,10 @@ behavioural equivalence on random inputs (hypothesis).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
-from repro.circuits.circuit import CONST_KIND, GATE_KIND, INPUT_KIND, Circuit
-from repro.circuits.gates import AndGate, Gate, NotGate, OrGate, XorGate
+from repro.circuits.circuit import CONST_KIND, INPUT_KIND, Circuit
+from repro.circuits.gates import AndGate, Gate, OrGate
 
 __all__ = ["eliminate_dead_gates", "fold_constants", "optimize"]
 

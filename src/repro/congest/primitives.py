@@ -16,7 +16,7 @@ so bandwidth accounting matches the model (b bits per edge per round).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Optional, Sequence, Tuple
 
 from repro.core.bits import BitReader, Bits, BitWriter
 from repro.core.network import Context, Mode, Network, Outbox, RunResult

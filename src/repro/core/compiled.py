@@ -40,12 +40,17 @@ exactly the runs the deviation check demotes to full execution.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 __all__ = [
     "OBLIVIOUS_ATTR",
+    "OBLIVIOUS_INFO_ATTR",
+    "ObliviousInfo",
     "mark_oblivious",
     "oblivious_key",
+    "oblivious_info",
+    "describe_program",
     "LaneStructure",
     "CompiledSchedule",
     "ScheduleRecorder",
@@ -57,6 +62,27 @@ __all__ = [
 
 #: Attribute set on a node program by :func:`mark_oblivious`.
 OBLIVIOUS_ATTR = "__oblivious_key__"
+
+#: Attribute holding the :class:`ObliviousInfo` for a marked program.
+OBLIVIOUS_INFO_ATTR = "__oblivious_info__"
+
+
+@dataclass(frozen=True)
+class ObliviousInfo:
+    """Introspectable identity of a program declared oblivious.
+
+    Captured by :func:`mark_oblivious` at declaration time so the static
+    analyzer (:mod:`repro.analysis`) and the replay-eviction path can
+    name the exact program — its function name and declaring
+    module/line — instead of a bare callable repr.
+    """
+
+    name: str
+    module: str
+    line: int
+
+    def describe(self) -> str:
+        return f"{self.name} ({self.module}:{self.line})"
 
 # Round kinds in a compiled schedule.
 LANE = 0    # homogeneous fixed-width unicast round (bulk lane)
@@ -76,12 +102,51 @@ def mark_oblivious(program: Callable, *key_parts: Any) -> Callable:
     results.  Returns ``program`` for chaining.
     """
     setattr(program, OBLIVIOUS_ATTR, key_parts if key_parts else (program,))
+    code = getattr(program, "__code__", None)
+    setattr(
+        program,
+        OBLIVIOUS_INFO_ATTR,
+        ObliviousInfo(
+            name=getattr(program, "__qualname__", None)
+            or getattr(program, "__name__", repr(program)),
+            module=getattr(program, "__module__", None) or "<unknown>",
+            line=code.co_firstlineno if code is not None else 0,
+        ),
+    )
     return program
 
 
 def oblivious_key(program: Any) -> Optional[Tuple[Any, ...]]:
     """The cache key declared via :func:`mark_oblivious`, or ``None``."""
     return getattr(program, OBLIVIOUS_ATTR, None)
+
+
+def oblivious_info(program: Any) -> Optional[ObliviousInfo]:
+    """The :class:`ObliviousInfo` attached by :func:`mark_oblivious`, or
+    ``None`` for undeclared programs."""
+    return getattr(program, OBLIVIOUS_INFO_ATTR, None)
+
+
+def describe_program(program: Any) -> str:
+    """A human-readable identity for ``program`` in diagnostics: the
+    :class:`ObliviousInfo` description when the program was declared via
+    :func:`mark_oblivious`, the function's qualified name and module
+    otherwise, a plain repr as the last resort (kernel programs report
+    their declared name)."""
+    info = oblivious_info(program)
+    if info is not None:
+        return info.describe()
+    if getattr(program, "is_kernel_program", False):
+        return f"kernel program {getattr(program, 'name', '?')!r}"
+    name = getattr(program, "__qualname__", None) or getattr(
+        program, "__name__", None
+    )
+    if name is not None:
+        module = getattr(program, "__module__", None) or "<unknown>"
+        code = getattr(program, "__code__", None)
+        line = f":{code.co_firstlineno}" if code is not None else ""
+        return f"{name} ({module}{line})"
+    return repr(program)
 
 
 class LaneStructure:

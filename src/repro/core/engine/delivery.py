@@ -27,7 +27,7 @@ checks only when an equivalent vectorized validation already ran
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional
 
 from repro.core.bits import Bits
 from repro.core.errors import (

@@ -313,12 +313,31 @@ class FastEngine(Engine):
 
     # -- compiled replay -------------------------------------------------
 
-    def _bail(self, network: Any, key) -> None:
+    def _bail(self, network: Any, key, program=None) -> None:
         """A replayed round deviated from the compiled structure: evict
         the stale schedule and signal the caller to fall back to full
-        execution (which re-records)."""
+        execution (which re-records).  Names the offending program (via
+        its ``mark_oblivious`` metadata) in a
+        :class:`~repro.core.errors.ReplayEvictionWarning` so a wrong
+        obliviousness declaration is attributable, not a silent
+        slowdown."""
         network._compiled.pop(key, None)
         network.schedule_stats["fallbacks"] += 1
+        if program is not None:
+            import warnings
+
+            from repro.core.compiled import describe_program
+            from repro.core.errors import ReplayEvictionWarning
+
+            described = describe_program(program)
+            network.last_eviction = described
+            warnings.warn(
+                f"compiled schedule evicted: {described} deviated from its "
+                f"recorded structure despite being marked oblivious; run "
+                f"`python -m repro.analysis` to locate the offending round",
+                ReplayEvictionWarning,
+                stacklevel=3,
+            )
         return None
 
     @staticmethod
@@ -407,7 +426,7 @@ class FastEngine(Engine):
                 raise network._round_cap_error(r)
             if r >= num_rounds:
                 # The protocol outlived its compiled schedule.
-                return self._bail(network, key)
+                return self._bail(network, key, program)
             kind, payload, round_bits = crounds[r]
 
             if kind == LANE:
@@ -435,19 +454,19 @@ class FastEngine(Engine):
                         if out.kind == "silent":
                             continue
                         if j >= n_entries or v != entries[j][0]:
-                            return self._bail(network, key)
+                            return self._bail(network, key, program)
                         if prev_outs is None or prev_outs[j] is not out:
                             if (
                                 out.kind != "fixed"
                                 or out.width != width
                                 or out.dests.size != entries[j][2]
                             ):
-                                return self._bail(network, key)
+                                return self._bail(network, key, program)
                             fresh = True
                         outs.append(out)
                         j += 1
                     if j != n_entries:
-                        return self._bail(network, key)
+                        return self._bail(network, key, program)
                     lane_memo[k] = (struct, outs)
                     if fresh:
                         need_write.append(k)
@@ -483,19 +502,19 @@ class FastEngine(Engine):
                         # structural deviation (the flat delivery indices
                         # and the skipped validation both assume the
                         # recorded destination vectors).
-                        return self._bail(network, key)
+                        return self._bail(network, key, program)
                     # Payload values wider than the recorded width are
                     # demoted the same way, so the full path raises the
                     # identical ProtocolError a cold-cache run would.
                     if vbuf is vbuf_num:
                         if (vbuf[:written, :count] >> np.uint64(width)).any():
-                            return self._bail(network, key)
+                            return self._bail(network, key, program)
                     elif any(
                         value >> width
                         for row in vbuf[:written, :count]
                         for value in row
                     ):
-                        return self._bail(network, key)
+                        return self._bail(network, key, program)
                     if lane is None:
                         lane = BatchLane(n, num_instances)
                     lane.deliver_compiled(
@@ -529,11 +548,11 @@ class FastEngine(Engine):
                             or okind != "bfixed"
                             or out.width != width
                         ):
-                            return self._bail(network, key)
+                            return self._bail(network, key, program)
                         senders.append((v, out))
                         j += 1
                     if j != n_ids:
-                        return self._bail(network, key)
+                        return self._bail(network, key, program)
                     blane = blanes[k]
                     if blane is None:
                         blane = blanes[k] = BroadcastLane(n)

@@ -305,6 +305,11 @@ class Network:
             "replayed": 0,
             "fallbacks": 0,
         }
+        #: Human-readable description of the program behind the most
+        #: recent replay eviction (``None`` until a fallback happens);
+        #: mirrors the :class:`~repro.core.errors.ReplayEvictionWarning`
+        #: emitted at eviction time.
+        self.last_eviction: Optional[str] = None
         # (seed, per-node states, shared state), captured once per seed:
         # every run (and every run_many instance) restores identical
         # per-node streams by cloning state instead of re-hashing the

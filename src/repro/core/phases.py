@@ -32,6 +32,15 @@ sets are input-independent (everyone transmits, or who-transmits is
 derived from public data) qualifies for
 :func:`~repro.core.compiled.mark_oblivious`: repeated runs then replay a
 compiled schedule instead of re-classifying every frame round.
+
+Whether a composed program actually qualifies is checkable *before* the
+first recording run: the static verifier
+(``python -m repro.analysis``, :mod:`repro.analysis.oblivious`) traces
+the program's round structure over perturbed inputs and seed variants
+and refutes a wrong ``mark_oblivious`` declaration with the exact
+offending round — the same deviation the fast engine would otherwise
+discover at runtime via schedule eviction
+(:class:`~repro.core.errors.ReplayEvictionWarning`).
 """
 
 from __future__ import annotations

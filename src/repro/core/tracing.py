@@ -8,7 +8,7 @@ traffic summaries.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.core.network import RunResult
 

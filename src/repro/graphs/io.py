@@ -8,7 +8,7 @@ against networkx's implementation.
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import List
 
 from repro.graphs.graph import Graph
 

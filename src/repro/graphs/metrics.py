@@ -8,7 +8,7 @@ graphs), and generally useful to adopters of the graph substrate.
 from __future__ import annotations
 
 import collections
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from repro.graphs.graph import Graph
 

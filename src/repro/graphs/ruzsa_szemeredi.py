@@ -75,7 +75,6 @@ def behrend_set(limit: int, dimensions: int) -> Set[int]:
     base = max(3, int(math.ceil(limit ** (1.0 / dimensions))))
     d = max(1, base // 2)
     by_norm = {}
-    digits = [0] * dimensions
 
     def rec(idx: int, value: int, norm: int, scale: int) -> None:
         if value >= limit:

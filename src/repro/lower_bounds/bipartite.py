@@ -39,7 +39,7 @@ this is the case carrying Theorem 22's Ω(√n/b).
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional
 
 from repro.graphs.extremal import incidence_graph, is_prime
 from repro.graphs.generators import complete_bipartite

@@ -18,7 +18,7 @@ Theorems 15, 19 and 22.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import AbstractSet, Callable, Optional, Tuple
+from typing import AbstractSet, Optional
 
 from repro.core.network import Mode, Network
 from repro.lower_bounds.lb_graphs import LowerBoundGraph

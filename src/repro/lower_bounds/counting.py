@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import itertools
 import math
-from typing import Callable, List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 __all__ = [
     "counting_round_lower_bound",

@@ -25,7 +25,7 @@ middles), so Theorem 19's bound applies to CONGEST as well.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.graphs.extremal import dense_cycle_free_graph
 from repro.graphs.generators import cycle_graph

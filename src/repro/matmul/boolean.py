@@ -7,8 +7,7 @@ products, triangle counting via trace(A³)/6, and Strassen over F2.
 
 from __future__ import annotations
 
-import random
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 

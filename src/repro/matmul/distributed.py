@@ -45,7 +45,7 @@ from repro.circuits.arithmetic import matmul_circuit_naive, matmul_circuit_stras
 from repro.circuits.circuit import Circuit
 from repro.core.bits import Bits
 from repro.core.compiled import mark_oblivious
-from repro.core.network import Mode, Network, Outbox, RunResult
+from repro.core.network import Mode, Network, RunResult
 from repro.core.phases import transmit_unicast
 from repro.graphs.graph import Graph
 from repro.routing.lenzen import payload_demand, route_payloads

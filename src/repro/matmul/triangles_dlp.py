@@ -16,7 +16,6 @@ randomized and out of scope; see DESIGN.md).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 

@@ -29,7 +29,7 @@ two-phase rounds).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Tuple
 
 __all__ = ["FrameRef", "RoutingSchedule", "build_schedule"]
 

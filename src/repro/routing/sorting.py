@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
-from repro.core.bits import BitReader, Bits, BitWriter
+from repro.core.bits import BitReader, BitWriter
 from repro.core.network import Context, Mode, Network, RunResult
 from repro.core.phases import transmit_broadcast
 from repro.routing.lenzen import payload_demand, route_payloads

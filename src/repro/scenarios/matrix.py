@@ -121,6 +121,10 @@ class MatrixCell:
     verify_match: Optional[bool] = None
     #: Graceful degradation, if the planned backend failed mid-sweep.
     engine_fallback: Optional[str] = None
+    #: Static-analysis verdict for the cell's (protocol, family, n)
+    #: coordinate (``ScenarioMatrix(analyze=True)``): None = not run.
+    analysis_ok: Optional[bool] = None
+    analysis_violations: Optional[List[str]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -146,6 +150,8 @@ class MatrixCell:
             "verify_digest": self.verify_digest,
             "verify_match": self.verify_match,
             "engine_fallback": self.engine_fallback,
+            "analysis_ok": self.analysis_ok,
+            "analysis_violations": self.analysis_violations,
         }
 
 
@@ -169,6 +175,7 @@ class MatrixResult:
             or cell.matches_reference is False
             or cell.validated is False
             or cell.verify_match is False
+            or cell.analysis_ok is False
         ]
 
     def injected_cells(self) -> List[MatrixCell]:
@@ -281,6 +288,7 @@ class ScenarioMatrix:
         repeats: int = 1,
         verify: Optional[str] = None,
         fault_plan: Optional[Any] = None,
+        analyze: bool = False,
     ) -> None:
         from repro.core.engine.planner import ENGINES
 
@@ -305,6 +313,10 @@ class ScenarioMatrix:
         self.repeats = max(1, repeats)
         self.verify = verify
         self.fault_plan = fault_plan
+        #: When true, every (protocol, family, n) coordinate also runs
+        #: the static verifier (obliviousness + bandwidth budget) and
+        #: its cells carry ``analysis_ok`` / ``analysis_violations``.
+        self.analyze = analyze
 
     def run(self) -> MatrixResult:
         import random
@@ -324,6 +336,7 @@ class ScenarioMatrix:
                     if self.fault_plan is not None
                     else None
                 ),
+                "analyze": self.analyze,
             }
         )
         for protocol_name in self.protocols:
@@ -405,6 +418,22 @@ class ScenarioMatrix:
                                     or cell.verify_match is False
                                     or cell.matches_reference is False
                                 )
+                    # Static-analysis verdict for the coordinate: one
+                    # verifier run per (protocol, family, n), stamped on
+                    # every engine cell (the verdict is engine-free —
+                    # obliviousness and budgets are protocol properties).
+                    if self.analyze:
+                        from repro.analysis.verifier import analyze_protocol
+
+                        analysis = analyze_protocol(
+                            spec, n, family=family_name, seed=self.seed
+                        )
+                        violations = list(analysis.violations)
+                        if analysis.error is not None:
+                            violations.append(analysis.error)
+                        for cell in cells:
+                            cell.analysis_ok = analysis.ok
+                            cell.analysis_violations = violations
                     # Report in the caller's engine order.
                     order = {name: i for i, name in enumerate(self.engines)}
                     cells.sort(key=lambda cell: order[cell.engine])
@@ -448,9 +477,9 @@ class ScenarioMatrix:
                 if chaos:
                     kwargs["fault_plan"] = plan
                 network = Network(engine=engine, **kwargs)
-                start = time.perf_counter()
+                start = time.perf_counter()  # analysis: allow(wall-clock)
                 run = network.run(program, inputs=prepared.inputs)
-                elapsed = time.perf_counter() - start
+                elapsed = time.perf_counter() - start  # analysis: allow(wall-clock)
                 sample_summary = prepared.summarize(run)
                 sample_digest = _digest(sample_summary, run)
                 if digest is not None and sample_digest != digest:

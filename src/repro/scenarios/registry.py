@@ -26,6 +26,7 @@ import random
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.analysis.budget import BandwidthBudget
 from repro.core.bits import Bits
 from repro.core.network import Mode, RunResult
 from repro.graphs.graph import Graph
@@ -73,6 +74,13 @@ class ProtocolSpec:
     engines: Tuple[str, ...]
     #: ``prepare(n, graph, rng) -> PreparedScenario``.
     prepare: Callable[[int, Graph, random.Random], PreparedScenario]
+    #: Declared worst-case per-message width as a function of n — the
+    #: clique model's O(c·log n) constraint made concrete and
+    #: machine-checkable.  The static analyzer
+    #: (``python -m repro.analysis``) verifies every prepared instance
+    #: against it; in strict mode a missing budget is itself a
+    #: violation, so registered protocols must declare one.
+    bandwidth_budget: Optional[BandwidthBudget] = None
 
     def program_for(self, engine: str) -> str:
         """Which program flavour the named engine executes."""
@@ -340,6 +348,9 @@ register_protocol(
         mode=Mode.UNICAST,
         engines=("legacy", "fast", "kernel"),
         prepare=_prepare_routing,
+        # 16-bit frames regardless of n: the demand pattern scales, the
+        # word size does not.
+        bandwidth_budget=BandwidthBudget(flat=16),
     )
 )
 register_protocol(
@@ -349,6 +360,10 @@ register_protocol(
         mode=Mode.UNICAST,
         engines=("legacy", "fast", "kernel"),
         prepare=_prepare_circuit,
+        # The Theorem 2 simulation ships O(log n)-bit words; the
+        # threshold/parity plan's measured width is 2 bits at every
+        # tested n, so 2·⌈log n⌉ holds with room.
+        bandwidth_budget=BandwidthBudget(log_coeff=2),
     )
 )
 register_protocol(
@@ -358,6 +373,10 @@ register_protocol(
         mode=Mode.UNICAST,
         engines=("legacy", "fast", "kernel"),
         prepare=_prepare_triangle_mm,
+        # The Strassen matmul plan's word size carries a log² factor
+        # (per-level pointer encodings in the simulated circuit); 16·L²
+        # bounds every measured size with the tightest margin at n=20.
+        bandwidth_budget=BandwidthBudget(log_sq_coeff=16),
     )
 )
 register_protocol(
@@ -367,6 +386,10 @@ register_protocol(
         mode=Mode.BROADCAST,
         engines=("legacy", "fast"),
         prepare=_prepare_subgraph_detection,
+        # Full-learning broadcasts adjacency rows in fixed 8-bit
+        # blackboard words; the chunk count scales with n, the width
+        # does not.
+        bandwidth_budget=BandwidthBudget(flat=8),
     )
 )
 register_protocol(
@@ -376,5 +399,9 @@ register_protocol(
         mode=Mode.BROADCAST,
         engines=("legacy", "fast"),
         prepare=_prepare_mst,
+        # A Borůvka announcement is (edge, weight): two node ids plus a
+        # 6-bit weight and framing — measured exactly 2·⌈log n⌉ + 7,
+        # budgeted with two spare bits.
+        bandwidth_budget=BandwidthBudget(log_coeff=2, flat=9),
     )
 )

@@ -22,11 +22,11 @@ summaries matches.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
-from repro.circuits.circuit import CONST_KIND, GATE_KIND
+from repro.circuits.circuit import CONST_KIND
 from repro.circuits.gates import (
     AndGate,
     GenericGate,

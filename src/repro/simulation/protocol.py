@@ -37,7 +37,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.circuits.circuit import CONST_KIND, GATE_KIND, INPUT_KIND, Circuit
+from repro.circuits.circuit import CONST_KIND, GATE_KIND, Circuit
 from repro.core.bits import Bits
 from repro.core.compiled import mark_oblivious
 from repro.core.network import Context, Mode, Network, Outbox, RunResult

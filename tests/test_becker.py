@@ -14,7 +14,6 @@ from repro.core.phases import phase_length
 from repro.graphs import (
     Graph,
     complete_graph,
-    cycle_graph,
     degeneracy,
     path_graph,
     random_graph,
@@ -22,7 +21,6 @@ from repro.graphs import (
 )
 from repro.subgraphs.becker import (
     algorithm_a,
-    decode_blackboard,
     encode_neighborhood,
     message_bits,
     reconstruct,

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import itertools
 import random
 
 import pytest
@@ -172,7 +171,7 @@ class TestCircuit:
         c = Circuit()
         x, y = c.add_inputs(2)
         g = c.add_gate(AND, [x, y])
-        h = c.add_gate(OR, [g, x])
+        c.add_gate(OR, [g, x])
         assert c.wire_count() == 4
         assert c.weight(x) == 2  # fan-out only
         assert c.weight(g) == 3  # 2 in + 1 out

@@ -731,7 +731,7 @@ class TestRunManyProtocols:
 
     def test_simulation(self):
         from repro.circuits.builders import parity_tree
-        from repro.simulation import build_plan, make_program, simulate_circuit_many
+        from repro.simulation import make_program, simulate_circuit_many
 
         circuit = parity_tree(16, 4)
         rng = random.Random(11)

@@ -13,7 +13,6 @@ from repro.core.engine import (
     LEGACY_ENGINE,
     Engine,
     ExecutionPlanner,
-    FastEngine,
     KernelEngine,
     LegacyEngine,
     resolve_engine,

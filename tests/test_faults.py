@@ -598,7 +598,7 @@ class TestDegradationChain:
         # the chain re-runs it, legacy reproduces it, and it propagates
         # as the program's own truth.
         def buggy(ctx):
-            inbox = yield Outbox.broadcast_uint(ctx.node_id, WIDTH)
+            yield Outbox.broadcast_uint(ctx.node_id, WIDTH)
             raise KeyError("program bug")
 
         network = Network(n=4, bandwidth=WIDTH, mode=Mode.BROADCAST)
@@ -667,7 +667,9 @@ class TestResilientPhases:
         plan = self.drop_plan()
         lossy_plain = Network(n=n, bandwidth=WIDTH, fault_plan=plan).run(plain)
         lossy_acked = Network(n=n, bandwidth=WIDTH, fault_plan=plan).run(acked)
-        missing = lambda res: sum(n - 1 - len(out) for out in res.outputs)
+        def missing(res):
+            return sum(n - 1 - len(out) for out in res.outputs)
+
         assert missing(lossy_acked) < missing(lossy_plain)
         # Clean runs: identical payloads, bounded extra cost, engine parity.
         clean_plain = Network(n=n, bandwidth=WIDTH).run(plain)

@@ -9,13 +9,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.graphs import (
-    Graph,
-    complete_graph,
-    cycle_graph,
-    empty_graph,
-    random_graph,
-)
+from repro.graphs import complete_graph, cycle_graph, empty_graph, random_graph
 from repro.graphs.io import from_edge_list, from_graph6, to_edge_list, to_graph6
 
 graph_strategy = st.builds(

@@ -75,7 +75,6 @@ class TestTriangleAlgorithmsAgree:
         protocol too — two independent subsystems agreeing."""
         reduction = NOFTriangleReduction(4, bandwidth=8)
         rs = reduction.rs
-        m = rs.triangle_count
         from repro.lower_bounds import nof_instance_graph
 
         g = nof_instance_graph(rs, {0, 1}, {0, 2}, {0, 3})

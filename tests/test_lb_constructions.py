@@ -6,7 +6,7 @@ import random
 
 import pytest
 
-from repro.graphs import contains_subgraph, cycle_graph, degeneracy
+from repro.graphs import contains_subgraph, cycle_graph
 from repro.graphs.properties import bipartition
 from repro.lower_bounds import (
     biclique_lower_bound_graph,

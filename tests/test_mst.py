@@ -83,7 +83,6 @@ class TestBoruvkaProtocol:
         assert len(tree) == 3
 
     def test_duplicate_weights_resolved_consistently(self):
-        rng = random.Random(3)
         graph = complete_graph(9)
         wg = WeightedGraph(
             graph=graph, weights={e: 7 for e in graph.edges()}

@@ -255,7 +255,7 @@ class TestDeterminismAndTranscripts:
     def test_private_rng_deterministic(self):
         def program(ctx):
             value = ctx.rng.randrange(1000)
-            inbox = yield Outbox.broadcast(Bits.from_uint(value, 10))
+            yield Outbox.broadcast(Bits.from_uint(value, 10))
             return value
 
         a = run_protocol(program, n=4, bandwidth=10, mode=Mode.BROADCAST, seed=5)

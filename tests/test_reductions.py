@@ -20,7 +20,6 @@ from repro.lower_bounds import (
     nof_instance_graph,
     sets_disjoint,
 )
-from repro.graphs.ruzsa_szemeredi import rs_graph
 from repro.matmul.boolean import has_triangle
 
 
@@ -149,7 +148,6 @@ class TestTheorem24:
             assert run.disjoint == (not (x_a & x_b & x_c))
 
     def test_costs_attributed_to_parties(self, reduction):
-        m = reduction.universe_size
         run = reduction.solve({0}, {0}, {0})
         assert sum(run.bits_by_party) == run.blackboard_bits
         assert not run.disjoint

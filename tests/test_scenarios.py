@@ -6,12 +6,11 @@ import random
 
 import pytest
 
-from repro.core.network import Mode, Network
+from repro.core.network import Mode
 from repro.scenarios import (
     FAMILIES,
     PROTOCOLS,
     GraphFamily,
-    MatrixResult,
     ProtocolSpec,
     ScenarioMatrix,
     capability_matrix,

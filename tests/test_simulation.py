@@ -17,7 +17,7 @@ from hypothesis import strategies as st
 
 from repro.circuits import builders
 from repro.circuits.circuit import Circuit
-from repro.circuits.gates import AND, OR, XOR, ModGate, ThresholdGate
+from repro.circuits.gates import AND, OR, XOR
 from repro.simulation import assign_gates, build_plan, simulate_circuit
 
 

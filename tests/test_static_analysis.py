@@ -1,0 +1,444 @@
+"""The static protocol verifier: structure, obliviousness, budgets, lint.
+
+Covers the analyzer's contract end to end: every registered protocol
+passes (and the verdicts agree with the runtime replay behaviour), a
+deliberately non-oblivious fixture is refuted with the offending round,
+an over-budget fixture is rejected with per-n diagnostics, the
+determinism lint catches unseeded RNG / wall-clock / dict-order hazards,
+``mark_oblivious`` metadata names programs in analyzer output and
+replay-eviction warnings, and the CLI + matrix integrations gate on it
+all.
+"""
+
+import json
+import warnings
+
+import pytest
+
+from repro.analysis.budget import BandwidthBudget, check_budget, log2_ceil
+from repro.analysis.lint import lint_source
+from repro.analysis.oblivious import perturb_inputs, verify_obliviousness
+from repro.analysis.structure import kernel_structure, trace_structure
+from repro.analysis.verifier import analyze_all, analyze_protocol, check_registry
+from repro.core.bits import Bits
+from repro.core.compiled import (
+    ObliviousInfo,
+    describe_program,
+    mark_oblivious,
+    oblivious_info,
+)
+from repro.core.errors import ReplayEvictionWarning
+from repro.core.kernels import KernelBuilder
+from repro.core.network import Mode, Network, Outbox
+from repro.scenarios.matrix import ScenarioMatrix
+from repro.scenarios.registry import PROTOCOLS, ProtocolSpec, PreparedScenario
+
+
+# -- fixture programs -----------------------------------------------------
+
+
+def chatty_program(ctx):
+    """Non-oblivious on purpose: round 0's sender set is the set of
+    nodes whose input bit is 1."""
+    if ctx.input:
+        yield Outbox.broadcast_uint(1, 4)
+    else:
+        yield Outbox.silent()
+    yield Outbox.broadcast_uint(ctx.node_id, 4)
+    return ctx.node_id
+
+
+def steady_program(ctx):
+    """Oblivious: everyone broadcasts a fixed-width word every round,
+    whatever the inputs say."""
+    total = 0
+    for _ in range(3):
+        inbox = yield Outbox.broadcast_uint(int(ctx.input or 0) & 1, 1)
+        total += sum(payload.to_uint() for _, payload in inbox.items())
+    return total
+
+
+def _bool_inputs(n, pattern):
+    return [bool(pattern >> i & 1) for i in range(n)]
+
+
+NET = dict(n=4, bandwidth=4, mode=Mode.BROADCAST)
+
+
+# -- obliviousness verdicts ----------------------------------------------
+
+
+class TestObliviousness:
+    def test_oblivious_program_proven(self):
+        verdict = verify_obliviousness(steady_program, _bool_inputs(4, 0b0101), NET)
+        assert verdict.oblivious
+        assert verdict.round is None
+        assert verdict.method == "traced"
+        assert verdict.probes >= 3
+
+    def test_non_oblivious_refuted_with_round(self):
+        verdict = verify_obliviousness(chatty_program, _bool_inputs(4, 0b0101), NET)
+        assert not verdict.oblivious
+        assert verdict.round == 0  # the input-dependent round
+        assert "round 0" in verdict.detail
+
+    def test_mismarked_program_flagged(self):
+        def shifty(ctx):
+            if ctx.input:
+                yield Outbox.broadcast_uint(1, 4)
+            else:
+                yield Outbox.silent()
+            return 0
+
+        mark_oblivious(shifty)
+        verdict = verify_obliviousness(shifty, _bool_inputs(4, 0b0011), NET)
+        assert verdict.declared and not verdict.oblivious
+        assert verdict.mismarked
+
+    def test_kernel_programs_oblivious_by_construction(self):
+        builder = KernelBuilder(4, Mode.BROADCAST, 8)
+        builder.broadcast_round([0, 1, 2, 3], 8, None)
+        program = builder.build(name="fixture")
+        verdict = verify_obliviousness(program, None, dict(n=4, bandwidth=8, mode=Mode.BROADCAST))
+        assert verdict.oblivious
+        assert verdict.method == "kernel-declared"
+
+    def test_verdict_agrees_with_runtime_replay(self):
+        """The analyzer's refutation is exactly the deviation the fast
+        engine discovers at replay time — same program, same rounds."""
+        mark_oblivious(chatty_program)
+        try:
+            network = Network(engine="fast", **NET)
+            network.run(chatty_program, inputs=_bool_inputs(4, 0b0101))
+            with pytest.warns(ReplayEvictionWarning, match="chatty_program"):
+                network.run(chatty_program, inputs=_bool_inputs(4, 0b1010))
+            assert network.schedule_stats["fallbacks"] == 1
+            assert "chatty_program" in network.last_eviction
+        finally:
+            delattr(chatty_program, "__oblivious_key__")
+
+    def test_oblivious_program_never_evicts(self):
+        mark_oblivious(steady_program)
+        try:
+            network = Network(engine="fast", **NET)
+            with warnings.catch_warnings():
+                warnings.simplefilter("error", ReplayEvictionWarning)
+                network.run(steady_program, inputs=_bool_inputs(4, 0b0101))
+                network.run(steady_program, inputs=_bool_inputs(4, 0b1110))
+            assert network.schedule_stats["fallbacks"] == 0
+            assert network.schedule_stats["replayed"] == 1
+        finally:
+            delattr(steady_program, "__oblivious_key__")
+
+    def test_perturbation_preserves_structure(self):
+        rng = __import__("random").Random(0)
+        inputs = {
+            "flag": True,
+            "payload": Bits.from_uint(0b1011, 4),
+            "nested": [0, 1, ("x", False)],
+        }
+        out = perturb_inputs(inputs, rng)
+        assert set(out) == set(inputs)
+        assert len(out["payload"]) == 4
+        assert out["payload"] != inputs["payload"]
+        assert out["flag"] is False
+        assert len(out["nested"]) == 3
+
+
+# -- structure extraction -------------------------------------------------
+
+
+class TestStructure:
+    def test_kernel_structure_reads_declarations_without_callbacks(self):
+        def boom(*args):
+            raise AssertionError("callback must never run during analysis")
+
+        builder = KernelBuilder(4, Mode.UNICAST, 6)
+        builder.unicast_round(
+            [(0, [1, 2]), (1, [3])], 6, boom, boom
+        )
+        builder.broadcast_round([0, 1], 6, boom, boom)
+        program = builder.build(name="declared")
+        structure = kernel_structure(program)
+        assert structure.source == "kernel-declared"
+        assert [s.kind for s in structure.rounds] == ["unicast", "broadcast"]
+        assert structure.rounds[0].messages == 3
+        assert structure.rounds[0].total_bits == 18
+        assert structure.rounds[1].messages == 2
+        assert structure.max_message_width == 6
+
+    def test_trace_matches_executed_rounds(self):
+        structure = trace_structure(steady_program, _bool_inputs(4, 0), NET)
+        assert structure.source == "traced"
+        assert structure.num_rounds == 3
+        assert all(s.kind == "broadcast" for s in structure.rounds)
+        assert all(s.messages == 4 for s in structure.rounds)
+        assert structure.max_message_width == 1
+
+    def test_first_divergence_reports_round(self):
+        base = trace_structure(chatty_program, _bool_inputs(4, 0b0101), NET)
+        other = trace_structure(chatty_program, _bool_inputs(4, 0b0111), NET)
+        assert base.first_divergence(other) == 0
+        assert base.first_divergence(base) is None
+
+
+# -- bandwidth budgets ----------------------------------------------------
+
+
+class TestBudgets:
+    def test_budget_formula(self):
+        budget = BandwidthBudget(flat=3, log_coeff=2, log_sq_coeff=1)
+        assert log2_ceil(8) == 3
+        assert budget.bits(8) == 3 + 6 + 9
+        assert budget.is_loglinear
+        assert not BandwidthBudget(linear_coeff=1).is_loglinear
+        assert "log(n)" in budget.describe()
+
+    def test_missing_budget_is_violation(self):
+        verdict = check_budget(None, 8, 10)
+        assert not verdict.ok
+        assert "no bandwidth_budget" in verdict.detail
+
+    def test_over_budget_fixture_refused(self):
+        def wide_program(ctx):
+            yield Outbox.broadcast_uint(0, 3 * ctx.n)
+            return None
+
+        def prepare(n, graph, rng):
+            return PreparedScenario(
+                network_kwargs=dict(n=n, bandwidth=3 * n, mode=Mode.BROADCAST),
+                programs={"generator": wide_program},
+                inputs=None,
+                summarize=lambda result: result.rounds,
+            )
+
+        spec = ProtocolSpec(
+            name="over_budget_fixture",
+            description="sends Θ(n)-bit words against an O(log n) budget",
+            mode=Mode.BROADCAST,
+            engines=("legacy", "fast"),
+            prepare=prepare,
+            bandwidth_budget=BandwidthBudget(log_coeff=4),
+        )
+        analysis = analyze_protocol(spec, 8)
+        assert not analysis.ok
+        assert analysis.budget is not None and not analysis.budget.ok
+        assert analysis.observed_width == 24
+        assert analysis.budget.allowed == 12
+        assert any("EXCEEDS" in v for v in analysis.violations)
+
+    def test_every_registered_protocol_declares_a_budget(self):
+        for name, spec in PROTOCOLS.items():
+            assert spec.bandwidth_budget is not None, name
+            assert spec.bandwidth_budget.is_loglinear, name
+
+
+# -- determinism lint -----------------------------------------------------
+
+
+class TestLint:
+    def test_unseeded_random_flagged(self):
+        findings = lint_source(
+            "import random\n"
+            "def pick():\n"
+            "    return random.randint(0, 7)\n"
+        )
+        assert [f.rule for f in findings] == ["unseeded-random"]
+        assert findings[0].line == 3
+
+    def test_seeded_rng_clean(self):
+        findings = lint_source(
+            "import random\n"
+            "def pick(seed):\n"
+            "    rng = random.Random(seed)\n"
+            "    return rng.randint(0, 7)\n"
+        )
+        assert findings == []
+
+    def test_numpy_global_random_flagged(self):
+        findings = lint_source(
+            "import numpy as np\n"
+            "x = np.random.rand(4)\n"
+            "rng = np.random.default_rng(0)\n"
+        )
+        assert [f.rule for f in findings] == ["unseeded-random"]
+        assert findings[0].line == 2
+
+    def test_wall_clock_flagged_and_pragma_suppresses(self):
+        source = (
+            "import time\n"
+            "a = time.perf_counter()\n"
+            "b = time.perf_counter()  # analysis: allow(wall-clock)\n"
+        )
+        findings = lint_source(source)
+        assert [f.line for f in findings] == [2]
+        assert findings[0].rule == "wall-clock"
+
+    def test_from_import_wall_clock_flagged(self):
+        findings = lint_source(
+            "from time import perf_counter\n"
+            "start = perf_counter()\n"
+        )
+        assert [f.rule for f in findings] == ["wall-clock"]
+
+    def test_dict_order_yield_flagged(self):
+        findings = lint_source(
+            "def program(ctx, messages):\n"
+            "    for dest, payload in messages.items():\n"
+            "        yield dest, payload\n"
+        )
+        assert [f.rule for f in findings] == ["dict-order-yield"]
+
+    def test_sorted_iteration_clean(self):
+        findings = lint_source(
+            "def program(ctx, messages):\n"
+            "    for dest, payload in sorted(messages.items()):\n"
+            "        yield dest, payload\n"
+        )
+        assert findings == []
+
+    def test_repro_tree_is_clean(self):
+        import pathlib
+
+        import repro
+
+        from repro.analysis.lint import lint_paths
+
+        findings = lint_paths([pathlib.Path(repro.__file__).parent])
+        assert findings == [], [str(f) for f in findings]
+
+
+# -- mark_oblivious metadata ---------------------------------------------
+
+
+class TestObliviousMetadata:
+    def test_metadata_attached(self):
+        def routed(ctx):
+            yield Outbox.silent()
+            return None
+
+        mark_oblivious(routed, "fixture", 1)
+        info = oblivious_info(routed)
+        assert isinstance(info, ObliviousInfo)
+        assert info.name.endswith("routed")
+        assert info.module == __name__
+        assert info.line > 0
+        assert "routed" in describe_program(routed)
+        assert __name__ in describe_program(routed)
+
+    def test_describe_unmarked_program(self):
+        def anonymous(ctx):
+            yield Outbox.silent()
+
+        text = describe_program(anonymous)
+        assert "anonymous" in text
+
+    def test_describe_kernel_program(self):
+        builder = KernelBuilder(3, Mode.BROADCAST, 2)
+        builder.broadcast_round([0], 2, None)
+        program = builder.build(name="kp-fixture")
+        assert "kp-fixture" in describe_program(program)
+
+
+# -- registry consistency & full sweep ------------------------------------
+
+
+class TestVerifier:
+    def test_all_registered_protocols_pass(self):
+        report = analyze_all(sizes=[6])
+        assert report.ok, report.violations()
+        for analysis in report.analyses:
+            assert analysis.ok
+            assert analysis.budget is not None and analysis.budget.ok
+            for verdict in analysis.oblivious.values():
+                assert verdict.oblivious
+                assert not verdict.mismarked
+
+    def test_registry_gaps_explain_unsupported_cells(self):
+        findings = check_registry()
+        violations = [f for f in findings if f.kind == "violation"]
+        assert violations == []
+        gaps = {(f.protocol, f.engine) for f in findings if f.kind == "unsupported"}
+        assert gaps == {("mst", "kernel"), ("subgraph_detection", "kernel")}
+
+    def test_contradictory_spec_is_violation(self):
+        def prepare(n, graph, rng):
+            return PreparedScenario(
+                network_kwargs=dict(n=n, bandwidth=2, mode=Mode.BROADCAST),
+                programs={"generator": steady_program},
+                inputs=None,
+                summarize=lambda result: result.rounds,
+            )
+
+        spec = ProtocolSpec(
+            name="contradictory_fixture",
+            description="claims the kernel engine without a kernel program",
+            mode=Mode.BROADCAST,
+            engines=("legacy", "fast", "kernel"),
+            prepare=prepare,
+            bandwidth_budget=BandwidthBudget(flat=2),
+        )
+        PROTOCOLS[spec.name] = spec
+        try:
+            findings = check_registry()
+            assert any(
+                f.kind == "violation"
+                and f.protocol == "contradictory_fixture"
+                and f.engine == "kernel"
+                for f in findings
+            )
+        finally:
+            del PROTOCOLS[spec.name]
+
+    def test_report_serializes(self):
+        report = analyze_all(protocols=["mst"], sizes=[6])
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["ok"] is True
+        assert payload["protocols"][0]["protocol"] == "mst"
+        assert payload["protocols"][0]["budget"]["ok"] is True
+
+
+# -- CLI and matrix integration -------------------------------------------
+
+
+class TestIntegration:
+    def test_cli_strict_passes_on_registry(self, tmp_path, capsys):
+        from repro.analysis.__main__ import main
+
+        out = tmp_path / "analysis_report.json"
+        code = main(["--all", "--strict", "--sizes", "6", "--json", str(out)])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["ok"] is True
+        assert payload["violations"] == []
+        rendered = capsys.readouterr().out
+        assert "Static protocol analysis" in rendered
+        assert "0 violations" in rendered
+
+    def test_cli_strict_fails_on_lint_fixture(self, tmp_path, capsys):
+        from repro.analysis.__main__ import main
+
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import random\nx = random.random()\n")
+        code = main(
+            ["--all", "--strict", "--sizes", "6", "--lint-root", str(dirty)]
+        )
+        assert code == 1
+        assert "unseeded-random" in capsys.readouterr().out
+
+    def test_matrix_analyze_stamps_cells(self):
+        matrix = ScenarioMatrix(
+            ["mst"], ["gnp"], [6], engines=["legacy"], analyze=True
+        )
+        result = matrix.run()
+        assert result.meta["analyze"] is True
+        for cell in result.cells:
+            assert cell.analysis_ok is True
+            assert cell.analysis_violations == []
+            assert cell.to_dict()["analysis_ok"] is True
+        assert result.mismatches() == []
+
+    def test_matrix_without_analyze_leaves_cells_unstamped(self):
+        matrix = ScenarioMatrix(["mst"], ["gnp"], [6], engines=["legacy"])
+        result = matrix.run()
+        assert all(cell.analysis_ok is None for cell in result.cells)

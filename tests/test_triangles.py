@@ -8,7 +8,6 @@ import random
 import pytest
 
 from repro.graphs import (
-    Graph,
     complete_bipartite,
     complete_graph,
     cycle_graph,
@@ -101,7 +100,6 @@ class TestDLP:
     def test_rounds_scale_sublinearly(self):
         """Õ(n^{1/3})·(1/b) traffic: doubling n should not double rounds
         at fixed bandwidth (sublinear growth)."""
-        rng = random.Random(8)
         rounds = {}
         for n in (16, 64):
             g = complete_bipartite(n // 2, n // 2)  # dense, triangle-free

@@ -10,7 +10,6 @@ from repro.graphs import (
     contains_subgraph,
     cycle_graph,
     path_graph,
-    star_graph,
     turan_graph,
 )
 from repro.graphs.extremal import incidence_graph, polarity_graph
@@ -32,12 +31,12 @@ class TestTuranGraph:
     def test_edge_formula_matches_construction(self, n, r):
         assert turan_graph(n, r).m == turan_graph_edges(n, r)
 
-    @pytest.mark.parametrize("n,l", [(6, 3), (10, 4), (12, 5)])
-    def test_exactness_of_clique_bound(self, n, l):
-        """The Turán graph T(n, l-1) is K_l-free and meets the bound."""
-        t = turan_graph(n, l - 1)
-        assert not contains_subgraph(t, complete_graph(l))
-        assert t.m == ex_clique(n, l)
+    @pytest.mark.parametrize("n,k", [(6, 3), (10, 4), (12, 5)])
+    def test_exactness_of_clique_bound(self, n, k):
+        """The Turán graph T(n, k-1) is K_k-free and meets the bound."""
+        t = turan_graph(n, k - 1)
+        assert not contains_subgraph(t, complete_graph(k))
+        assert t.m == ex_clique(n, k)
 
     def test_k3_is_bipartite_bound(self):
         assert ex_clique(8, 3) == 16  # K_{4,4}
