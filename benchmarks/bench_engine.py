@@ -50,6 +50,13 @@ every backend to the legacy reference engine.  The sweep aborts the
 benchmark if any cell diverges, so the JSON doubles as an equivalence
 certificate for the engine subsystem.
 
+A ``sharded`` section (PR 8) runs one sweep through the resilient
+sharded executor (:mod:`repro.scenarios.sweep`) at several worker
+counts, asserts the pooled digests byte-identical to the serial runner,
+aggregates per-worker accounting (cells / seconds / bits), and gates
+the serial path's dispatch overhead with the pool code inactive at
+1.05x.
+
 An ``analysis`` section runs the static protocol verifier
 (:mod:`repro.analysis`) over the registry — obliviousness proofs,
 bandwidth-budget checks, registry consistency — and aborts the
@@ -832,6 +839,90 @@ def bench_faults(quick, repeats):
     return record
 
 
+def bench_sharded(quick, repeats):
+    """The resilient sharded executor: the same sweep serial and pooled.
+
+    Two contracts are gated here.  Determinism: pooled digests must be
+    byte-identical to the serial runner at every tested worker count.
+    Zero-cost inactivity: the plain serial path (``run()`` with no sweep
+    keywords) must cost no more than 1.05x the raw serial loop — merging
+    the pool code must not tax users who never shard.  Per-worker
+    accounting (cells / seconds / bits per worker) is aggregated into
+    the report for the pooled runs.
+    """
+    from repro.scenarios import ScenarioMatrix
+
+    protocols = ["routing", "mst"]
+    families = ["gnp"] if quick else ["gnp", "cycle"]
+    sizes = [8] if quick else [8, 16]
+    worker_counts = [2] if quick else [1, 2, 4]
+    # Best-of-many: the dispatch-overhead gate compares millisecond-scale
+    # serial sweeps, so take enough samples to squeeze out scheduler noise.
+    samples = max(5, repeats * 3)
+
+    def make():
+        return ScenarioMatrix(
+            protocols, families, sizes,
+            engines=["legacy", "fast"], seed=20260808,
+        )
+
+    def views(result):
+        return [
+            (c.protocol, c.family, c.n, c.engine, c.status, c.digest)
+            for c in result.cells
+        ]
+
+    raw_seconds, serial = _time_best(lambda: make()._run_serial(), samples)
+    run_seconds, via_run = _time_best(lambda: make().run(), samples)
+    assert views(via_run) == views(serial)
+    overhead = run_seconds / raw_seconds
+    record = {
+        "protocols": protocols,
+        "families": families,
+        "sizes": sizes,
+        "cells": len(serial.cells),
+        "samples": samples,
+        "serial_raw_seconds": round(raw_seconds, 6),
+        "serial_run_seconds": round(run_seconds, 6),
+        "serial_dispatch_overhead": round(overhead, 4),
+        "pool": {},
+    }
+    print(
+        f"   sharded serial {len(serial.cells)} cells "
+        f"{raw_seconds:.3f}s  dispatch overhead {overhead:.3f}x"
+    )
+    for workers in worker_counts:
+        seconds, pooled = _time_best(
+            lambda w=workers: make().run(workers=w), 1
+        )
+        assert views(pooled) == views(serial), (
+            f"sharded sweep diverged from the serial runner at W={workers}"
+        )
+        pool_meta = pooled.meta["pool"]
+        assert pool_meta["executor"] == "pool", pool_meta
+        record["pool"][f"W={workers}"] = {
+            "seconds": round(seconds, 6),
+            "speedup_vs_serial": round(raw_seconds / seconds, 4),
+            "respawns": pool_meta["respawns"],
+            "quarantined": len(pool_meta["quarantined"]),
+            "worker_stats": pool_meta["worker_stats"],
+        }
+        busiest = max(
+            (s["cells"] for s in pool_meta["worker_stats"].values()),
+            default=0,
+        )
+        print(
+            f"   sharded W={workers}  {seconds:.3f}s  "
+            f"digests identical  busiest worker {busiest} cells"
+        )
+    assert overhead <= 1.05, (
+        f"serial path costs {overhead:.3f}x with the pool code inactive "
+        "(budget 1.05x) — run() dispatch regressed"
+    )
+    record["digest_match"] = True
+    return record
+
+
 def bench_meta():
     """Environment stamp so BENCH_engine.json files are comparable
     across PRs and machines."""
@@ -901,6 +992,7 @@ def main(argv=None):
     kernels = bench_kernels(args.quick, repeats)
     scenario_matrix = bench_scenario_matrix(args.quick, repeats)
     faults = bench_faults(args.quick, repeats)
+    sharded = bench_sharded(args.quick, repeats)
     analysis = bench_analysis(args.quick)
 
     top_n = max(sizes)
@@ -950,6 +1042,9 @@ def main(argv=None):
         "scenario_cells_total": len(scenario_matrix["cells"]),
         "scenario_mismatches": scenario_matrix["mismatch_count"],
         "faults_disabled_overhead": faults["inactive_plan_overhead"],
+        "sharded_serial_overhead": sharded["serial_dispatch_overhead"],
+        "sharded_digest_match": sharded["digest_match"],
+        "sharded_worker_counts": sorted(sharded["pool"]),
         "analysis_violations": analysis["violation_count"],
     }
     report = {
@@ -965,6 +1060,7 @@ def main(argv=None):
         "kernels": kernels,
         "scenario_matrix": scenario_matrix,
         "faults": faults,
+        "sharded": sharded,
         "analysis": analysis,
         "acceptance": acceptance,
     }

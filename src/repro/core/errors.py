@@ -60,6 +60,56 @@ class DecodeError(ReproError):
     encountered a malformed encoding."""
 
 
+class SweepExecutionError(ReproError):
+    """Base class for failures of the sharded sweep executor
+    (:mod:`repro.scenarios.sweep`): infrastructure faults of the harness
+    itself, as opposed to protocol-semantic errors of the cell being run.
+
+    Every instance carries the failing cell's ``coordinate`` (the
+    ``seed:protocol:family:n:engine`` journal key, or ``None`` when the
+    failure is not tied to one cell), the ``attempts`` already spent on
+    it, and a short ``traceback_digest`` deduplicating crash signatures
+    across a sweep — the same forensics triple the PR 6 fault taxonomy
+    records on failed matrix cells.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        coordinate: "str | None" = None,
+        attempts: int = 0,
+        traceback_digest: "str | None" = None,
+    ) -> None:
+        detail = message
+        if coordinate is not None:
+            detail += f" [cell {coordinate}, attempt {attempts}]"
+        super().__init__(detail)
+        self.coordinate = coordinate
+        self.attempts = attempts
+        self.traceback_digest = traceback_digest
+
+
+class WorkerCrashError(SweepExecutionError):
+    """A sweep worker process died (segfault, SIGKILL, lost heartbeat,
+    unclean exit) while executing — or assigned — a matrix cell.  The
+    supervisor retries the cell with backoff; after ``max_attempts`` the
+    cell lands in the poison quarantine with this error recorded."""
+
+
+class CellTimeoutError(SweepExecutionError):
+    """A sweep cell exceeded its wall-clock deadline and the supervisor
+    SIGKILLed the worker running it.  Distinct from
+    :class:`RoundLimitExceeded`, which is the *in-protocol* watchdog: a
+    cell that hangs outside the round loop (in ``prepare``, in native
+    code) only this deadline can catch."""
+
+
+class SweepResumeError(SweepExecutionError):
+    """A sweep journal could not be resumed: it belongs to a different
+    sweep (fingerprint mismatch), is corrupted beyond the tolerated
+    torn trailing line, or would be silently overwritten."""
+
+
 class ReplayEvictionWarning(UserWarning):
     """A program declared oblivious (:func:`~repro.core.compiled.mark_oblivious`)
     deviated structurally from its compiled schedule: the stale entry was

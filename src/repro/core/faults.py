@@ -267,6 +267,62 @@ class FaultPlan:
             "delay_rounds": self.delay_rounds,
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        """Inverse of :meth:`to_dict`; raises
+        :class:`~repro.core.errors.FaultInjectionError` on malformed
+        input (unknown keys, unparseable trigger coordinates) so a plan
+        read from disk either round-trips exactly or fails loudly."""
+        known = {
+            "seed", "drop_rate", "corrupt_rate", "duplicate_rate",
+            "delay_rate", "crash_rate", "crash_horizon", "crashes",
+            "triggers", "from_round", "until_round", "delay_rounds",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise FaultInjectionError(
+                f"unknown FaultPlan fields {sorted(unknown)}; known: {sorted(known)}"
+            )
+        kwargs = dict(data)
+        try:
+            kwargs["crashes"] = {
+                int(node): int(crash_round)
+                for node, crash_round in data.get("crashes", {}).items()
+            }
+            triggers: Dict[Tuple[int, int, Optional[int]], str] = {}
+            for coord, kind in data.get("triggers", {}).items():
+                r, s, d = coord.split(":")
+                triggers[(int(r), int(s), None if d == "*" else int(d))] = kind
+            kwargs["triggers"] = triggers
+        except (ValueError, AttributeError) as exc:
+            raise FaultInjectionError(
+                f"malformed FaultPlan serialization: {exc}"
+            ) from exc
+        return cls(**kwargs)
+
+    def to_json(self) -> str:
+        """Canonical JSON encoding — the form chaos plans cross process
+        boundaries and land in sweep journals in."""
+        import json
+
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Inverse of :meth:`to_json`: ``FaultPlan.from_json(p.to_json())``
+        equals ``p`` and produces the identical fault schedule."""
+        import json
+
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultInjectionError(f"FaultPlan JSON does not parse: {exc}") from exc
+        if not isinstance(data, dict):
+            raise FaultInjectionError(
+                f"FaultPlan JSON must be an object, got {type(data).__name__}"
+            )
+        return cls.from_dict(data)
+
 
 class FaultSession:
     """Per-run fault state: the event log, the delayed-delivery queue

@@ -19,6 +19,13 @@ engine subsystem (:mod:`repro.core.engine`):
   accounting, validates against ground truth, digests outputs, and
   checks every backend against the legacy reference engine.  JSON in,
   JSON out — the benchmark harness and CI smoke sweep are thin callers.
+* :mod:`repro.scenarios.sweep` — **resilient sharded execution**:
+  ``run(workers=W)`` fans cells across a supervised spawn-context
+  worker pool with per-cell deadlines, crash retry with backoff, a
+  poison-cell quarantine, and a durable JSONL journal
+  (``journal=`` / ``resume_from=``) that makes killed sweeps resumable
+  with byte-identical digests.  ``python -m repro.scenarios`` is the
+  CLI over all of it.
 
 Planner contract (shared with :mod:`repro.core.engine`): a cell names
 its backend explicitly, the network pins it through the
@@ -35,7 +42,13 @@ from repro.scenarios.families import (
     get_family,
     register_family,
 )
-from repro.scenarios.matrix import MatrixCell, MatrixResult, ScenarioMatrix
+from repro.scenarios.matrix import (
+    DEFAULT_CELL_ROUND_LIMIT,
+    MatrixCell,
+    MatrixResult,
+    ScenarioMatrix,
+    run_cell,
+)
 from repro.scenarios.registry import (
     PROTOCOLS,
     PreparedScenario,
@@ -62,4 +75,6 @@ __all__ = [
     "ScenarioMatrix",
     "MatrixCell",
     "MatrixResult",
+    "run_cell",
+    "DEFAULT_CELL_ROUND_LIMIT",
 ]

@@ -1,0 +1,152 @@
+"""CLI for the scenario matrix: ``python -m repro.scenarios``.
+
+Runs a sweep over registered protocols × graph families × sizes ×
+engines, serially or on the supervised worker pool, with optional
+journaling and resume:
+
+    # serial smoke sweep
+    python -m repro.scenarios --protocols routing mst --sizes 8
+
+    # sharded, journaled, with per-cell deadlines
+    python -m repro.scenarios --workers 4 --journal sweep.jsonl \\
+        --cell-timeout 120 --out sweep.json
+
+    # after a crash/kill: replay completed cells, run the rest
+    python -m repro.scenarios --workers 4 --journal sweep.jsonl --resume
+
+Exit status is non-zero when any cell mismatches the reference digest,
+fails validation or execution, or diverges cross-engine — so the CLI
+slots directly into CI jobs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.scenarios.families import family_names
+from repro.scenarios.matrix import DEFAULT_CELL_ROUND_LIMIT, ScenarioMatrix
+from repro.scenarios.registry import protocol_names
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.scenarios",
+        description="Run a scenario-matrix sweep (serial or sharded).",
+    )
+    parser.add_argument(
+        "--protocols", nargs="+", default=None, metavar="NAME",
+        help=f"protocols to sweep (default: all; known: {protocol_names()})",
+    )
+    parser.add_argument(
+        "--families", nargs="+", default=["gnp", "cycle"], metavar="NAME",
+        help=f"graph families (default: gnp cycle; known: {family_names()})",
+    )
+    parser.add_argument(
+        "--sizes", nargs="+", type=int, default=[8], metavar="N",
+        help="problem sizes (default: 8)",
+    )
+    parser.add_argument(
+        "--engines", nargs="+", default=None, metavar="ENGINE",
+        help="engines to run each cell on (default: all registered)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="sweep base seed")
+    parser.add_argument(
+        "--repeats", type=int, default=1, help="timing samples per cell"
+    )
+    parser.add_argument(
+        "--verify", choices=["cross-engine"], default=None,
+        help="re-run every ok cell on a witness engine and compare digests",
+    )
+    parser.add_argument(
+        "--analyze", action="store_true",
+        help="run the static verifier on every (protocol, family, n)",
+    )
+    parser.add_argument(
+        "--round-limit", type=int, default=DEFAULT_CELL_ROUND_LIMIT,
+        metavar="R",
+        help="per-cell round watchdog (0 disables; default "
+        f"{DEFAULT_CELL_ROUND_LIMIT})",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="W",
+        help="shard cells across W supervised worker processes "
+        "(default: run serially in-process)",
+    )
+    parser.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="append every completed cell to a durable JSONL journal",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume from --journal: replay its completed cells instead "
+        "of re-executing them",
+    )
+    parser.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-cell wall-clock deadline enforced by the supervisor "
+        "(SIGKILL on expiry; pool mode only)",
+    )
+    parser.add_argument(
+        "--max-attempts", type=int, default=3, metavar="K",
+        help="attempts per cell before quarantine (pool mode; default 3)",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the full MatrixResult JSON here",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.resume and args.journal is None:
+        print("--resume requires --journal", file=sys.stderr)
+        return 2
+    matrix = ScenarioMatrix(
+        protocols=args.protocols or protocol_names(),
+        families=args.families,
+        sizes=args.sizes,
+        engines=args.engines,
+        seed=args.seed,
+        repeats=args.repeats,
+        verify=args.verify,
+        analyze=args.analyze,
+        cell_round_limit=args.round_limit or None,
+    )
+    result = matrix.run(
+        workers=args.workers,
+        journal=args.journal,
+        resume_from=args.journal if args.resume else None,
+        cell_timeout=args.cell_timeout,
+        max_attempts=args.max_attempts,
+    )
+    if args.out is not None:
+        result.write(args.out)
+
+    cells = result.cells
+    ok = [c for c in cells if c.status == "ok"]
+    failed = [c for c in cells if c.status == "failed"]
+    unsupported = [c for c in cells if c.status == "unsupported"]
+    mismatches = result.mismatches()
+    quarantined = result.quarantined()
+    pool = result.meta.get("pool")
+    print(
+        f"cells: {len(cells)} ok={len(ok)} failed={len(failed)} "
+        f"unsupported={len(unsupported)} quarantined={len(quarantined)} "
+        f"mismatches={len(mismatches)}"
+    )
+    if pool is not None:
+        print(
+            f"pool: executor={pool['executor']} workers={pool['workers']} "
+            f"respawns={pool['respawns']} replayed={pool['replayed']}"
+        )
+    for report in result.fault_reports():
+        print("  divergence: " + json.dumps(report, sort_keys=True))
+    return 1 if mismatches else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

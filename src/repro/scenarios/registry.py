@@ -86,6 +86,50 @@ class ProtocolSpec:
         """Which program flavour the named engine executes."""
         return "kernel" if engine == "kernel" else "generator"
 
+    def __reduce__(self):
+        # Specs cross the sweep worker-pool process boundary by name:
+        # unpickling resolves against the child's registry first, so a
+        # builtin (or any spec registered at import time) restores to
+        # the identical object, while an ad-hoc spec re-registers itself
+        # in the child.  ``prepare`` must be picklable for the ad-hoc
+        # path — a lambda-prepared spec fails here at dispatch time,
+        # which the pool turns into a graceful serial fallback.
+        return (
+            _restore_spec,
+            (
+                self.name,
+                self.description,
+                self.mode,
+                self.engines,
+                self.prepare,
+                self.bandwidth_budget,
+            ),
+        )
+
+
+def _restore_spec(
+    name: str,
+    description: str,
+    mode: Mode,
+    engines: Tuple[str, ...],
+    prepare: Callable[[int, Graph, random.Random], PreparedScenario],
+    bandwidth_budget: Optional[BandwidthBudget],
+) -> "ProtocolSpec":
+    """Unpickle hook for :class:`ProtocolSpec` (see ``__reduce__``)."""
+    existing = PROTOCOLS.get(name)
+    if existing is not None:
+        return existing
+    return register_protocol(
+        ProtocolSpec(
+            name=name,
+            description=description,
+            mode=mode,
+            engines=engines,
+            prepare=prepare,
+            bandwidth_budget=bandwidth_budget,
+        )
+    )
+
 
 PROTOCOLS: Dict[str, ProtocolSpec] = {}
 

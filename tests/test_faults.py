@@ -804,3 +804,89 @@ class TestSelfCheckingMatrix:
             record = cell.to_dict()
             assert record["error_type"] == cell.error_type
             assert record["traceback_digest"] == cell.traceback_digest
+
+
+class TestFaultPlanSerialization:
+    """JSON round-trip: chaos plans must cross process boundaries (the
+    sharded sweep pool ships them to workers) without changing a single
+    coin of the schedule."""
+
+    GRID = [
+        (r, s, d)
+        for r in range(1, 6)
+        for s in range(5)
+        for d in [None, *range(5)]
+    ]
+
+    def _schedule(self, plan, nodes=5):
+        return (
+            [plan.fault_for(*coord) for coord in self.GRID],
+            [plan.crash_round(node) for node in range(nodes)],
+            [
+                plan.corrupt_bit(r, s, d, WIDTH)
+                for (r, s, d) in self.GRID
+                if plan.fault_for(r, s, d) == "corrupt"
+            ],
+        )
+
+    def test_round_trip_identity(self):
+        restored = FaultPlan.from_json(CHAOS.to_json())
+        assert restored.to_dict() == CHAOS.to_dict()
+        assert restored.to_json() == CHAOS.to_json()
+
+    def test_round_trip_schedule_equality(self):
+        plan = FaultPlan(
+            seed=11,
+            drop_rate=0.2,
+            corrupt_rate=0.15,
+            duplicate_rate=0.1,
+            delay_rate=0.1,
+            crash_rate=0.3,
+            crash_horizon=8,
+            crashes={2: 4},
+            triggers={(1, 0, 3): "drop", (2, 1, None): "corrupt"},
+            from_round=1,
+            until_round=5,
+            delay_rounds=2,
+        )
+        restored = FaultPlan.from_json(plan.to_json())
+        assert self._schedule(restored) == self._schedule(plan)
+        # Native key types survived: int node keys, tuple triggers with
+        # None for the broadcast wildcard.
+        assert restored.crashes == {2: 4}
+        assert restored.triggers[(2, 1, None)] == "corrupt"
+
+    def test_default_plan_round_trips(self):
+        plan = FaultPlan()
+        assert FaultPlan.from_json(plan.to_json()).to_dict() == plan.to_dict()
+
+    def test_from_json_rejects_garbage(self):
+        with pytest.raises(FaultInjectionError):
+            FaultPlan.from_json("not json {")
+        with pytest.raises(FaultInjectionError):
+            FaultPlan.from_json("[1, 2, 3]")
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(FaultInjectionError):
+            FaultPlan.from_dict({"seed": 1, "warp_rate": 0.5})
+
+    def test_from_dict_rejects_malformed_triggers(self):
+        with pytest.raises(FaultInjectionError):
+            FaultPlan.from_dict({"triggers": {"1-0-2": "drop"}})
+        with pytest.raises(FaultInjectionError):
+            FaultPlan.from_dict({"crashes": {"node three": 1}})
+
+    def test_invalid_values_still_fail_validation(self):
+        # from_dict goes through __init__, so semantic validation (not
+        # just shape validation) applies to deserialized plans too.
+        with pytest.raises(FaultInjectionError):
+            FaultPlan.from_dict({"drop_rate": 1.5})
+
+    def test_faulted_run_identical_under_round_trip(self):
+        restored = FaultPlan.from_json(CHAOS.to_json())
+        original = run_outputs("legacy", CHAOS)
+        replayed = run_outputs("legacy", restored)
+        assert original.outputs == replayed.outputs
+        assert [e.to_dict() for e in original.faults] == [
+            e.to_dict() for e in replayed.faults
+        ]
