@@ -57,6 +57,13 @@ aggregates per-worker accounting (cells / seconds / bits), and gates
 the serial path's dispatch overhead with the pool code inactive at
 1.05x.
 
+A ``checkpoint`` section (PR 9) gates the zero-cost contract of the
+snapshot/restore layer — a run with checkpointing *disabled* must cost
+no more than 1.05x the raw planner dispatch — and measures, for
+context, the enabled-path cost of flushing a snapshot every round and
+the wall-clock saving of resuming a preempted run from its mid-run
+snapshot instead of re-executing from scratch.
+
 An ``analysis`` section runs the static protocol verifier
 (:mod:`repro.analysis`) over the registry — obliviousness proofs,
 bandwidth-budget checks, registry consistency — and aborts the
@@ -763,6 +770,12 @@ def bench_scenario_matrix(quick, repeats):
     # Always 0 after the assert above; recorded through
     # MatrixResult.mismatches() so the definition lives in one place.
     report["mismatch_count"] = len(mismatches)
+    # Compiled-replay evictions surfaced per cell (PR 9): any nonzero
+    # total means a protocol deviated from its declared structure and
+    # silently fell back off the replay fast path.
+    report["evictions_total"] = sum(
+        cell.evictions or 0 for cell in result.cells
+    )
     return report
 
 
@@ -835,6 +848,124 @@ def bench_faults(quick, repeats):
     assert overhead <= 1.05, (
         f"inactive FaultPlan costs {overhead:.3f}x on the fast path "
         "(budget 1.05x) — the no-plan short-circuit regressed"
+    )
+    return record
+
+
+def bench_checkpoint(quick, repeats):
+    """The zero-cost contract of the checkpoint layer (PR 9), plus its
+    payoff.  Gated: a run with checkpointing *disabled* (no ``checkpoint=``
+    / ``resume_from=`` keywords) must cost no more than 1.05x the raw
+    planner dispatch — merging snapshot support must not tax ordinary
+    runs.  Measured for context (no gate — they legitimately do more
+    work): the enabled-path overhead of flushing a snapshot every round,
+    and the resume saving of a run restored from a mid-run snapshot
+    versus re-executing from scratch."""
+    import shutil
+    import tempfile
+
+    from repro.core.checkpoint import CheckpointPolicy
+    from repro.core.errors import RunPreempted
+
+    n = 16 if quick else 32
+    rounds = rounds_for("unicast", n, quick)
+    samples = max(5, repeats * 3)
+
+    def make_network():
+        return Network(n=n, bandwidth=WIDTH, mode=Mode.UNICAST, engine="fast")
+
+    program_maker = unicast_fixed_program
+
+    # Gate: the disabled path is one `is None` branch in Network.run.
+    network = make_network()
+    raw_seconds, raw = _time_best(
+        lambda: network._planner.execute(network, program_maker(rounds), None),
+        samples,
+    )
+    run_seconds, plain = _time_best(
+        lambda: network.run(program_maker(rounds)), samples
+    )
+    assert raw.total_bits == plain.total_bits
+    assert network.checkpoint_stats["snapshots"] == 0
+    overhead = run_seconds / raw_seconds
+
+    # Context: snapshot-every-round cost on a fresh directory per sample.
+    tmp = tempfile.mkdtemp(prefix="bench_ckpt_")
+    try:
+        counter = [0]
+
+        def checkpointed():
+            counter[0] += 1
+            directory = pathlib.Path(tmp) / f"s{counter[0]}"
+            return make_network().run(
+                program_maker(rounds),
+                checkpoint=CheckpointPolicy(str(directory), every_rounds=1),
+            )
+
+        enabled_seconds, enabled = _time_best(checkpointed, samples)
+        assert enabled.total_bits == plain.total_bits
+
+        # Context: resume saving.  Preempt halfway, then time the resumed
+        # completion against a full re-execution.
+        half = rounds // 2
+        resume_dir = pathlib.Path(tmp) / "resume"
+        fired = [0]
+
+        def preempt():
+            fired[0] += 1
+            return fired[0] > half
+
+        try:
+            make_network().run(
+                program_maker(rounds),
+                checkpoint=CheckpointPolicy(
+                    str(resume_dir), every_rounds=1, preempt=preempt
+                ),
+            )
+            raise AssertionError("preemption never fired")
+        except RunPreempted:
+            pass
+        resumed_net = make_network()
+        resume_seconds, resumed = _time_best(
+            lambda: resumed_net.run(
+                program_maker(rounds),
+                checkpoint=CheckpointPolicy(str(resume_dir)),
+                resume_from="auto",
+            ),
+            samples,
+        )
+        assert resumed.total_bits == plain.total_bits
+        stats = resumed_net.checkpoint_stats
+        assert stats["rounds_restored"] == half
+        assert stats["rounds_executed"] == rounds - half
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    record = {
+        "n": n,
+        "rounds": rounds,
+        "samples": samples,
+        "raw_dispatch_seconds": round(raw_seconds, 6),
+        "disabled_run_seconds": round(run_seconds, 6),
+        "checkpoint_disabled_overhead": round(overhead, 4),
+        "enabled_every_round_seconds": round(enabled_seconds, 6),
+        "enabled_overhead_vs_disabled": round(enabled_seconds / run_seconds, 4),
+        "resume_from_round": half,
+        "resumed_seconds": round(resume_seconds, 6),
+        "resume_speedup_vs_full": round(run_seconds / resume_seconds, 4),
+        "rounds_restored": stats["rounds_restored"],
+        "rounds_reexecuted": stats["rounds_executed"],
+    }
+    print(
+        f"checkpoint  n={n:<4} disabled overhead {overhead:.3f}x  "
+        f"every-round {enabled_seconds / run_seconds:.2f}x  "
+        f"resume from r{half} saves "
+        f"{record['resume_speedup_vs_full']:.2f}x"
+    )
+    assert overhead <= 1.05, (
+        f"checkpointing-disabled run costs {overhead:.3f}x the raw "
+        "planner dispatch (budget 1.05x) — the no-checkpoint "
+        "short-circuit regressed"
     )
     return record
 
@@ -992,6 +1123,7 @@ def main(argv=None):
     kernels = bench_kernels(args.quick, repeats)
     scenario_matrix = bench_scenario_matrix(args.quick, repeats)
     faults = bench_faults(args.quick, repeats)
+    checkpoint = bench_checkpoint(args.quick, repeats)
     sharded = bench_sharded(args.quick, repeats)
     analysis = bench_analysis(args.quick)
 
@@ -1042,6 +1174,11 @@ def main(argv=None):
         "scenario_cells_total": len(scenario_matrix["cells"]),
         "scenario_mismatches": scenario_matrix["mismatch_count"],
         "faults_disabled_overhead": faults["inactive_plan_overhead"],
+        "checkpoint_disabled_overhead": checkpoint[
+            "checkpoint_disabled_overhead"
+        ],
+        "checkpoint_resume_speedup": checkpoint["resume_speedup_vs_full"],
+        "scenario_evictions_total": scenario_matrix["evictions_total"],
         "sharded_serial_overhead": sharded["serial_dispatch_overhead"],
         "sharded_digest_match": sharded["digest_match"],
         "sharded_worker_counts": sorted(sharded["pool"]),
@@ -1060,6 +1197,7 @@ def main(argv=None):
         "kernels": kernels,
         "scenario_matrix": scenario_matrix,
         "faults": faults,
+        "checkpoint": checkpoint,
         "sharded": sharded,
         "analysis": analysis,
         "acceptance": acceptance,

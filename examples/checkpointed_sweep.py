@@ -1,0 +1,196 @@
+"""Checkpointable executions, end to end.
+
+Three acts:
+
+1. preempt a single run mid-flight: the checkpoint policy flushes a
+   snapshot every round, the preempt hook fires at round 3, the run
+   raises ``RunPreempted`` with the final snapshot's path — then a
+   fresh network resumes it byte-identically while re-executing
+   strictly fewer rounds;
+2. corrupt the newest snapshot on disk and resume again: the loader
+   detects the damaged digest, falls back to the older valid snapshot,
+   and the result is still byte-identical — corruption costs time,
+   never correctness;
+3. run a checkpointed sweep on the worker pool through a mid-cell
+   SIGKILL: the retry resumes from the last flushed snapshot
+   (partial-progress retry), the journal records the checkpoint
+   lineage, and ``verify_journal`` proves it.
+
+Run:  PYTHONPATH=src python examples/checkpointed_sweep.py
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import signal
+import tempfile
+
+from repro.core.checkpoint import CheckpointPolicy
+from repro.core.errors import RunPreempted
+from repro.core.network import Mode, Network, Outbox
+from repro.scenarios import (
+    PROTOCOLS,
+    PreparedScenario,
+    ProtocolSpec,
+    ScenarioMatrix,
+    register_protocol,
+)
+from repro.scenarios.sweep import SweepJournal, verify_journal
+
+ROUNDS = 6
+
+
+def gossip(ctx):
+    total = ctx.input
+    for r in range(ROUNDS):
+        inbox = yield Outbox.broadcast_uint((total + r) & 0xF, 4)
+        total += sum(value for _sender, value in inbox.uint_items())
+    return total
+
+
+def make_network():
+    return Network(n=5, bandwidth=8, mode=Mode.BROADCAST, engine="fast")
+
+
+def preempt_after(rounds):
+    calls = [0]
+
+    def preempt():
+        calls[0] += 1
+        return calls[0] > rounds
+
+    return preempt
+
+
+def _prepare_crashy(n, graph, rng):
+    """A sweep cell that SIGKILLs its own worker mid-run on the first
+    attempt — no graceful shutdown, the retry must resume from the last
+    routine snapshot."""
+
+    def program(ctx):
+        from repro.scenarios.sweep import worker
+
+        task = worker.CURRENT_TASK
+        total = ctx.node_id
+        for r in range(ROUNDS):
+            if r == 4 and ctx.node_id == 0 and task is not None and task[1] == 1:
+                os.kill(os.getpid(), signal.SIGKILL)
+            inbox = yield Outbox.broadcast_uint((total + r) & 0xF, 4)
+            total += sum(value for _s, value in inbox.uint_items())
+        return total
+
+    return PreparedScenario(
+        network_kwargs=dict(n=n, bandwidth=4, mode=Mode.BROADCAST),
+        programs={"generator": program},
+        inputs=None,
+        summarize=lambda result: tuple(result.outputs),
+        validate=None,
+    )
+
+
+CRASHY = ProtocolSpec(
+    name="example_crashy",
+    description="SIGKILLs its worker mid-run on attempt 1",
+    mode=Mode.BROADCAST,
+    engines=("fast",),
+    prepare=_prepare_crashy,
+)
+
+
+def act_1_preempt_and_resume(tmp: str) -> None:
+    inputs = list(range(5))
+    reference = make_network().run(gossip, inputs)
+
+    net = make_network()
+    try:
+        net.run(
+            gossip, inputs,
+            checkpoint=CheckpointPolicy(
+                tmp, every_rounds=1, preempt=preempt_after(3), keep=10
+            ),
+        )
+        raise AssertionError("preemption never fired")
+    except RunPreempted as exc:
+        print(f"preempted at round {exc.round_index}; "
+              f"final snapshot: {os.path.basename(exc.checkpoint)}")
+
+    resumed_net = make_network()
+    resumed = resumed_net.run(
+        gossip, inputs,
+        checkpoint=CheckpointPolicy(tmp, every_rounds=1),
+        resume_from="auto",
+    )
+    stats = resumed_net.checkpoint_stats
+    print(f"resumed: outputs identical: {resumed.outputs == reference.outputs}, "
+          f"restored {stats['rounds_restored']} rounds, "
+          f"re-executed only {stats['rounds_executed']} of {reference.rounds}")
+
+
+def act_2_corruption_fallback(tmp: str) -> None:
+    inputs = list(range(5))
+    reference = make_network().run(gossip, inputs)
+    newest = sorted(glob.glob(os.path.join(tmp, "*", "r*")))[-1]
+    with open(os.path.join(newest, "payload.npz"), "r+b") as fh:
+        fh.seek(8)
+        fh.write(b"\xff\xff\xff\xff")
+    net = make_network()
+    resumed = net.run(
+        gossip, inputs,
+        checkpoint=CheckpointPolicy(tmp),
+        resume_from="auto",
+    )
+    stats = net.checkpoint_stats
+    skipped = [entry["reason"] for entry in stats["corrupt_skipped"]]
+    print(f"corrupt snapshot skipped ({skipped}), fell back to round "
+          f"{stats['rounds_restored']}; outputs identical: "
+          f"{resumed.outputs == reference.outputs}")
+
+
+def act_3_checkpointed_sweep(tmp: str) -> None:
+    # Registered for the duration of the sweep only: this module also
+    # runs inside the test process (tests/test_examples.py), where a
+    # leaked fast-only spec would pollute the shared registry.
+    register_protocol(CRASHY)
+    try:
+        _run_act_3(tmp)
+    finally:
+        PROTOCOLS.pop(CRASHY.name, None)
+
+
+def _run_act_3(tmp: str) -> None:
+    def sweep():
+        return ScenarioMatrix(
+            ["example_crashy"], ["gnp"], [6], engines=["fast"]
+        )
+
+    serial = sweep().run()
+    journal = os.path.join(tmp, "sweep.jsonl")
+    matrix = sweep()
+    result = matrix.run(
+        workers=1, journal=journal,
+        checkpoint_dir=os.path.join(tmp, "ckpts"),
+        checkpoint_every_rounds=1,
+    )
+    (cell,) = result.cells
+    print(f"SIGKILLed cell: status={cell.status}, attempts={cell.attempts}, "
+          f"retry resumed from round {cell.resumed_from_round}, "
+          f"digest identical: {cell.digest == serial.cells[0].digest}")
+    key = cell.key(matrix.seed)
+    lineage = SweepJournal.load(journal).checkpoints[key]
+    print(f"journal lineage: {len(lineage)} ckpt records across attempts "
+          f"{sorted({r['attempt'] for r in lineage})}")
+    report = verify_journal(journal)
+    print(f"verify_journal: ok={report['ok']}, "
+          f"flushes={report['checkpoints'][key]['flushes']}")
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        act_1_preempt_and_resume(os.path.join(tmp, "single"))
+        act_2_corruption_fallback(os.path.join(tmp, "single"))
+        act_3_checkpointed_sweep(tmp)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,757 @@
+"""Durable mid-run checkpoints: snapshot a run at a round boundary,
+restore it later, byte-identical.
+
+A :class:`RunCheckpoint` captures everything an engine needs to resume a
+run where it stopped — the completed-round index, the engine's state
+arrays (kernel stacked K×n×n state), the delivered-wire log the fast
+engine replays its generators from, accounting counters, and the
+compiled-schedule identity — in a versioned, content-addressed on-disk
+format:
+
+``<directory>/<run_id[:16]>/r<round>-<digest8>/``
+    ``payload.npz``   — every array and pickled blob, one ``np.savez``
+    ``manifest.json`` — schema version, engine, run id, round index,
+    counters, metadata, and the payload's sha256 digest
+
+Writes are atomic (tmp directory + ``os.replace``); loads verify the
+payload digest against the manifest and raise a structured
+:class:`~repro.core.errors.CheckpointCorruptError` on any mismatch.
+Discovery (:func:`latest_checkpoint`) walks snapshots newest-first and
+*skips* corrupt ones into a report instead of failing, so a damaged
+checkpoint degrades to a clean restart, never a crashed run.
+
+The :class:`CheckpointSession` is the engine-facing driver: engines call
+:meth:`~CheckpointSession.maybe_snapshot` at every round boundary and
+the session decides — from the :class:`CheckpointPolicy`'s
+``every_rounds`` / ``every_seconds`` knobs and the ``preempt`` signal —
+whether to flush.  A preemption flushes a final snapshot and raises
+:class:`~repro.core.errors.RunPreempted`.
+
+Engine support matrix: the fast and kernel engines snapshot natively
+(``supports_checkpoint=True``); the legacy engine cannot pickle live
+generators, reports ``supports_checkpoint=False`` honestly, and restores
+by deterministic replay from round 0 (same result, no saved rounds).
+Checkpointing refuses to combine with an active fault plan — chaos
+schedules are positional and a resumed run would replay them from the
+wrong offset.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import pickle
+import shutil
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.errors import (
+    CheckpointCorruptError,
+    FaultInjectionError,
+    RunPreempted,
+)
+
+__all__ = [
+    "CHECKPOINT_SCHEMA",
+    "CheckpointPolicy",
+    "CheckpointSession",
+    "RunCheckpoint",
+    "latest_checkpoint",
+    "load_checkpoint",
+    "run_identity",
+    "stable_digest",
+]
+
+#: On-disk format version.  Bump on any incompatible layout change; the
+#: loader rejects unknown schemas as corrupt (they fall back to a clean
+#: restart, never a misinterpreted resume).
+CHECKPOINT_SCHEMA = 1
+
+MANIFEST_NAME = "manifest.json"
+PAYLOAD_NAME = "payload.npz"
+
+
+# ---------------------------------------------------------------------------
+# Stable identity
+# ---------------------------------------------------------------------------
+
+
+def _stable_encode(obj: Any, out: List[bytes]) -> None:
+    """Append a canonical byte encoding of ``obj`` to ``out``.
+
+    Canonical means process-independent: no ``hash()`` (salted by
+    PYTHONHASHSEED), dict entries sorted by encoded key, set elements
+    sorted by encoded value.  Covers the types that appear in run
+    coordinates (ints, strings, Bits, arrays, containers); anything else
+    falls back to its pickle, which is stable for plain data objects.
+    """
+    from repro.core.bits import Bits
+
+    if obj is None:
+        out.append(b"N;")
+    elif obj is True or obj is False:
+        out.append(b"B1;" if obj else b"B0;")
+    elif isinstance(obj, int):
+        out.append(b"I" + str(obj).encode() + b";")
+    elif isinstance(obj, float):
+        out.append(b"F" + repr(obj).encode() + b";")
+    elif isinstance(obj, str):
+        data = obj.encode("utf-8")
+        out.append(b"S" + str(len(data)).encode() + b":" + data)
+    elif isinstance(obj, bytes):
+        out.append(b"Y" + str(len(obj)).encode() + b":" + obj)
+    elif isinstance(obj, Bits):
+        out.append(
+            b"b" + str(obj._value).encode() + b"/" + str(len(obj)).encode()
+        )
+    elif isinstance(obj, np.ndarray):
+        arr = np.ascontiguousarray(obj)
+        out.append(
+            b"A" + arr.dtype.str.encode() + str(arr.shape).encode() + b":"
+        )
+        out.append(arr.tobytes())
+    elif isinstance(obj, (list, tuple)):
+        out.append(b"L(" if isinstance(obj, list) else b"T(")
+        for item in obj:
+            _stable_encode(item, out)
+        out.append(b")")
+    elif isinstance(obj, dict):
+        encoded = []
+        for key, value in obj.items():
+            kparts: List[bytes] = []
+            _stable_encode(key, kparts)
+            vparts: List[bytes] = []
+            _stable_encode(value, vparts)
+            encoded.append((b"".join(kparts), b"".join(vparts)))
+        out.append(b"D(")
+        for kdata, vdata in sorted(encoded):
+            out.append(kdata)
+            out.append(vdata)
+        out.append(b")")
+    elif isinstance(obj, (set, frozenset)):
+        encoded_items = []
+        for item in obj:
+            parts: List[bytes] = []
+            _stable_encode(item, parts)
+            encoded_items.append(b"".join(parts))
+        out.append(b"E(")
+        out.extend(sorted(encoded_items))
+        out.append(b")")
+    else:
+        value = getattr(obj, "value", None)
+        if value is not None and type(obj).__module__ == "enum":
+            _stable_encode(value, out)
+            return
+        out.append(b"O" + type(obj).__qualname__.encode() + b":")
+        out.append(pickle.dumps(obj, protocol=4))
+
+
+def stable_digest(obj: Any) -> str:
+    """A 16-hex-digit sha256 digest of ``obj``'s canonical encoding —
+    identical across processes and PYTHONHASHSEED values."""
+    parts: List[bytes] = []
+    _stable_encode(obj, parts)
+    return hashlib.sha256(b"".join(parts)).hexdigest()[:16]
+
+
+def run_identity(network: Any, program: Any, inputs: Any,
+                 flavor: str = "run") -> str:
+    """The engine-independent identity of one execution: same network
+    coordinates + same program + same inputs → same id, so a retry (or a
+    different engine) finds the checkpoints its predecessor wrote."""
+    from repro.core.compiled import describe_program
+
+    return stable_digest(
+        (
+            flavor,
+            network.n,
+            network.bandwidth,
+            network.mode.value,
+            network.seed,
+            describe_program(program),
+            inputs,
+        )
+    )
+
+
+# ---------------------------------------------------------------------------
+# On-disk format
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RunCheckpoint:
+    """One snapshot of a run at a round boundary.
+
+    ``arrays`` hold numeric ndarrays verbatim (saved uncompressed in the
+    npz payload); ``blobs`` hold pickled engine state (wire logs,
+    transcripts, non-array state entries).  ``counters`` are the
+    accounting integers (rounds, total_bits, max_round_bits) and
+    ``meta`` is free-form JSON-able context (schedule identity, frozen
+    flags).  ``path``/``digest`` are stamped by save/load.
+    """
+
+    engine: str
+    run_id: str
+    round_index: int
+    counters: Dict[str, int] = field(default_factory=dict)
+    arrays: Dict[str, np.ndarray] = field(default_factory=dict)
+    blobs: Dict[str, bytes] = field(default_factory=dict)
+    meta: Dict[str, Any] = field(default_factory=dict)
+    path: Optional[str] = None
+    digest: Optional[str] = None
+
+    def save(self, directory: str, keep: int = 0) -> str:
+        """Write this snapshot under ``directory`` atomically; returns
+        the snapshot directory.  ``keep > 0`` prunes older snapshots of
+        the same run down to the newest ``keep``."""
+        run_dir = os.path.join(directory, self.run_id[:16])
+        os.makedirs(run_dir, exist_ok=True)
+        payload: Dict[str, np.ndarray] = {}
+        for name, arr in self.arrays.items():
+            arr = np.asarray(arr)
+            if arr.dtype == object:
+                raise ValueError(
+                    f"checkpoint array {name!r} has object dtype; "
+                    "put it in blobs instead"
+                )
+            payload[f"arr__{name}"] = arr
+        for name, blob in self.blobs.items():
+            payload[f"blob__{name}"] = np.frombuffer(blob, dtype=np.uint8)
+        buf = io.BytesIO()
+        np.savez(buf, **payload)
+        data = buf.getvalue()
+        digest = hashlib.sha256(data).hexdigest()
+        manifest = {
+            "schema": CHECKPOINT_SCHEMA,
+            "engine": self.engine,
+            "run_id": self.run_id,
+            "round_index": self.round_index,
+            "counters": dict(self.counters),
+            "meta": dict(self.meta),
+            "payload_sha256": digest,
+            "arrays": sorted(self.arrays),
+            "blobs": sorted(self.blobs),
+        }
+        name = f"r{self.round_index:08d}-{digest[:8]}"
+        final = os.path.join(run_dir, name)
+        if not os.path.isdir(final):
+            tmp = final + ".tmp"
+            shutil.rmtree(tmp, ignore_errors=True)
+            os.makedirs(tmp)
+            with open(os.path.join(tmp, PAYLOAD_NAME), "wb") as fh:
+                fh.write(data)
+                fh.flush()
+                os.fsync(fh.fileno())
+            with open(os.path.join(tmp, MANIFEST_NAME), "w") as fh:
+                json.dump(manifest, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, final)
+        self.path = final
+        self.digest = digest
+        if keep > 0:
+            _prune(run_dir, keep)
+        return final
+
+
+def load_checkpoint(path: str) -> RunCheckpoint:
+    """Load and verify one snapshot directory; raises
+    :class:`CheckpointCorruptError` (with a machine-readable ``reason``)
+    on any integrity failure."""
+    manifest_path = os.path.join(path, MANIFEST_NAME)
+    try:
+        with open(manifest_path, "r") as fh:
+            manifest = json.load(fh)
+        schema = manifest["schema"]
+        expected = manifest["payload_sha256"]
+        arr_names = list(manifest["arrays"])
+        blob_names = list(manifest["blobs"])
+    except FileNotFoundError as exc:
+        raise CheckpointCorruptError(
+            f"checkpoint manifest missing at {path}", path, "missing"
+        ) from exc
+    except Exception as exc:  # noqa: BLE001 - any parse failure is corruption
+        raise CheckpointCorruptError(
+            f"checkpoint manifest unreadable at {path}: {exc}",
+            path,
+            "manifest-unreadable",
+        ) from exc
+    if schema != CHECKPOINT_SCHEMA:
+        raise CheckpointCorruptError(
+            f"checkpoint at {path} has unknown schema {schema!r}",
+            path,
+            "schema-mismatch",
+        )
+    try:
+        with open(os.path.join(path, PAYLOAD_NAME), "rb") as fh:
+            data = fh.read()
+    except OSError as exc:
+        raise CheckpointCorruptError(
+            f"checkpoint payload unreadable at {path}: {exc}",
+            path,
+            "payload-unreadable",
+        ) from exc
+    digest = hashlib.sha256(data).hexdigest()
+    if digest != expected:
+        raise CheckpointCorruptError(
+            f"checkpoint payload digest mismatch at {path}: "
+            f"manifest says {expected[:12]}, payload is {digest[:12]}",
+            path,
+            "digest-mismatch",
+        )
+    try:
+        with np.load(io.BytesIO(data), allow_pickle=False) as npz:
+            arrays = {name: npz[f"arr__{name}"] for name in arr_names}
+            blobs = {
+                name: npz[f"blob__{name}"].tobytes() for name in blob_names
+            }
+    except Exception as exc:  # noqa: BLE001 - any decode failure is corruption
+        raise CheckpointCorruptError(
+            f"checkpoint payload undecodable at {path}: {exc}",
+            path,
+            "payload-unreadable",
+        ) from exc
+    ckpt = RunCheckpoint(
+        engine=manifest["engine"],
+        run_id=manifest["run_id"],
+        round_index=int(manifest["round_index"]),
+        counters=dict(manifest.get("counters", {})),
+        arrays=arrays,
+        blobs=blobs,
+        meta=dict(manifest.get("meta", {})),
+        path=path,
+        digest=digest,
+    )
+    return ckpt
+
+
+def _snapshot_entries(run_dir: str) -> List[str]:
+    """Snapshot directory names under ``run_dir``, newest round first."""
+    try:
+        names = os.listdir(run_dir)
+    except OSError:
+        return []
+    return sorted(
+        (
+            name
+            for name in names
+            if name.startswith("r") and not name.endswith(".tmp")
+        ),
+        reverse=True,
+    )
+
+
+def latest_checkpoint(
+    directory: str, run_id: str
+) -> Tuple[Optional[RunCheckpoint], List[Dict[str, str]]]:
+    """The newest valid snapshot of ``run_id`` under ``directory``, plus
+    a structured report of every snapshot skipped as corrupt.  Returns
+    ``(None, report)`` when nothing valid exists — the caller restarts
+    cleanly."""
+    run_dir = os.path.join(directory, run_id[:16])
+    report: List[Dict[str, str]] = []
+    for name in _snapshot_entries(run_dir):
+        path = os.path.join(run_dir, name)
+        try:
+            ckpt = load_checkpoint(path)
+        except CheckpointCorruptError as exc:
+            report.append(
+                {"path": path, "reason": exc.reason, "error": str(exc)}
+            )
+            continue
+        if ckpt.run_id != run_id:
+            report.append(
+                {
+                    "path": path,
+                    "reason": "run-id-mismatch",
+                    "error": f"snapshot belongs to run {ckpt.run_id}",
+                }
+            )
+            continue
+        return ckpt, report
+    return None, report
+
+
+def _prune(run_dir: str, keep: int) -> None:
+    for name in _snapshot_entries(run_dir)[keep:]:
+        shutil.rmtree(os.path.join(run_dir, name), ignore_errors=True)
+
+
+# ---------------------------------------------------------------------------
+# Policy + session
+# ---------------------------------------------------------------------------
+
+
+class CheckpointPolicy:
+    """When and where to snapshot.
+
+    ``every_rounds`` flushes a snapshot each time that many rounds
+    completed since the last flush; ``every_seconds`` each time that
+    much wall-clock elapsed (either alone, or both — whichever fires
+    first).  ``preempt`` is an optional signal — a
+    :class:`threading.Event` or a zero-arg callable returning truth —
+    checked at every round boundary: when set, the engine flushes a
+    final snapshot and raises :class:`~repro.core.errors.RunPreempted`.
+    ``on_snapshot(round_index, digest, path)`` is called after each
+    flush (sweep workers use it to stream checkpoint lineage to the
+    supervisor).  ``keep`` bounds snapshots retained per run.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        *,
+        every_rounds: Optional[int] = None,
+        every_seconds: Optional[float] = None,
+        preempt: Optional[Any] = None,
+        on_snapshot: Optional[Callable[[int, str, str], None]] = None,
+        keep: int = 2,
+    ) -> None:
+        if every_rounds is not None and every_rounds < 1:
+            raise ValueError("every_rounds must be >= 1")
+        if every_seconds is not None and every_seconds < 0:
+            raise ValueError("every_seconds must be >= 0")
+        if keep < 1:
+            raise ValueError("keep must be >= 1")
+        self.directory = str(directory)
+        self.every_rounds = every_rounds
+        self.every_seconds = every_seconds
+        self.preempt = preempt
+        self.on_snapshot = on_snapshot
+        self.keep = keep
+
+    def preempted(self) -> bool:
+        signal = self.preempt
+        if signal is None:
+            return False
+        check = getattr(signal, "is_set", signal)
+        return bool(check())
+
+
+class CheckpointSession:
+    """Drives one checkpointed (or resumed) execution for an engine.
+
+    Construction resolves ``resume_from`` — ``"auto"`` discovers the
+    newest valid snapshot for this run's identity under the policy
+    directory, a path string loads that snapshot, a
+    :class:`RunCheckpoint` is used as-is — tolerating corruption by
+    recording it in ``corrupt_skipped`` and restarting cleanly.  Engines
+    then ask :meth:`resume_checkpoint` for a natively usable payload,
+    call :meth:`note_round` per executed round and
+    :meth:`maybe_snapshot` at each round boundary, and hand the finished
+    result to :meth:`finish`, which stamps ``result.resume`` and the
+    network's ``checkpoint_stats``.
+    """
+
+    def __init__(
+        self,
+        engine: Any,
+        network: Any,
+        program: Any,
+        inputs: Any,
+        policy: Optional[CheckpointPolicy],
+        resume_from: Any,
+        flavor: str = "run",
+    ) -> None:
+        plan = getattr(network, "fault_plan", None)
+        if plan is not None and getattr(plan, "is_active", True):
+            raise FaultInjectionError(
+                "checkpointing cannot run under an active fault plan: "
+                "chaos schedules are positional and a resumed run would "
+                "replay them from the wrong offset"
+            )
+        if policy is not None and not isinstance(policy, CheckpointPolicy):
+            raise TypeError(
+                "checkpoint= expects a CheckpointPolicy, got "
+                f"{type(policy).__name__}"
+            )
+        self.engine_name = engine.name
+        self.supported = bool(engine.supports_checkpoint)
+        self.network = network
+        self.policy = policy
+        self.run_id = run_identity(network, program, inputs, flavor)
+        self.corrupt_skipped: List[Dict[str, str]] = []
+        self.resume: Optional[RunCheckpoint] = None
+        self.snapshots = 0
+        self.rounds_executed = 0
+        self.rounds_restored = 0
+        self.last_checkpoint: Optional[str] = None
+        self._last_flush_round = 0
+        now = time.monotonic()  # analysis: allow(wall-clock)
+        self._last_flush_time = now
+        self._resolve_resume(resume_from)
+        self._reset_stats()
+
+    # -- resume resolution --------------------------------------------
+
+    def _resolve_resume(self, resume_from: Any) -> None:
+        if resume_from is None:
+            return
+        if isinstance(resume_from, RunCheckpoint):
+            self.resume = resume_from
+            return
+        if resume_from == "auto":
+            if self.policy is None:
+                raise ValueError(
+                    "resume_from='auto' needs a checkpoint policy (the "
+                    "directory to discover snapshots in)"
+                )
+            self.resume, self.corrupt_skipped = latest_checkpoint(
+                self.policy.directory, self.run_id
+            )
+            return
+        try:
+            ckpt = load_checkpoint(str(resume_from))
+        except CheckpointCorruptError as exc:
+            self.corrupt_skipped.append(
+                {
+                    "path": str(resume_from),
+                    "reason": exc.reason,
+                    "error": str(exc),
+                }
+            )
+            return
+        if ckpt.run_id != self.run_id:
+            self.corrupt_skipped.append(
+                {
+                    "path": str(resume_from),
+                    "reason": "run-id-mismatch",
+                    "error": (
+                        f"snapshot belongs to run {ckpt.run_id}, "
+                        f"this run is {self.run_id}"
+                    ),
+                }
+            )
+            return
+        self.resume = ckpt
+
+    # -- engine-facing API --------------------------------------------
+
+    def resume_checkpoint(self) -> Optional[RunCheckpoint]:
+        """The resume payload, if it is natively usable by this engine;
+        an engine-mismatched snapshot is skipped into the report (the
+        run restarts cleanly, still correct)."""
+        ckpt = self.resume
+        if ckpt is None:
+            return None
+        if ckpt.engine != self.engine_name:
+            self.discard_resume(
+                "engine-mismatch",
+                f"snapshot was written by the {ckpt.engine!r} engine",
+            )
+            return None
+        return ckpt
+
+    def discard_resume(self, reason: str, detail: str) -> None:
+        """Drop the resume payload (restore turned out impossible) and
+        record why; the run restarts from round 0."""
+        ckpt = self.resume
+        if ckpt is None:
+            return
+        self.corrupt_skipped.append(
+            {"path": ckpt.path or "<in-memory>", "reason": reason,
+             "error": detail}
+        )
+        self.resume = None
+        self.rounds_restored = 0
+        self._last_flush_round = 0
+        self._sync_stats()
+
+    def mark_resumed(self, round_index: int) -> None:
+        """The engine successfully restored state through ``round_index``
+        completed rounds."""
+        self.rounds_restored = round_index
+        self._last_flush_round = round_index
+        self._sync_stats()
+
+    def preempt_requested(self) -> bool:
+        return self.policy is not None and self.policy.preempted()
+
+    def raise_if_preempted_at_start(self) -> None:
+        """Exit before executing anything when the preempt signal is
+        already set; the newest on-disk snapshot (if any) stands."""
+        if not self.preempt_requested():
+            return
+        ckpt = self.resume
+        round_index = ckpt.round_index if ckpt is not None else 0
+        path = ckpt.path if ckpt is not None else None
+        self._sync_stats()
+        raise RunPreempted(
+            f"run preempted before executing (checkpointed through round "
+            f"{round_index})",
+            round_index,
+            path,
+        )
+
+    def note_round(self) -> None:
+        self.rounds_executed += 1
+
+    def maybe_snapshot(
+        self,
+        round_index: int,
+        build: Callable[[], Tuple[Dict[str, np.ndarray], Dict[str, bytes],
+                                  Dict[str, int], Dict[str, Any]]],
+        final_round: bool = False,
+    ) -> Optional[str]:
+        """Flush a snapshot at this round boundary if the policy says so
+        (or the preempt signal fired — then flush unconditionally and
+        raise :class:`RunPreempted`).  Routine snapshots skip the final
+        round — the finished result makes them pointless."""
+        policy = self.policy
+        if policy is None:
+            return None
+        preempt = policy.preempted()
+        due = False
+        if preempt:
+            due = round_index > self._last_flush_round
+        elif not final_round:
+            if (
+                policy.every_rounds is not None
+                and round_index - self._last_flush_round
+                >= policy.every_rounds
+            ):
+                due = True
+            elif policy.every_seconds is not None:
+                now = time.monotonic()  # analysis: allow(wall-clock)
+                if now - self._last_flush_time >= policy.every_seconds:
+                    due = True
+        path = self._flush(round_index, build) if due else None
+        if preempt:
+            if path is None:
+                path = self.last_checkpoint
+            self._sync_stats()
+            raise RunPreempted(
+                f"run preempted at round {round_index}", round_index, path
+            )
+        return path
+
+    def _flush(self, round_index: int, build: Callable) -> str:
+        arrays, blobs, counters, meta = build()
+        meta = dict(meta)
+        meta.setdefault("flavor", "run")
+        ckpt = RunCheckpoint(
+            engine=self.engine_name,
+            run_id=self.run_id,
+            round_index=round_index,
+            counters=counters,
+            arrays=arrays,
+            blobs=blobs,
+            meta=meta,
+        )
+        path = ckpt.save(self.policy.directory, keep=self.policy.keep)
+        self.snapshots += 1
+        self.last_checkpoint = path
+        self._last_flush_round = round_index
+        self._last_flush_time = time.monotonic()  # analysis: allow(wall-clock)
+        self._sync_stats()
+        if self.policy.on_snapshot is not None:
+            self.policy.on_snapshot(round_index, ckpt.digest, path)
+        return path
+
+    # -- result stamping ----------------------------------------------
+
+    def _reset_stats(self) -> None:
+        self.network.checkpoint_stats = {
+            "engine": self.engine_name,
+            "run_id": self.run_id,
+            "supported": self.supported,
+            "mode": "native" if self.supported else "replay",
+            "snapshots": 0,
+            "rounds_executed": 0,
+            "rounds_restored": 0,
+            "resumed_from": None,
+            "resumed_round": 0,
+            "last_checkpoint": None,
+            "corrupt_skipped": list(self.corrupt_skipped),
+        }
+        self._sync_stats()
+
+    def _sync_stats(self) -> None:
+        stats = self.network.checkpoint_stats
+        stats["snapshots"] = self.snapshots
+        stats["rounds_executed"] = self.rounds_executed
+        stats["rounds_restored"] = self.rounds_restored
+        stats["last_checkpoint"] = self.last_checkpoint
+        stats["corrupt_skipped"] = list(self.corrupt_skipped)
+        if self.resume is not None:
+            stats["resumed_from"] = self.resume.path
+            stats["resumed_round"] = self.resume.round_index
+
+    def finish(self, result: Any) -> Any:
+        """Stamp resume provenance on the finished result and the
+        network's ``checkpoint_stats``."""
+        self._sync_stats()
+        if self.resume is not None:
+            result.resume = {
+                "mode": "native",
+                "round": self.rounds_restored,
+                "checkpoint": self.resume.path,
+                "engine": self.engine_name,
+            }
+        return result
+
+    def finish_many(self, results: List[Any]) -> List[Any]:
+        """:meth:`finish` for a ``run_many`` sweep: provenance is
+        stamped on every result (the restored prefix and the freshly
+        executed tail alike — they all came out of one resumed call)."""
+        self._sync_stats()
+        if self.resume is not None:
+            for result in results:
+                result.resume = {
+                    "mode": "native",
+                    "round": self.rounds_restored,
+                    "checkpoint": self.resume.path,
+                    "engine": self.engine_name,
+                }
+        return results
+
+    # -- replay-restore path (engines without native support) ---------
+
+    def run_replay_restore(self, fn: Callable[[], Any]) -> Any:
+        """Execute ``fn`` (the engine's ordinary run) under honest
+        non-native semantics: no snapshots are written, a requested
+        resume is honoured by deterministic replay from round 0, and the
+        result records ``mode='replay'`` so provenance stays auditable."""
+        self.raise_if_preempted_at_start()
+        result = fn()
+        self.rounds_executed = getattr(result, "rounds", 0) or 0
+        self._sync_stats()
+        if self.resume is not None:
+            result.resume = {
+                "mode": "replay",
+                "round": 0,
+                "requested_round": self.resume.round_index,
+                "checkpoint": self.resume.path,
+                "engine": self.engine_name,
+            }
+        if self.preempt_requested():
+            # The signal fired while the uninterruptible run finished;
+            # the completed result stands, nothing to flush.
+            pass
+        return result
+
+    def run_replay_restore_many(self, fn: Callable[[], List[Any]]) -> List[Any]:
+        """:meth:`run_replay_restore` for a ``run_many`` sweep."""
+        self.raise_if_preempted_at_start()
+        results = fn()
+        self.rounds_executed = sum(
+            getattr(result, "rounds", 0) or 0 for result in results
+        )
+        self._sync_stats()
+        if self.resume is not None:
+            for result in results:
+                result.resume = {
+                    "mode": "replay",
+                    "round": 0,
+                    "requested_round": self.resume.round_index,
+                    "checkpoint": self.resume.path,
+                    "engine": self.engine_name,
+                }
+        return results

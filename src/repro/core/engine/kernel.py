@@ -34,9 +34,71 @@ class KernelEngine(Engine):
     supports_transcript = True
     supports_compiled_replay = True
     supports_batched_replay = True
+    # Kernel state is a dict of stacked arrays: snapshots are native
+    # (arrays verbatim + pickled rest) at every round boundary in run(),
+    # and at K-chunk boundaries in run_many().
+    supports_checkpoint = True
 
     def _run(self, network: Any, program, inputs) -> Any:
         return self._execute(network, program, [inputs])[0]
+
+    def _run_checkpointed(self, network: Any, program, inputs, session) -> Any:
+        result = self._execute(network, program, [inputs], session=session)[0]
+        return session.finish(result)
+
+    def _run_many_checkpointed(
+        self, network: Any, program, inputs_list, session
+    ) -> List[Any]:
+        """Checkpointed sweep: snapshot the completed results at every
+        K-chunk boundary; restore by skipping the completed chunks."""
+        import pickle
+
+        session.raise_if_preempted_at_start()
+        chunk_size = max(1, (64 << 20) // (network.n * network.n * 8))
+        starts = list(range(0, len(inputs_list), chunk_size))
+        completed: List[Any] = []
+        done_chunks = 0
+        ckpt = session.resume_checkpoint()
+        if ckpt is not None:
+            if (
+                ckpt.meta.get("kind") != "kernel-chunks"
+                or ckpt.meta.get("chunk_size") != chunk_size
+                or ckpt.round_index > len(starts)
+            ):
+                session.discard_resume(
+                    "restore-failed",
+                    "snapshot does not match this sweep's chunking",
+                )
+            else:
+                try:
+                    completed = list(pickle.loads(ckpt.blobs["results"]))
+                except Exception as exc:  # noqa: BLE001 - treat as corrupt
+                    session.discard_resume(
+                        "restore-failed",
+                        f"results blob undecodable: {exc}",
+                    )
+                    completed = []
+                else:
+                    done_chunks = ckpt.round_index
+                    session.mark_resumed(done_chunks)
+        for ci in range(done_chunks, len(starts)):
+            start = starts[ci]
+            chunk = inputs_list[start : start + chunk_size]
+            completed.extend(self._execute(network, program, chunk))
+            session.note_round()
+
+            def build(snapshot=tuple(completed), done=ci + 1):
+                return (
+                    {},
+                    {"results": pickle.dumps(list(snapshot))},
+                    {"chunks": done, "instances": len(snapshot)},
+                    {"kind": "kernel-chunks", "chunk_size": chunk_size},
+                )
+
+            session.maybe_snapshot(
+                ci + 1, build, final_round=ci + 1 == len(starts)
+            )
+        return session.finish_many(completed)
 
     def _run_many(self, network: Any, program, inputs_list) -> List[Any]:
         # Kernel programs batch natively: all K instances move through
@@ -49,7 +111,9 @@ class KernelEngine(Engine):
             results.extend(self._execute(network, program, chunk))
         return results
 
-    def _execute(self, network: Any, program, inputs_list: List[Any]) -> List[Any]:
+    def _execute(
+        self, network: Any, program, inputs_list: List[Any], session=None
+    ) -> List[Any]:
         """Compile ``program``'s declared structure on first use (cached
         keyed by the program object), then run every instance through
         the stacked kernel loop.  Counts in ``schedule_stats`` mirror
@@ -70,7 +134,9 @@ class KernelEngine(Engine):
             if len(network._compiled) >= 32:
                 network._compiled.pop(next(iter(network._compiled)))
             network._compiled[program] = compiled
-        results = kernels.execute(network, program, compiled, inputs_list)
+        results = kernels.execute(
+            network, program, compiled, inputs_list, session=session
+        )
         if fresh:
             network.schedule_stats["compiled"] += 1
             replays = len(inputs_list) - 1

@@ -11,6 +11,14 @@ It executes generator node programs only; kernel programs declare their
 round structure instead of yielding it, so there is no legacy semantics
 for them to fall back to (the planner routes them to the kernel engine,
 and :meth:`Engine.check_program` rejects a direct request).
+
+Checkpointing: live generator frames cannot be pickled, so this engine
+honestly reports ``supports_checkpoint=False``.  A checkpoint/resume
+request still works — through the base class's deterministic
+replay-restore path: the run re-executes from round 0 (same seed, same
+inputs, byte-identical result) and the result records
+``resume={"mode": "replay", ...}`` so provenance never overstates what
+was saved.  No snapshots are ever written by this engine.
 """
 
 from __future__ import annotations
@@ -32,6 +40,8 @@ class LegacyEngine(Engine):
     supports_transcript = True
     supports_compiled_replay = False
     supports_batched_replay = False
+    # Live generators cannot be pickled: restores replay from round 0.
+    supports_checkpoint = False
 
     def _run(self, network: Any, program, inputs) -> Any:
         from repro.core.network import EMPTY_INBOX, Inbox, RoundRecord, RunResult

@@ -164,6 +164,11 @@ class RunResult:
     transcript: Optional[List[RoundRecord]] = None
     faults: Optional[List[Any]] = None
     fallback: Optional[Dict[str, str]] = None
+    #: Resume provenance when this run was restored from a
+    #: :mod:`repro.core.checkpoint` snapshot — ``{"mode": "native" |
+    #: "replay", "round": <completed rounds restored>, "checkpoint":
+    #: <snapshot path>, ...}``; ``None`` for an uninterrupted run.
+    resume: Optional[Dict[str, Any]] = None
 
     def blackboard_bits(self) -> int:
         """Total bits written, counting each broadcast once (the natural
@@ -319,6 +324,23 @@ class Network:
         # repro.core.kernels); small bounded cache, correctness never
         # depends on a hit.
         self._kernel_lanes: Dict[int, Any] = {}
+        #: Counters of the most recent *checkpointed* run (see
+        #: :mod:`repro.core.checkpoint`): snapshots written, rounds
+        #: restored vs executed, resume provenance, corrupt snapshots
+        #: skipped.  Untouched by ordinary runs.
+        self.checkpoint_stats: Dict[str, Any] = {
+            "engine": None,
+            "run_id": None,
+            "supported": None,
+            "mode": None,
+            "snapshots": 0,
+            "rounds_executed": 0,
+            "rounds_restored": 0,
+            "resumed_from": None,
+            "resumed_round": 0,
+            "last_checkpoint": None,
+            "corrupt_skipped": [],
+        }
 
     # -- execution -------------------------------------------------------
 
@@ -326,6 +348,9 @@ class Network:
         self,
         program: Callable[[Context], Any],
         inputs: Optional[Sequence[Any]] = None,
+        *,
+        checkpoint: Any = None,
+        resume_from: Any = None,
     ) -> RunResult:
         """Run ``program`` (a generator function taking a Context) on all
         nodes in lockstep and return the :class:`RunResult`.
@@ -338,13 +363,29 @@ class Network:
         kernel backend (a kernel program *is* its own execution
         semantics, pinned to the generator reference by the equivalence
         suites).
+
+        ``checkpoint`` takes a
+        :class:`~repro.core.checkpoint.CheckpointPolicy` to snapshot the
+        run at round boundaries; ``resume_from`` (``"auto"``, a snapshot
+        path, or a loaded :class:`~repro.core.checkpoint.RunCheckpoint`)
+        restores a previous snapshot — byte-identical to the
+        uninterrupted run.  Both default to ``None``: the ordinary hot
+        path is untouched.
         """
-        return self._planner.execute(self, program, inputs)
+        if checkpoint is None and resume_from is None:
+            return self._planner.execute(self, program, inputs)
+        return self._planner.execute(
+            self, program, inputs,
+            checkpoint=checkpoint, resume_from=resume_from,
+        )
 
     def run_many(
         self,
         program: Callable[[Context], Any],
         inputs_list: Sequence[Optional[Sequence[Any]]],
+        *,
+        checkpoint: Any = None,
+        resume_from: Any = None,
     ) -> List[RunResult]:
         """Run ``program`` once per entry of ``inputs_list`` and return
         one :class:`RunResult` per instance, byte-identical to calling
@@ -358,7 +399,12 @@ class Network:
         natively.  Undeclared programs, the legacy backend, and
         transcript-recording networks take the sequential path.
         """
-        return self._planner.execute_many(self, program, inputs_list)
+        if checkpoint is None and resume_from is None:
+            return self._planner.execute_many(self, program, inputs_list)
+        return self._planner.execute_many(
+            self, program, inputs_list,
+            checkpoint=checkpoint, resume_from=resume_from,
+        )
 
     def _check_inputs(self, inputs: Optional[Sequence[Any]]) -> None:
         if inputs is not None and len(inputs) != self.n:

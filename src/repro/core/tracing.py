@@ -26,7 +26,12 @@ def transcript_stats(result: RunResult) -> Dict[str, int]:
     for record in result.transcript:
         messages += len(record.sends)
         bits += record.bits()
-    return {"rounds": len(result.transcript), "messages": messages, "bits": bits}
+    stats = {"rounds": len(result.transcript), "messages": messages, "bits": bits}
+    if result.resume is not None:
+        # A resumed run's transcript is still complete (restored rounds
+        # included); expose where live execution picked up.
+        stats["resumed_at"] = int(result.resume.get("round", 0))
+    return stats
 
 
 def render_timeline(
@@ -36,11 +41,19 @@ def render_timeline(
     if result.transcript is None:
         raise ValueError("run the network with record_transcript=True")
     lines: List[str] = []
+    resumed_at = 0
+    if result.resume is not None:
+        resumed_at = int(result.resume.get("round", 0))
+        mode = result.resume.get("mode", "native")
+        lines.append(
+            f"resumed from checkpoint at round {resumed_at} ({mode})"
+        )
     rounds = result.transcript
     if max_rounds is not None:
         rounds = rounds[:max_rounds]
     for index, record in enumerate(rounds):
-        lines.append(f"round {index + 1}: {record.bits()} bits")
+        restored = " (restored)" if index < resumed_at else ""
+        lines.append(f"round {index + 1}: {record.bits()} bits{restored}")
         for sender, receiver, payload in record.sends[:max_events]:
             target = "*" if receiver is None else str(receiver)
             lines.append(f"  {sender} -> {target}  [{len(payload)}b]")

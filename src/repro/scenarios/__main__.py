@@ -14,6 +14,14 @@ journaling and resume:
     # after a crash/kill: replay completed cells, run the rest
     python -m repro.scenarios --workers 4 --journal sweep.jsonl --resume
 
+    # checkpointed: long cells snapshot mid-run and retries resume
+    python -m repro.scenarios --workers 4 --journal sweep.jsonl \\
+        --checkpoint-dir ckpts --checkpoint-every-rounds 64
+
+    # health-check a journal (fingerprint, torn lines, duplicates,
+    # checkpoint lineage); exits non-zero on corruption
+    python -m repro.scenarios --journal-verify sweep.jsonl
+
 Exit status is non-zero when any cell mismatches the reference digest,
 fails validation or execution, or diverges cross-engine — so the CLI
 slots directly into CI jobs.
@@ -94,6 +102,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="attempts per cell before quarantine (pool mode; default 3)",
     )
     parser.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="enable mid-run checkpointing: snapshots per cell under "
+        "DIR; interrupted attempts resume from the newest valid one",
+    )
+    parser.add_argument(
+        "--checkpoint-every-rounds", type=int, default=None, metavar="R",
+        help="flush a snapshot every R protocol rounds",
+    )
+    parser.add_argument(
+        "--checkpoint-every-seconds", type=float, default=None,
+        metavar="SECONDS",
+        help="flush a snapshot every SECONDS of wall clock",
+    )
+    parser.add_argument(
+        "--journal-verify", default=None, metavar="PATH",
+        help="verify a sweep journal's integrity (fingerprint, torn "
+        "lines, duplicate cells, checkpoint lineage) and exit; "
+        "non-zero exit on corruption",
+    )
+    parser.add_argument(
         "--out", default=None, metavar="PATH",
         help="write the full MatrixResult JSON here",
     )
@@ -102,6 +130,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.journal_verify is not None:
+        return _journal_verify(args.journal_verify)
     if args.resume and args.journal is None:
         print("--resume requires --journal", file=sys.stderr)
         return 2
@@ -122,6 +152,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         resume_from=args.journal if args.resume else None,
         cell_timeout=args.cell_timeout,
         max_attempts=args.max_attempts,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every_rounds=args.checkpoint_every_rounds,
+        checkpoint_every_seconds=args.checkpoint_every_seconds,
     )
     if args.out is not None:
         result.write(args.out)
@@ -146,6 +179,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     for report in result.fault_reports():
         print("  divergence: " + json.dumps(report, sort_keys=True))
     return 1 if mismatches else 0
+
+
+def _journal_verify(path: str) -> int:
+    """Health-check one sweep journal and print its report."""
+    from repro.scenarios.sweep import verify_journal
+
+    report = verify_journal(path)
+    status = "ok" if report["ok"] else "CORRUPT"
+    print(
+        f"journal {path}: {status} fingerprint={report['fingerprint']} "
+        f"cells={report['cells']} failed_attempts={report['failed_attempts']} "
+        f"torn_line={report['torn_line']}"
+    )
+    if report["error"]:
+        print(f"  error: {report['error']}")
+    for key in report["duplicate_keys"]:
+        print(f"  duplicate cell: {key}")
+    for key, lineage in sorted(report["checkpoints"].items()):
+        print(
+            f"  ckpt {key}: flushes={lineage['flushes']} "
+            f"last_round={lineage['last_round']} "
+            f"last_digest={lineage['last_digest']} "
+            f"attempts={lineage['attempts']}"
+        )
+    return 0 if report["ok"] else 1
 
 
 if __name__ == "__main__":

@@ -66,6 +66,7 @@ __all__ = [
     "MatrixCell",
     "MatrixResult",
     "ScenarioMatrix",
+    "cell_checkpoint_dir",
     "instance_graph",
     "run_cell",
     "DEFAULT_CELL_ROUND_LIMIT",
@@ -91,6 +92,17 @@ def _cell_key(seed: int, protocol: str, family: str, n: int, engine: str) -> str
     """The per-(coordinate, engine) identity used by sweep journals and
     the worker pool — one completed journal line per key."""
     return f"{_cell_coord(seed, protocol, family, n)}:{engine}"
+
+
+def cell_checkpoint_dir(base: str, key: str) -> str:
+    """Where one cell's mid-run snapshots live under a sweep's
+    ``checkpoint_dir``: one subdirectory per cell key (``:`` is not
+    portable in path components, so it is flattened to ``_``).  Shared
+    by the serial runner, the pool worker and the worker's post-success
+    cleanup — all three must agree on the location."""
+    import os
+
+    return os.path.join(base, key.replace(":", "_"))
 
 
 def instance_graph(seed: int, protocol: str, family: str, n: int):
@@ -166,6 +178,16 @@ class MatrixCell:
     #: whether it landed in the poison quarantine after exhausting them.
     attempts: Optional[int] = None
     quarantined: Optional[bool] = None
+    #: Checkpoint provenance (checkpointed sweeps only): the round the
+    #: run resumed from (None = fresh start) and how many snapshots the
+    #: cell flushed.
+    resumed_from_round: Optional[int] = None
+    checkpoints: Optional[int] = None
+    #: Compiled-replay cache pressure observed while the cell ran:
+    #: :class:`~repro.core.errors.ReplayEvictionWarning` count and the
+    #: last eviction's message (None = no evictions).
+    evictions: Optional[int] = None
+    last_eviction: Optional[str] = None
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -195,6 +217,10 @@ class MatrixCell:
             "analysis_violations": self.analysis_violations,
             "attempts": self.attempts,
             "quarantined": self.quarantined,
+            "resumed_from_round": self.resumed_from_round,
+            "checkpoints": self.checkpoints,
+            "evictions": self.evictions,
+            "last_eviction": self.last_eviction,
         }
 
     @classmethod
@@ -323,8 +349,26 @@ def _execute_cell(
     verify: Optional[str] = None,
     fault_plan: Optional[Any] = None,
     round_limit: Optional[int] = DEFAULT_CELL_ROUND_LIMIT,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_every_rounds: Optional[int] = None,
+    checkpoint_every_seconds: Optional[float] = None,
+    preempt: Optional[Any] = None,
+    on_snapshot: Optional[Callable[[int, str, str], None]] = None,
 ) -> MatrixCell:
-    """Run one prepared (protocol, family, n) instance on one engine."""
+    """Run one prepared (protocol, family, n) instance on one engine.
+
+    ``checkpoint_dir`` (already cell-specific — see
+    :func:`cell_checkpoint_dir`) enables mid-run snapshot/restore on the
+    first timing sample: the run resumes from the newest valid snapshot
+    when one exists, flushes new ones per the ``checkpoint_every_*``
+    policy, and honours ``preempt`` (flush + :class:`RunPreempted`,
+    which propagates to the supervisor instead of completing the cell).
+    Chaos cells skip checkpointing — snapshots of fault-corrupted state
+    must never be resumable.
+    """
+    import warnings
+
+    from repro.core.errors import ReplayEvictionWarning, RunPreempted
     from repro.core.network import Network
 
     cell = MatrixCell(
@@ -338,6 +382,7 @@ def _execute_cell(
     if program is None:
         return cell
     chaos = fault_plan is not None and fault_plan.is_active
+    checkpointing = checkpoint_dir is not None and not chaos
 
     def network_kwargs() -> Dict[str, Any]:
         # A fresh network per sample keeps cells independent: no
@@ -354,23 +399,55 @@ def _execute_cell(
     try:
         best: Optional[float] = None
         summary = digest = run = None
-        for _ in range(repeats):
-            kwargs = network_kwargs()
-            if chaos:
-                kwargs["fault_plan"] = fault_plan
-            network = Network(engine=engine, **kwargs)
-            start = time.perf_counter()  # analysis: allow(wall-clock)
-            run = network.run(program, inputs=prepared.inputs)
-            elapsed = time.perf_counter() - start  # analysis: allow(wall-clock)
-            sample_summary = prepared.summarize(run)
-            sample_digest = _digest(sample_summary, run)
-            if digest is not None and sample_digest != digest:
-                raise AssertionError(
-                    "nondeterministic cell: digest changed across repeats"
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            for sample in range(repeats):
+                kwargs = network_kwargs()
+                if chaos:
+                    kwargs["fault_plan"] = fault_plan
+                network = Network(engine=engine, **kwargs)
+                run_kwargs: Dict[str, Any] = {}
+                if checkpointing and sample == 0:
+                    # Snapshot/restore applies to the first sample only:
+                    # a later repeat resuming from the first's snapshots
+                    # would time a partial run.  Resumption is
+                    # digest-identical, so the cross-repeat determinism
+                    # check below still holds.
+                    from repro.core.checkpoint import CheckpointPolicy
+
+                    run_kwargs["checkpoint"] = CheckpointPolicy(
+                        checkpoint_dir,
+                        every_rounds=checkpoint_every_rounds,
+                        every_seconds=checkpoint_every_seconds,
+                        preempt=preempt,
+                        on_snapshot=on_snapshot,
+                    )
+                    run_kwargs["resume_from"] = "auto"
+                start = time.perf_counter()  # analysis: allow(wall-clock)
+                run = network.run(
+                    program, inputs=prepared.inputs, **run_kwargs
                 )
-            summary, digest = sample_summary, sample_digest
-            if best is None or elapsed < best:
-                best = elapsed
+                elapsed = time.perf_counter() - start  # analysis: allow(wall-clock)
+                if run_kwargs:
+                    stats = network.checkpoint_stats
+                    cell.checkpoints = stats["snapshots"]
+                    if run.resume is not None:
+                        cell.resumed_from_round = run.resume["round"]
+                sample_summary = prepared.summarize(run)
+                sample_digest = _digest(sample_summary, run)
+                if digest is not None and sample_digest != digest:
+                    raise AssertionError(
+                        "nondeterministic cell: digest changed across repeats"
+                    )
+                summary, digest = sample_summary, sample_digest
+                if best is None or elapsed < best:
+                    best = elapsed
+        evictions = [
+            w for w in caught if issubclass(w.category, ReplayEvictionWarning)
+        ]
+        if evictions:
+            cell.evictions = len(evictions)
+            cell.last_eviction = str(evictions[-1].message)
         cell.status = "ok"
         cell.seconds = best
         cell.rounds = run.rounds
@@ -402,6 +479,11 @@ def _execute_cell(
                 cell, spec, prepared, cell_seed, digest,
                 fault_plan=fault_plan, round_limit=round_limit,
             )
+    except RunPreempted:
+        # Preemption is not a cell outcome: the run flushed its final
+        # snapshot and must surface to the supervisor (which retries the
+        # cell from that snapshot), not complete as a failed cell.
+        raise
     except Exception as exc:  # noqa: BLE001 - cell isolation is the point
         _failure_fields(cell, exc)
     return cell
@@ -470,9 +552,19 @@ def run_cell(
     verify: Optional[str] = None,
     fault_plan: Optional[Any] = None,
     round_limit: Optional[int] = DEFAULT_CELL_ROUND_LIMIT,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_every_rounds: Optional[int] = None,
+    checkpoint_every_seconds: Optional[float] = None,
+    preempt: Optional[Any] = None,
+    on_snapshot: Optional[Callable[[int, str, str], None]] = None,
 ) -> MatrixCell:
     """Execute one sweep cell from scratch: build the instance graph,
     prepare the scenario, run it on ``engine``.
+
+    ``checkpoint_dir`` is the sweep-level base directory; this function
+    derives the cell's own snapshot directory from its journal key
+    (:func:`cell_checkpoint_dir`), so an interrupted attempt's snapshots
+    are found again by any later attempt in any process.
 
     This is the worker-pool entry point, and deliberately a pure
     function of the cell coordinates: the graph rng, the network seed
@@ -499,10 +591,20 @@ def run_cell(
         )
         _failure_fields(cell, exc)
         return cell
+    cell_dir = None
+    if checkpoint_dir is not None:
+        cell_dir = cell_checkpoint_dir(
+            checkpoint_dir,
+            _cell_key(seed, spec.name, family_name, n, engine),
+        )
     return _execute_cell(
         spec, prepared, family_name, n, engine, cell_seed,
         repeats=repeats, verify=verify, fault_plan=fault_plan,
         round_limit=round_limit,
+        checkpoint_dir=cell_dir,
+        checkpoint_every_rounds=checkpoint_every_rounds,
+        checkpoint_every_seconds=checkpoint_every_seconds,
+        preempt=preempt, on_snapshot=on_snapshot,
     )
 
 
@@ -645,6 +747,9 @@ class ScenarioMatrix:
         max_attempts: int = 3,
         chaos_kills: Optional[Sequence[int]] = None,
         stop_after_cells: Optional[int] = None,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_every_rounds: Optional[int] = None,
+        checkpoint_every_seconds: Optional[float] = None,
     ) -> MatrixResult:
         """Run the sweep and return its :class:`MatrixResult`.
 
@@ -659,6 +764,16 @@ class ScenarioMatrix:
         Digests are byte-identical across all of these execution shapes.
         ``chaos_kills`` / ``stop_after_cells`` are the chaos-drill hooks
         the resilience tests and the CI chaos-pool job use.
+
+        ``checkpoint_dir=`` enables mid-run checkpointing for every
+        cell (snapshots under a per-cell subdirectory, flushed every
+        ``checkpoint_every_rounds`` rounds and/or
+        ``checkpoint_every_seconds`` seconds): an interrupted attempt's
+        next attempt resumes from the newest valid snapshot instead of
+        from scratch.  Deliberately *not* part of the sweep's journal
+        fingerprint — where snapshots live does not change what the
+        cells compute, so a checkpointed sweep can resume a plain
+        sweep's journal and vice versa.
         """
         if workers is not None:
             from repro.scenarios.sweep import run_sharded
@@ -672,19 +787,32 @@ class ScenarioMatrix:
                 max_attempts=max_attempts,
                 chaos_kills=chaos_kills,
                 stop_after_cells=stop_after_cells,
+                checkpoint_dir=checkpoint_dir,
+                checkpoint_every_rounds=checkpoint_every_rounds,
+                checkpoint_every_seconds=checkpoint_every_seconds,
             )
         if journal is not None or resume_from is not None:
             from repro.scenarios.sweep import run_journaled_serial
 
             return run_journaled_serial(
-                self, journal=journal, resume_from=resume_from
+                self, journal=journal, resume_from=resume_from,
+                checkpoint_dir=checkpoint_dir,
+                checkpoint_every_rounds=checkpoint_every_rounds,
+                checkpoint_every_seconds=checkpoint_every_seconds,
             )
-        return self._run_serial()
+        return self._run_serial(
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every_rounds=checkpoint_every_rounds,
+            checkpoint_every_seconds=checkpoint_every_seconds,
+        )
 
     def _run_serial(
         self,
         on_cell: Optional[Callable[[str, MatrixCell], None]] = None,
         replay: Optional[Dict[str, Dict[str, Any]]] = None,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_every_rounds: Optional[int] = None,
+        checkpoint_every_seconds: Optional[float] = None,
     ) -> MatrixResult:
         """The in-process serial runner.
 
@@ -734,12 +862,24 @@ class ScenarioMatrix:
                             on_cell(cell.key(self.seed), cell)
                 if prepared is not None:
                     for engine in pending:
+                        cell_dir = None
+                        if checkpoint_dir is not None:
+                            cell_dir = cell_checkpoint_dir(
+                                checkpoint_dir,
+                                _cell_key(
+                                    self.seed, protocol_name, family_name,
+                                    n, engine,
+                                ),
+                            )
                         cell = _execute_cell(
                             spec, prepared, family_name, n, engine, cell_seed,
                             repeats=self.repeats,
                             verify=self.verify,
                             fault_plan=self.fault_plan,
                             round_limit=self.cell_round_limit,
+                            checkpoint_dir=cell_dir,
+                            checkpoint_every_rounds=checkpoint_every_rounds,
+                            checkpoint_every_seconds=checkpoint_every_seconds,
                         )
                         cells.append(cell)
                         if on_cell is not None:

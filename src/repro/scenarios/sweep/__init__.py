@@ -8,13 +8,19 @@ execution journal that makes sweeps resumable
 (:mod:`~repro.scenarios.sweep.journal`).
 """
 
-from repro.scenarios.sweep.journal import LoadedJournal, SweepJournal, sweep_fingerprint
+from repro.scenarios.sweep.journal import (
+    LoadedJournal,
+    SweepJournal,
+    sweep_fingerprint,
+    verify_journal,
+)
 from repro.scenarios.sweep.pool import run_journaled_serial, run_sharded
 
 __all__ = [
     "LoadedJournal",
     "SweepJournal",
     "sweep_fingerprint",
+    "verify_journal",
     "run_journaled_serial",
     "run_sharded",
 ]

@@ -30,7 +30,7 @@ from typing import Any, Dict, List, Optional, TextIO
 
 from repro.core.errors import SweepResumeError
 
-__all__ = ["SweepJournal", "sweep_fingerprint"]
+__all__ = ["SweepJournal", "sweep_fingerprint", "verify_journal"]
 
 _SCHEMA = 1
 
@@ -111,6 +111,23 @@ class SweepJournal:
             }
         )
 
+    def record_checkpoint(
+        self, key: str, attempt: int, round_index: int, digest: str
+    ) -> None:
+        """Record one mid-run snapshot flush — the cell's checkpoint
+        lineage.  Purely forensic: resume finds snapshots on disk by
+        run identity, not through the journal, so a lost ``ckpt`` line
+        never loses progress."""
+        self._append(
+            {
+                "kind": "ckpt",
+                "key": key,
+                "attempt": attempt,
+                "round": round_index,
+                "digest": digest,
+            }
+        )
+
     def _append(self, record: Dict[str, Any]) -> None:
         if self._fh is None:
             raise SweepResumeError(f"journal {self.path!r} is not open")
@@ -153,6 +170,7 @@ class SweepJournal:
         if not lines:
             raise SweepResumeError(f"journal {path!r} is empty")
         records: List[Dict[str, Any]] = []
+        torn_line = False
         for i, line in enumerate(lines):
             try:
                 records.append(json.loads(line))
@@ -160,6 +178,7 @@ class SweepJournal:
                 if i == len(lines) - 1:
                     # A torn trailing line is the expected residue of a
                     # kill mid-append; that cell simply re-executes.
+                    torn_line = True
                     break
                 raise SweepResumeError(
                     f"journal {path!r} is corrupt at line {i + 1}"
@@ -185,6 +204,7 @@ class SweepJournal:
         cells: Dict[str, Dict[str, Any]] = {}
         cell_lines: Dict[str, int] = {}
         attempts: Dict[str, List[Dict[str, Any]]] = {}
+        checkpoints: Dict[str, List[Dict[str, Any]]] = {}
         for record in records[1:]:
             kind = record.get("kind")
             key = record.get("key")
@@ -193,6 +213,8 @@ class SweepJournal:
                 cell_lines[key] = cell_lines.get(key, 0) + 1
             elif kind == "attempt" and key is not None:
                 attempts.setdefault(key, []).append(record)
+            elif kind == "ckpt" and key is not None:
+                checkpoints.setdefault(key, []).append(record)
         return LoadedJournal(
             path=path,
             meta=meta["sweep"],
@@ -200,6 +222,8 @@ class SweepJournal:
             cells=cells,
             cell_lines=cell_lines,
             attempts=attempts,
+            checkpoints=checkpoints,
+            torn_line=torn_line,
         )
 
     @classmethod
@@ -229,6 +253,8 @@ class LoadedJournal:
         cells: Dict[str, Dict[str, Any]],
         cell_lines: Dict[str, int],
         attempts: Dict[str, List[Dict[str, Any]]],
+        checkpoints: Optional[Dict[str, List[Dict[str, Any]]]] = None,
+        torn_line: bool = False,
     ) -> None:
         self.path = path
         self.meta = meta
@@ -240,8 +266,66 @@ class LoadedJournal:
         self.cell_lines = cell_lines
         #: key -> failed-attempt records, in journal order.
         self.attempts = attempts
+        #: key -> mid-run snapshot records (``ckpt`` lines), in journal
+        #: order — the checkpoint lineage across a cell's attempts.
+        self.checkpoints = checkpoints if checkpoints is not None else {}
+        #: Whether the file ended in a torn (kill-mid-append) line.
+        self.torn_line = torn_line
 
     def duplicate_keys(self) -> List[str]:
         """Cells recorded more than once — nonempty means a completed
         cell was re-executed, the invariant resume exists to prevent."""
         return sorted(k for k, count in self.cell_lines.items() if count > 1)
+
+
+def verify_journal(path: str) -> Dict[str, Any]:
+    """Structural health report for one sweep journal — the engine
+    behind ``python -m repro.scenarios --journal-verify``.
+
+    Always returns a report dict (never raises): ``ok`` is True iff the
+    journal parsed (fingerprint line intact, schema known, no mid-file
+    corruption) *and* no completed cell was recorded twice.  A torn
+    trailing line is reported but does not fail the check — it is the
+    expected residue of a kill mid-append.  ``checkpoints`` summarises
+    the recorded checkpoint lineage per cell: flush count, last round,
+    last snapshot digest, and the attempts that flushed.
+    """
+    report: Dict[str, Any] = {
+        "path": path,
+        "ok": False,
+        "error": None,
+        "fingerprint": None,
+        "cells": 0,
+        "failed_attempts": 0,
+        "duplicate_keys": [],
+        "torn_line": False,
+        "checkpoints": {},
+    }
+    try:
+        loaded = SweepJournal.load(path)
+    except SweepResumeError as exc:
+        report["error"] = str(exc)
+        return report
+    duplicates = loaded.duplicate_keys()
+    report.update(
+        ok=not duplicates,
+        fingerprint=loaded.fingerprint,
+        cells=len(loaded.cells),
+        failed_attempts=sum(len(v) for v in loaded.attempts.values()),
+        duplicate_keys=duplicates,
+        torn_line=loaded.torn_line,
+    )
+    if duplicates:
+        report["error"] = (
+            f"{len(duplicates)} cell(s) recorded more than once: "
+            "a completed cell was re-executed"
+        )
+    for key, records in sorted(loaded.checkpoints.items()):
+        last = records[-1]
+        report["checkpoints"][key] = {
+            "flushes": len(records),
+            "last_round": last.get("round"),
+            "last_digest": last.get("digest"),
+            "attempts": sorted({r.get("attempt") for r in records}),
+        }
+    return report

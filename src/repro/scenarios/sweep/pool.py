@@ -97,6 +97,9 @@ def run_journaled_serial(
     *,
     journal: Optional[str] = None,
     resume_from: Optional[str] = None,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_every_rounds: Optional[int] = None,
+    checkpoint_every_seconds: Optional[float] = None,
 ):
     """The serial runner with journal/resume plumbing attached — used
     directly by ``run(journal=..., resume_from=...)`` without workers,
@@ -111,7 +114,12 @@ def run_journaled_serial(
 
     on_cell = record if handle is not None else None
     try:
-        result = matrix._run_serial(on_cell=on_cell, replay=replay or None)
+        result = matrix._run_serial(
+            on_cell=on_cell, replay=replay or None,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every_rounds=checkpoint_every_rounds,
+            checkpoint_every_seconds=checkpoint_every_seconds,
+        )
     finally:
         if handle is not None:
             handle.close()
@@ -133,6 +141,9 @@ def run_sharded(
     heartbeat_interval: float = 0.5,
     chaos_kills: Optional[Sequence[int]] = None,
     stop_after_cells: Optional[int] = None,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_every_rounds: Optional[int] = None,
+    checkpoint_every_seconds: Optional[float] = None,
 ):
     """Run ``matrix`` on a supervised pool of ``workers`` processes.
 
@@ -168,6 +179,7 @@ def run_sharded(
         "interrupted": False,
         "fallback_reason": None,
         "worker_stats": {},
+        "checkpoint_events": 0,
     }
     meta["pool"] = pool_meta
     meta["journal"] = handle.path if handle is not None else None
@@ -179,7 +191,12 @@ def run_sharded(
         pool_meta["executor"] = "serial-fallback"
         pool_meta["fallback_reason"] = reason
         try:
-            _run_keys_serially(matrix, list(pending), task_info, completed, handle)
+            _run_keys_serially(
+                matrix, list(pending), task_info, completed, handle,
+                checkpoint_dir=checkpoint_dir,
+                checkpoint_every_rounds=checkpoint_every_rounds,
+                checkpoint_every_seconds=checkpoint_every_seconds,
+            )
         finally:
             if handle is not None:
                 handle.close()
@@ -330,6 +347,8 @@ def run_sharded(
                         key, get_protocol(protocol), family, n, engine,
                         matrix.seed, matrix.repeats, matrix.verify,
                         fault_plan_json, matrix.cell_round_limit, attempt,
+                        checkpoint_dir, checkpoint_every_rounds,
+                        checkpoint_every_seconds,
                     )
                 )
                 slot.task = {
@@ -350,6 +369,18 @@ def run_sharded(
                     _, _, key = event
                     if slot.task is not None and slot.task["key"] == key:
                         slot.task["last_event"] = _now()
+                elif kind == "ckpt":
+                    # A mid-run snapshot flush: liveness evidence (the
+                    # cell is making durable progress) plus a journal
+                    # lineage record.
+                    _, _, key, attempt, round_index, digest = event
+                    if slot.task is not None and slot.task["key"] == key:
+                        slot.task["last_event"] = _now()
+                    pool_meta["checkpoint_events"] += 1
+                    if handle is not None:
+                        handle.record_checkpoint(
+                            key, attempt, round_index, digest
+                        )
                 elif kind == "done":
                     _, _, key, attempt, cell_dict, seconds = event
                     if slot.task is not None and slot.task["key"] == key:
@@ -465,7 +496,12 @@ def run_sharded(
         pool_meta["executor"] = "pool+serial-degraded"
         pool_meta["fallback_reason"] = degrade_reason
         remaining = [k for k in all_keys if k not in completed]
-        _run_keys_serially(matrix, remaining, task_info, completed, handle)
+        _run_keys_serially(
+            matrix, remaining, task_info, completed, handle,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every_rounds=checkpoint_every_rounds,
+            checkpoint_every_seconds=checkpoint_every_seconds,
+        )
 
     if handle is not None:
         handle.close()
@@ -492,7 +528,12 @@ def _drain(result_queue, timeout: float) -> List[Tuple[Any, ...]]:
     return events
 
 
-def _run_keys_serially(matrix, keys, task_info, completed, handle) -> None:
+def _run_keys_serially(
+    matrix, keys, task_info, completed, handle,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_every_rounds: Optional[int] = None,
+    checkpoint_every_seconds: Optional[float] = None,
+) -> None:
     """Execute ``keys`` in-process (fallback / degradation path)."""
     from repro.scenarios.matrix import run_cell
 
@@ -504,6 +545,9 @@ def _run_keys_serially(matrix, keys, task_info, completed, handle) -> None:
             get_protocol(protocol), family, n, engine,
             seed=matrix.seed, repeats=matrix.repeats, verify=matrix.verify,
             fault_plan=matrix.fault_plan, round_limit=matrix.cell_round_limit,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every_rounds=checkpoint_every_rounds,
+            checkpoint_every_seconds=checkpoint_every_seconds,
         )
         payload = cell.to_dict()
         completed[key] = payload

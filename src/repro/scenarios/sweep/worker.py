@@ -17,8 +17,21 @@ Event protocol on the shared result queue (tuples, first element tags):
 ``("done", worker_id, key, attempt, cell_dict, seconds)``
     The cell completed (including protocol-level failure — a failed
     :class:`MatrixCell` is still a *completed* execution).
+``("ckpt", worker_id, key, attempt, round_index, digest)``
+    The in-flight cell flushed a mid-run snapshot (checkpointed sweeps
+    only): durable-progress evidence for the supervisor's liveness
+    tracking and a checkpoint-lineage record for the journal.
 ``("error", worker_id, key, attempt, message, traceback_digest)``
     The harness itself raised inside the worker; the supervisor retries.
+
+Preemption: workers install a SIGTERM handler that requests a graceful
+stop instead of dying mid-cell.  A checkpointed cell observes the
+request at its next round boundary, flushes a final snapshot, and the
+worker reports the interruption as an ``error`` event before exiting —
+so the supervisor's retry resumes from that snapshot instead of from
+scratch (partial-progress retry).  SIGKILL remains the supervisor's
+deadline weapon; SIGTERM is for cooperative preemption (cluster
+eviction, scale-down).
 
 Workers exit when they receive the ``None`` sentinel, or when their
 parent disappears (``os.getppid()`` changes — the supervisor was
@@ -30,6 +43,8 @@ from __future__ import annotations
 
 import hashlib
 import os
+import shutil
+import signal
 import threading
 import time
 import traceback
@@ -61,7 +76,17 @@ def worker_main(
     """Worker process entry point (module-level: spawn-picklable)."""
     global CURRENT_TASK
     parent = os.getppid()
+    # Cooperative preemption: SIGTERM requests a graceful stop.  The
+    # checkpoint session polls this event at round boundaries, flushes a
+    # final snapshot and raises RunPreempted; an idle worker just exits.
+    preempted = threading.Event()
+    try:
+        signal.signal(signal.SIGTERM, lambda *_: preempted.set())
+    except (ValueError, OSError):  # pragma: no cover - exotic platforms
+        pass
     while True:
+        if preempted.is_set():
+            return
         try:
             task = task_queue.get(timeout=1.0)
         except Empty:
@@ -73,6 +98,7 @@ def worker_main(
         (
             key, spec, family_name, n, engine, seed, repeats, verify,
             fault_plan_json, round_limit, attempt,
+            checkpoint_dir, checkpoint_every_rounds, checkpoint_every_seconds,
         ) = task
         CURRENT_TASK = (key, attempt)
         result_queue.put(("start", worker_id, key, attempt))
@@ -84,24 +110,65 @@ def worker_main(
         )
         beat.start()
         try:
+            from repro.core.errors import RunPreempted
             from repro.core.faults import FaultPlan
-            from repro.scenarios.matrix import run_cell
+            from repro.scenarios.matrix import cell_checkpoint_dir, run_cell
 
             fault_plan = (
                 None
                 if fault_plan_json is None
                 else FaultPlan.from_json(fault_plan_json)
             )
+
+            def on_snapshot(round_index, digest, path):
+                try:
+                    result_queue.put(
+                        ("ckpt", worker_id, key, attempt, round_index, digest)
+                    )
+                except Exception:  # noqa: BLE001 - queue torn down
+                    pass
+
             start = time.perf_counter()  # analysis: allow(wall-clock)
             cell = run_cell(
                 spec, family_name, n, engine,
                 seed=seed, repeats=repeats, verify=verify,
                 fault_plan=fault_plan, round_limit=round_limit,
+                checkpoint_dir=checkpoint_dir,
+                checkpoint_every_rounds=checkpoint_every_rounds,
+                checkpoint_every_seconds=checkpoint_every_seconds,
+                preempt=preempted,
+                on_snapshot=(
+                    on_snapshot if checkpoint_dir is not None else None
+                ),
             )
             seconds = time.perf_counter() - start  # analysis: allow(wall-clock)
             result_queue.put(
                 ("done", worker_id, key, attempt, cell.to_dict(), seconds)
             )
+            if checkpoint_dir is not None:
+                # The cell completed durably (the supervisor journals it
+                # on this event); its snapshots have served their purpose.
+                shutil.rmtree(
+                    cell_checkpoint_dir(checkpoint_dir, key),
+                    ignore_errors=True,
+                )
+        except RunPreempted as exc:
+            # The final snapshot is flushed; report the interruption so
+            # the supervisor's retry resumes from it, then exit — a
+            # SIGTERMed worker must not pick up more work.
+            digest = hashlib.sha256(
+                f"RunPreempted:{key}".encode()
+            ).hexdigest()[:12]
+            result_queue.put(
+                (
+                    "error", worker_id, key, attempt,
+                    f"RunPreempted: {exc}", digest,
+                )
+            )
+            stop.set()
+            beat.join(timeout=1.0)
+            CURRENT_TASK = None
+            return
         except BaseException as exc:  # noqa: BLE001 - report, don't die
             digest = hashlib.sha256(
                 traceback.format_exc().encode()
