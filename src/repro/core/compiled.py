@@ -46,10 +46,13 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 __all__ = [
     "OBLIVIOUS_ATTR",
     "OBLIVIOUS_INFO_ATTR",
+    "SCHEDULE_DIGEST_ATTR",
     "ObliviousInfo",
     "mark_oblivious",
     "oblivious_key",
     "oblivious_info",
+    "declare_schedule_digest",
+    "schedule_digest_parts",
     "describe_program",
     "LaneStructure",
     "CompiledSchedule",
@@ -65,6 +68,10 @@ OBLIVIOUS_ATTR = "__oblivious_key__"
 
 #: Attribute holding the :class:`ObliviousInfo` for a marked program.
 OBLIVIOUS_INFO_ATTR = "__oblivious_info__"
+
+#: Attribute holding the *cross-process stable* digest parts declared
+#: via :func:`declare_schedule_digest`.
+SCHEDULE_DIGEST_ATTR = "__schedule_digest_parts__"
 
 
 @dataclass(frozen=True)
@@ -125,6 +132,31 @@ def oblivious_info(program: Any) -> Optional[ObliviousInfo]:
     """The :class:`ObliviousInfo` attached by :func:`mark_oblivious`, or
     ``None`` for undeclared programs."""
     return getattr(program, OBLIVIOUS_INFO_ATTR, None)
+
+
+def declare_schedule_digest(program: Callable, *parts: Any) -> Callable:
+    """Declare content-derived identity for the *persistent* schedule cache.
+
+    The in-process replay cache (:func:`mark_oblivious`) may key on
+    ``id(...)`` of public objects — cheap and correct within one
+    process.  The on-disk cache
+    (:mod:`repro.core.engine.schedule_cache`) is shared across pool
+    workers, so its key must be stable across processes: ``parts`` must
+    be derived from the program's *content* (schedule bytes, plan
+    structure, parameters), never from object identity.  Programs
+    without a declaration are simply not persisted — the in-memory path
+    is unaffected.  Like the oblivious key, this is a hint: a stale or
+    colliding digest is caught by the loader's key-description check and
+    by the per-round replay comparison, so it can cost a re-record but
+    never corrupt results.  Returns ``program`` for chaining.
+    """
+    setattr(program, SCHEDULE_DIGEST_ATTR, parts)
+    return program
+
+
+def schedule_digest_parts(program: Any) -> Optional[Tuple[Any, ...]]:
+    """Parts declared via :func:`declare_schedule_digest`, or ``None``."""
+    return getattr(program, SCHEDULE_DIGEST_ATTR, None)
 
 
 def describe_program(program: Any) -> str:

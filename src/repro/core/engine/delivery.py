@@ -27,6 +27,7 @@ checks only when an equivalent vectorized validation already ran
 
 from __future__ import annotations
 
+import os
 from typing import Any, Dict, List, Optional
 
 from repro.core.bits import Bits
@@ -36,7 +37,95 @@ from repro.core.errors import (
     TopologyError,
 )
 
-__all__ = ["DeliveryBackend", "deliver_outbox", "deliver_round_scalar"]
+__all__ = [
+    "DEFAULT_CHUNK_BYTES",
+    "CHUNK_BYTES_ENV",
+    "DeliveryBackend",
+    "SharedLaneArena",
+    "batch_chunk_size",
+    "deliver_outbox",
+    "deliver_round_scalar",
+]
+
+#: Default budget for one stacked K×n×n batch chunk (uint64 values).
+DEFAULT_CHUNK_BYTES = 64 << 20
+
+#: Environment override for :func:`batch_chunk_size`.  The sweep layer
+#: uses chunk boundaries as the intra-cell K-shard seams, so tests and
+#: benchmarks shrink this to force multi-chunk (and hence multi-shard)
+#: behaviour at small n.
+CHUNK_BYTES_ENV = "REPRO_BATCH_CHUNK_BYTES"
+
+
+def batch_chunk_size(n: int, *, max_bytes: Optional[int] = None) -> int:
+    """How many instances one ``run_many`` batch chunk holds at size ``n``.
+
+    The batched engines stack K instances into K×n×n uint64 lanes and
+    cap each chunk's value buffer at ``max_bytes`` (default 64 MiB, or
+    the ``REPRO_BATCH_CHUNK_BYTES`` environment variable).  Chunking is
+    invisible in results — per-instance outputs are a pure function of
+    the instance inputs — so this knob trades peak memory against lane
+    reuse, and doubles as the K-shard seam for
+    :meth:`repro.scenarios.matrix.ScenarioMatrix.run`.
+    """
+    if max_bytes is None:
+        raw = os.environ.get(CHUNK_BYTES_ENV)
+        if raw is not None:
+            try:
+                max_bytes = int(raw)
+            except ValueError:
+                max_bytes = DEFAULT_CHUNK_BYTES
+        else:
+            max_bytes = DEFAULT_CHUNK_BYTES
+    return max(1, max_bytes // (n * n * 8))
+
+
+class SharedLaneArena:
+    """Zero-copy backing store for stacked batch-lane buffers.
+
+    Allocates numpy arrays on :mod:`multiprocessing.shared_memory`
+    segments instead of private heap pages, so a sweep worker's K×n×n
+    lane state lives in ``/dev/shm`` where the supervisor (or a sibling
+    process) can attach without a pickle round-trip.  Passed to
+    :class:`~repro.core.network.Network` as ``lane_allocator``; the
+    batch lanes call :meth:`zeros` exactly where they would call
+    ``np.zeros``.  Object-dtype requests fall back to the heap (shared
+    memory only holds flat numeric buffers).
+
+    Segments are named ``<prefix>-a<index>`` so an external supervisor
+    can sweep leftovers by prefix after a crash; :meth:`close` releases
+    everything this arena created.
+    """
+
+    __slots__ = ("prefix", "_segments", "_counter")
+
+    def __init__(self, prefix: str) -> None:
+        self.prefix = prefix
+        self._segments: List[Any] = []
+        self._counter = 0
+
+    def zeros(self, shape, dtype):
+        import numpy as np
+
+        dtype = np.dtype(dtype)
+        if dtype.hasobject:
+            return np.zeros(shape, dtype=dtype)
+        from repro.scenarios.sweep.shm import create_segment
+
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        segment = create_segment(f"{self.prefix}-a{self._counter}", max(1, nbytes))
+        self._counter += 1
+        self._segments.append(segment)
+        array = np.ndarray(shape, dtype=dtype, buffer=segment.buf)
+        array.fill(0)
+        return array
+
+    def close(self) -> None:
+        from repro.scenarios.sweep.shm import destroy_segment
+
+        segments, self._segments = self._segments, []
+        for segment in segments:
+            destroy_segment(segment)
 
 
 def _at(round_index: Optional[int]) -> str:

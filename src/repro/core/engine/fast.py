@@ -33,7 +33,12 @@ from repro.core.compiled import (
     oblivious_key,
 )
 from repro.core.engine.base import Engine
-from repro.core.engine.delivery import DeliveryBackend, deliver_outbox, deliver_round_scalar
+from repro.core.engine.delivery import (
+    DeliveryBackend,
+    batch_chunk_size,
+    deliver_outbox,
+    deliver_round_scalar,
+)
 from repro.core.errors import ProtocolError
 
 __all__ = ["FastEngine"]
@@ -74,6 +79,8 @@ class FastEngine(Engine):
         if key is None:
             return self._run_full(network, program, inputs)
         compiled = network._compiled_entry(key)
+        if compiled is None:
+            compiled = self._load_cached(network, program, key)
         if compiled is not None:
             replayed = self._try_replay(network, program, [inputs], compiled, key)
             if replayed is not None:
@@ -97,14 +104,17 @@ class FastEngine(Engine):
             return [self._run(network, program, inputs) for inputs in inputs_list]
         results: List[Any] = []
         rest = inputs_list
-        if network._compiled_entry(key) is None:
+        if (
+            network._compiled_entry(key) is None
+            and self._load_cached(network, program, key) is None
+        ):
             results.append(self._run_recording(network, program, inputs_list[0], key))
             rest = inputs_list[1:]
         # Bound the stacked replay buffers (~64 MB of uint64 send
         # matrices) by chunking large sweeps; replay state carries over
         # through the schedule cache, so chunking is invisible apart
         # from peak memory.
-        chunk_size = max(1, (64 << 20) // (network.n * network.n * 8))
+        chunk_size = batch_chunk_size(network.n)
         for start in range(0, len(rest), chunk_size):
             chunk = rest[start : start + chunk_size]
             compiled = network._compiled_entry(key)
@@ -467,6 +477,40 @@ class FastEngine(Engine):
         )
         return session.finish(result)
 
+    # -- persistent cache ------------------------------------------------
+
+    def _load_cached(self, network: Any, program, key) -> Optional[CompiledSchedule]:
+        """Try the cross-process schedule store; a hit is installed in
+        the in-memory cache (so this runs once per program) and counts
+        as neither a compile nor a replay.  A loaded schedule is a hint
+        like any other: every replayed round is still structurally
+        compared, so a wrong entry demotes to re-recording."""
+        cache = network.schedule_cache
+        if cache is None:
+            return None
+        from repro.core.engine.schedule_cache import program_digest
+
+        identity = program_digest(program, network)
+        if identity is None:
+            return None
+        entry = cache.load(identity[0], identity[1], network)
+        if entry is None:
+            return None
+        if len(network._compiled) >= 32:
+            network._compiled.pop(next(iter(network._compiled)))
+        network._compiled[key] = entry
+        return entry
+
+    def _store_cached(self, network: Any, program, entry) -> None:
+        cache = network.schedule_cache
+        if cache is None:
+            return
+        from repro.core.engine.schedule_cache import program_digest
+
+        identity = program_digest(program, network)
+        if identity is not None:
+            cache.store(identity[0], identity[1], entry, network, program)
+
     # -- recording -------------------------------------------------------
 
     def _run_recording(self, network: Any, program, inputs, key) -> Any:
@@ -479,6 +523,7 @@ class FastEngine(Engine):
         entry.params = (network.bandwidth, network.mode)
         network._compiled[key] = entry
         network.schedule_stats["compiled"] += 1
+        self._store_cached(network, program, entry)
         return result
 
     # -- compiled replay -------------------------------------------------
@@ -493,6 +538,12 @@ class FastEngine(Engine):
         slowdown."""
         network._compiled.pop(key, None)
         network.schedule_stats["fallbacks"] += 1
+        if network.schedule_cache is not None and program is not None:
+            from repro.core.engine.schedule_cache import program_digest
+
+            identity = program_digest(program, network)
+            if identity is not None:
+                network.schedule_cache.evict(identity[0])
         if program is not None:
             import warnings
 
@@ -572,6 +623,8 @@ class FastEngine(Engine):
         maxb_l = [0] * num_instances
 
         lane: Optional[BatchLane] = None
+        arena = network.lane_allocator
+        lane_alloc = None if arena is None else arena.zeros
         blanes: Optional[List[Optional[BroadcastLane]]] = None
         scalar_state: Optional[List[Optional[DeliveryBackend]]] = None
         vbuf_num = vbuf_obj = dbuf = None
@@ -686,7 +739,7 @@ class FastEngine(Engine):
                     ):
                         return self._bail(network, key, program)
                     if lane is None:
-                        lane = BatchLane(n, num_instances)
+                        lane = BatchLane(n, num_instances, alloc=lane_alloc)
                     lane.deliver_compiled(
                         struct,
                         need_write,
@@ -698,7 +751,7 @@ class FastEngine(Engine):
                     # messages): keep the lane's presence mask in sync
                     # with this structure — a no-op when unchanged.
                     if lane is None:
-                        lane = BatchLane(n, num_instances)
+                        lane = BatchLane(n, num_instances, alloc=lane_alloc)
                     lane.deliver_compiled(struct, [], [])
             elif kind == BCAST:
                 ids, width = payload

@@ -379,8 +379,15 @@ class _BatchBuffers:
 
     __slots__ = ("values", "present", "inboxes", "touched")
 
-    def __init__(self, n: int, instances: int, dtype) -> None:
-        self.values = np.zeros((instances, n, n), dtype=dtype)
+    def __init__(self, n: int, instances: int, dtype, alloc=None) -> None:
+        # The K×n×n value stack is the only allocation worth routing
+        # through a zero-copy arena (shared-memory backing for sweep
+        # workers); the bookkeeping arrays stay on the private heap.
+        self.values = (
+            np.zeros((instances, n, n), dtype=dtype)
+            if alloc is None
+            else alloc((instances, n, n), dtype)
+        )
         self.present = np.zeros((n, n), dtype=bool)
         self.inboxes = [
             [
@@ -405,9 +412,12 @@ class BatchLane:
     happened at record time.
     """
 
-    __slots__ = ("n", "instances", "width", "_numeric", "_object", "_active", "_struct")
+    __slots__ = (
+        "n", "instances", "width", "_numeric", "_object", "_active",
+        "_struct", "_alloc",
+    )
 
-    def __init__(self, n: int, instances: int) -> None:
+    def __init__(self, n: int, instances: int, alloc=None) -> None:
         self.n = n
         self.instances = instances
         self.width = 0
@@ -415,11 +425,14 @@ class BatchLane:
         self._object: Optional[_BatchBuffers] = None
         self._active: Optional[_BatchBuffers] = None
         self._struct: Any = None
+        self._alloc = alloc
 
     def _buffers(self, width: int) -> _BatchBuffers:
         if width <= NUMERIC_WIDTH_LIMIT:
             if self._numeric is None:
-                self._numeric = _BatchBuffers(self.n, self.instances, np.uint64)
+                self._numeric = _BatchBuffers(
+                    self.n, self.instances, np.uint64, alloc=self._alloc
+                )
             return self._numeric
         if self._object is None:
             self._object = _BatchBuffers(self.n, self.instances, object)
@@ -497,8 +510,12 @@ class _BcastBatchBuffers:
 
     __slots__ = ("values", "present", "touched")
 
-    def __init__(self, n: int, instances: int, dtype) -> None:
-        self.values = np.zeros((instances, n), dtype=dtype)
+    def __init__(self, n: int, instances: int, dtype, alloc=None) -> None:
+        self.values = (
+            np.zeros((instances, n), dtype=dtype)
+            if alloc is None
+            else alloc((instances, n), dtype)
+        )
         self.present = np.zeros(n, dtype=bool)
         self.touched: List[int] = []  # writer slots filled last round
 
@@ -507,20 +524,25 @@ class BatchBroadcastLane:
     """Stacked blackboard delivery for kernel broadcast rounds, K
     instances at a time: one ``K × writers`` fancy write per round."""
 
-    __slots__ = ("n", "instances", "width", "_numeric", "_object", "_active")
+    __slots__ = (
+        "n", "instances", "width", "_numeric", "_object", "_active", "_alloc",
+    )
 
-    def __init__(self, n: int, instances: int) -> None:
+    def __init__(self, n: int, instances: int, alloc=None) -> None:
         self.n = n
         self.instances = instances
         self.width = 0
         self._numeric: Optional[_BcastBatchBuffers] = None
         self._object: Optional[_BcastBatchBuffers] = None
         self._active: Optional[_BcastBatchBuffers] = None
+        self._alloc = alloc
 
     def _buffers(self, width: int) -> _BcastBatchBuffers:
         if width <= NUMERIC_WIDTH_LIMIT:
             if self._numeric is None:
-                self._numeric = _BcastBatchBuffers(self.n, self.instances, np.uint64)
+                self._numeric = _BcastBatchBuffers(
+                    self.n, self.instances, np.uint64, alloc=self._alloc
+                )
             return self._numeric
         if self._object is None:
             self._object = _BcastBatchBuffers(self.n, self.instances, object)

@@ -81,6 +81,7 @@ __all__ = [
     "KernelProgram",
     "KernelBuilder",
     "compile_program",
+    "rebuild_kernel_schedule",
     "execute",
     "pack_rows",
     "unpack_rows",
@@ -590,6 +591,91 @@ def compile_program(program: KernelProgram, network) -> CompiledSchedule:
     return compiled
 
 
+def rebuild_kernel_schedule(program: KernelProgram, network, loaded) -> Optional[CompiledSchedule]:
+    """Pair a persistent-cache schedule with ``program``'s declared
+    rounds, verifying before trusting.
+
+    Kernel execution has no per-round replay comparison — it delivers
+    whatever structures the compiled schedule holds — so a loaded
+    entry must be proven equal to the program's declaration before it
+    may replace :func:`compile_program`.  Every distinct loaded
+    structure is compared byte-for-byte (senders, split sizes,
+    destination vectors, widths) against the specs that reference it;
+    a flat memcmp per shape, orders of magnitude cheaper than the
+    per-message CONGEST topology walk a fresh compile pays (topology
+    is part of the cache key, so a verified entry was validated
+    against this exact graph).  Any mismatch returns ``None`` and the
+    caller compiles fresh.
+    """
+    if program.n != network.n:
+        return None
+    if program.bandwidth is not None and program.bandwidth != network.bandwidth:
+        return None
+    if program.mode is not network.mode and not (
+        program.mode is Mode.UNICAST and network.mode is Mode.CONGEST
+    ):
+        return None
+    if loaded.params != (network.bandwidth, network.mode):
+        return None
+    if len(loaded.rounds) != len(program.rounds):
+        return None
+    execs: List[_ExecRound] = []
+    verified: set = set()
+    for spec, (kind, payload, bits) in zip(program.rounds, loaded.rounds):
+        if isinstance(spec, UnicastRound):
+            if kind != LANE:
+                return None
+            struct = payload
+            pair_key = (id(struct), id(spec))
+            if pair_key not in verified:
+                spec_cols = b"".join(dests.tobytes() for _, dests in spec.pairs)
+                if (
+                    struct.width != spec.width
+                    or tuple(struct.sender_ids)
+                    != tuple(int(v) for v, _ in spec.pairs)
+                    or tuple(size for _, _, size in struct.entries)
+                    != tuple(int(dests.size) for _, dests in spec.pairs)
+                    or struct.cols.tobytes() != spec_cols
+                ):
+                    return None
+                if (struct.widths is None) != (spec.widths is None):
+                    return None
+                if spec.widths is not None and not np.array_equal(
+                    np.asarray(struct.widths), np.asarray(spec.widths)
+                ):
+                    return None
+                verified.add(pair_key)
+            widths_u64 = (
+                None if spec.widths is None else spec.widths.astype(np.uint64)
+            )
+            execs.append(
+                _ExecRound(
+                    LANE, spec, struct, None, spec.width, widths_u64,
+                    struct.count, bits,
+                )
+            )
+        else:
+            if kind != BCAST:
+                return None
+            ids, width = payload
+            if width != spec.width or ids != tuple(int(w) for w in spec.writers):
+                return None
+            execs.append(
+                _ExecRound(
+                    BCAST, spec, payload, spec.writers, spec.width, None,
+                    len(ids), bits,
+                )
+            )
+    loaded.kernel = execs
+    return loaded
+
+
+def _lane_alloc(network):
+    """The network's zero-copy lane allocator hook, or None (heap)."""
+    arena = getattr(network, "lane_allocator", None)
+    return None if arena is None else arena.zeros
+
+
 def _coerce_payload(vals, rec: _ExecRound, instances: int, r: int) -> np.ndarray:
     if rec.is_object:
         if not (isinstance(vals, np.ndarray) and vals.dtype == object):
@@ -803,7 +889,9 @@ def execute(
         if rec.kind == LANE:
             lane = lanes[0]
             if lane is None:
-                lane = lanes[0] = BatchLane(n, instances)
+                lane = lanes[0] = BatchLane(
+                    n, instances, alloc=_lane_alloc(network)
+                )
             struct = rec.struct
             if rec.count == 0:
                 lane.deliver_kernel(struct, None)
@@ -868,7 +956,9 @@ def execute(
         else:
             blane = lanes[1]
             if blane is None:
-                blane = lanes[1] = BatchBroadcastLane(n, instances)
+                blane = lanes[1] = BatchBroadcastLane(
+                    n, instances, alloc=_lane_alloc(network)
+                )
             writers = rec.writers
             if rec.count == 0:
                 blane.deliver_kernel(writers, rec.width, None)

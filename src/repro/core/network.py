@@ -246,6 +246,8 @@ class Network:
         fault_plan: Optional[Any] = None,
         round_limit: Optional[int] = None,
         degrade: bool = True,
+        schedule_cache: Optional[Any] = None,
+        lane_allocator: Optional[Any] = None,
     ) -> None:
         from repro.core.engine.planner import DEFAULT_PLANNER, resolve_engine
 
@@ -266,6 +268,20 @@ class Network:
         self.fault_plan = fault_plan
         self.round_limit = round_limit
         self.degrade = degrade
+        # Persistent cross-process schedule store (a directory path or
+        # a ScheduleCache handle); None disables persistence.  Hit/miss
+        # counters live on the handle, so each network's share of cache
+        # traffic is observable.
+        if schedule_cache is not None and not hasattr(schedule_cache, "load"):
+            from repro.core.engine.schedule_cache import ScheduleCache
+
+            schedule_cache = ScheduleCache(schedule_cache)
+        self.schedule_cache = schedule_cache
+        #: Optional zero-copy arena for stacked batch-lane buffers (see
+        #: :class:`~repro.core.engine.delivery.SharedLaneArena`); the
+        #: batch lanes call ``lane_allocator.zeros`` instead of
+        #: ``np.zeros`` when set.
+        self.lane_allocator = lane_allocator
         #: The engine argument as given (string shim or Engine instance).
         self.engine = engine
         #: Resolved backend pin (None = planner's choice), and the

@@ -44,7 +44,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.circuits.arithmetic import matmul_circuit_naive, matmul_circuit_strassen
 from repro.circuits.circuit import Circuit
 from repro.core.bits import Bits
-from repro.core.compiled import mark_oblivious
+from repro.core.compiled import declare_schedule_digest, mark_oblivious
 from repro.core.network import Mode, Network, RunResult
 from repro.core.phases import transmit_unicast
 from repro.graphs.graph import Graph
@@ -176,6 +176,7 @@ def triangle_mm_program(
 
     # Structure comes from (plan, trials) alone; the adjacency rows only
     # fill payloads — see the module docstring.
+    declare_schedule_digest(program, "triangle_mm", plan, trials)
     return mark_oblivious(program, "triangle_mm", id(plan), trials)
 
 

@@ -27,7 +27,7 @@ from __future__ import annotations
 from typing import Dict, Mapping, Optional, Tuple
 
 from repro.core.bits import Bits
-from repro.core.compiled import mark_oblivious
+from repro.core.compiled import declare_schedule_digest, mark_oblivious
 from repro.core.network import Context, Outbox, inbox_uints
 from repro.routing.schedule import FrameRef, RoutingSchedule, build_schedule
 
@@ -140,6 +140,10 @@ def route_program(schedule: RoutingSchedule, frame_size: int):
         )
         return delivered
 
+    # Persistent-cache identity must be content-derived (the in-memory
+    # key above may use object identity; disk entries are shared across
+    # pool workers where id() means nothing).
+    declare_schedule_digest(program, "route_program", schedule, frame_size)
     return mark_oblivious(program, "route_program", id(schedule), frame_size)
 
 

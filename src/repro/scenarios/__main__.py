@@ -116,6 +116,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="flush a snapshot every SECONDS of wall clock",
     )
     parser.add_argument(
+        "--schedule-cache", default=None, metavar="DIR",
+        help="persistent compiled-schedule cache: fast/kernel engines "
+        "load lane structures recorded by any previous run (or any "
+        "concurrent worker) from DIR instead of re-recording",
+    )
+    parser.add_argument(
+        "--shard-k", type=int, default=None, metavar="K",
+        help="split multi-instance cells into K-instance shards that "
+        "run as independent tasks (digest-identical to serial; "
+        "shard size is aligned down to the delivery chunk)",
+    )
+    parser.add_argument(
         "--journal-verify", default=None, metavar="PATH",
         help="verify a sweep journal's integrity (fingerprint, torn "
         "lines, duplicate cells, checkpoint lineage) and exit; "
@@ -155,6 +167,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_every_rounds=args.checkpoint_every_rounds,
         checkpoint_every_seconds=args.checkpoint_every_seconds,
+        schedule_cache=args.schedule_cache,
+        shard_k=args.shard_k,
     )
     if args.out is not None:
         result.write(args.out)

@@ -61,6 +61,20 @@ class PreparedScenario:
     summarize: Callable[[RunResult], Any]
     #: summary -> None, raising AssertionError on ground-truth mismatch.
     validate: Optional[Callable[[Any], None]] = None
+    #: Multi-instance scenarios (``run_many`` cells): per-instance input
+    #: lists, one entry per instance.  When set, the matrix runner
+    #: executes all K instances through one compiled schedule
+    #: (:meth:`~repro.core.network.Network.run_many`) and the cell digest
+    #: covers the ordered per-instance summaries — which is what lets the
+    #: sweep executor split the K range across workers and merge shards
+    #: byte-identically.  ``inputs`` should hold instance 0 so
+    #: single-run consumers (the static verifier) stay oblivious to the
+    #: batching.
+    instances: Optional[List[Any]] = None
+    #: ``validate_instance(k, summary_k)`` — per-instance ground-truth
+    #: check for multi-instance scenarios; raises AssertionError on
+    #: mismatch.  Each shard validates exactly the instances it ran.
+    validate_instance: Optional[Callable[[int, Any], None]] = None
 
 
 @dataclass(frozen=True)
@@ -81,6 +95,11 @@ class ProtocolSpec:
     #: against it; in strict mode a missing budget is itself a
     #: violation, so registered protocols must declare one.
     bandwidth_budget: Optional[BandwidthBudget] = None
+    #: Declared instance count for multi-instance (``run_many``)
+    #: scenarios — must equal ``len(prepare(...).instances)``.  Declared
+    #: on the spec so the sweep supervisor can plan K-shards without
+    #: preparing the scenario first; 1 means a plain single-run cell.
+    instances: int = 1
 
     def program_for(self, engine: str) -> str:
         """Which program flavour the named engine executes."""
@@ -103,6 +122,7 @@ class ProtocolSpec:
                 self.engines,
                 self.prepare,
                 self.bandwidth_budget,
+                self.instances,
             ),
         )
 
@@ -114,6 +134,7 @@ def _restore_spec(
     engines: Tuple[str, ...],
     prepare: Callable[[int, Graph, random.Random], PreparedScenario],
     bandwidth_budget: Optional[BandwidthBudget],
+    instances: int = 1,
 ) -> "ProtocolSpec":
     """Unpickle hook for :class:`ProtocolSpec` (see ``__reduce__``)."""
     existing = PROTOCOLS.get(name)
@@ -127,6 +148,7 @@ def _restore_spec(
             engines=engines,
             prepare=prepare,
             bandwidth_budget=bandwidth_budget,
+            instances=instances,
         )
     )
 
@@ -170,14 +192,17 @@ def _sorted_edges(graph: Graph) -> Tuple[Tuple[int, int], ...]:
     return tuple(sorted(graph.edges()))
 
 
-def _prepare_routing(n: int, graph: Graph, rng: random.Random) -> PreparedScenario:
-    from repro.routing.lenzen import route_kernel_program, route_program
-    from repro.routing.schedule import build_schedule
+#: Frame width of the routing scenarios (bits per routed frame).
+_ROUTING_FRAME_SIZE = 16
+#: Instance count of the ``routing_many`` scenario: K payload batches
+#: routed through one compiled schedule — the K-sharding seam.
+ROUTING_MANY_INSTANCES = 6
 
-    frame_size = 16
+
+def _routing_demand(n: int, graph: Graph) -> Dict[Tuple[int, int], int]:
     # One frame per direction of every graph edge: the demand pattern is
     # the graph, the payloads are random frame contents.
-    demand = {}
+    demand: Dict[Tuple[int, int], int] = {}
     for u, v in _sorted_edges(graph):
         demand[(u, v)] = 1
         demand[(v, u)] = 1
@@ -186,27 +211,52 @@ def _prepare_routing(n: int, graph: Graph, rng: random.Random) -> PreparedScenar
         if n < 2:
             raise ValueError("the routing scenario needs n >= 2")
         demand[(0, 1)] = 1
-    schedule = build_schedule(demand, n)
+    return demand
+
+
+def _routing_instance(
+    n: int, demand: Dict[Tuple[int, int], int], rng: random.Random
+) -> Tuple[List[Dict[Any, Bits]], Dict[Tuple[int, int, int], int]]:
+    """One payload batch for ``demand``: per-node inputs plus the
+    expected delivery map the validator checks against."""
     inputs: List[Dict[Any, Bits]] = [dict() for _ in range(n)]
-    expected = {}
+    expected: Dict[Tuple[int, int, int], int] = {}
     for (src, dst), count in sorted(demand.items()):
         for idx in range(count):
-            payload = Bits.from_uint(rng.getrandbits(frame_size), frame_size)
+            payload = Bits.from_uint(
+                rng.getrandbits(_ROUTING_FRAME_SIZE), _ROUTING_FRAME_SIZE
+            )
             inputs[src][(src, dst, idx)] = payload
             expected[(src, dst, idx)] = payload.to_uint()
+    return inputs, expected
 
-    def summarize(result: RunResult):
-        delivered = []
-        for node, frames in enumerate(result.outputs):
-            for (src, dst, idx), payload in sorted((frames or {}).items()):
-                delivered.append((node, src, dst, idx, payload.to_uint()))
-        return tuple(delivered)
+
+def _summarize_routing(result: RunResult):
+    delivered = []
+    for node, frames in enumerate(result.outputs):
+        for (src, dst, idx), payload in sorted((frames or {}).items()):
+            delivered.append((node, src, dst, idx, payload.to_uint()))
+    return tuple(delivered)
+
+
+def _check_routing_summary(summary, expected) -> None:
+    got = {(src, dst, idx): value for node, src, dst, idx, value in summary}
+    assert got == expected, "routing delivered wrong frames"
+    for node, src, dst, idx, _value in summary:
+        assert node == dst, f"frame ({src},{dst},{idx}) landed on {node}"
+
+
+def _prepare_routing(n: int, graph: Graph, rng: random.Random) -> PreparedScenario:
+    from repro.routing.lenzen import route_kernel_program, route_program
+    from repro.routing.schedule import build_schedule
+
+    frame_size = _ROUTING_FRAME_SIZE
+    demand = _routing_demand(n, graph)
+    schedule = build_schedule(demand, n)
+    inputs, expected = _routing_instance(n, demand, rng)
 
     def validate(summary) -> None:
-        got = {(src, dst, idx): value for node, src, dst, idx, value in summary}
-        assert got == expected, "routing delivered wrong frames"
-        for node, src, dst, idx, _value in summary:
-            assert node == dst, f"frame ({src},{dst},{idx}) landed on {node}"
+        _check_routing_summary(summary, expected)
 
     return PreparedScenario(
         network_kwargs=dict(n=n, bandwidth=frame_size, mode=Mode.UNICAST),
@@ -215,8 +265,46 @@ def _prepare_routing(n: int, graph: Graph, rng: random.Random) -> PreparedScenar
             "kernel": route_kernel_program(schedule, frame_size),
         },
         inputs=inputs,
-        summarize=summarize,
+        summarize=_summarize_routing,
         validate=validate,
+    )
+
+
+def _prepare_routing_many(
+    n: int, graph: Graph, rng: random.Random
+) -> PreparedScenario:
+    """K payload batches routed through one schedule: the multi-instance
+    twin of ``routing``.  The round structure is identical for every
+    instance (it depends only on the demand pattern), so the cell is one
+    ``run_many`` sweep over a single compiled schedule — exactly the
+    shape the zero-copy fabric accelerates (persistent schedule cache,
+    shared-memory lanes, K-sharding across pool workers)."""
+    from repro.routing.lenzen import route_kernel_program, route_program
+    from repro.routing.schedule import build_schedule
+
+    frame_size = _ROUTING_FRAME_SIZE
+    demand = _routing_demand(n, graph)
+    schedule = build_schedule(demand, n)
+    instances: List[List[Dict[Any, Bits]]] = []
+    expected_all: List[Dict[Tuple[int, int, int], int]] = []
+    for _k in range(ROUTING_MANY_INSTANCES):
+        inputs, expected = _routing_instance(n, demand, rng)
+        instances.append(inputs)
+        expected_all.append(expected)
+
+    def validate_instance(k: int, summary) -> None:
+        _check_routing_summary(summary, expected_all[k])
+
+    return PreparedScenario(
+        network_kwargs=dict(n=n, bandwidth=frame_size, mode=Mode.UNICAST),
+        programs={
+            "generator": route_program(schedule, frame_size),
+            "kernel": route_kernel_program(schedule, frame_size),
+        },
+        inputs=instances[0],
+        summarize=_summarize_routing,
+        instances=instances,
+        validate_instance=validate_instance,
     )
 
 
@@ -395,6 +483,19 @@ register_protocol(
         # 16-bit frames regardless of n: the demand pattern scales, the
         # word size does not.
         bandwidth_budget=BandwidthBudget(flat=16),
+    )
+)
+register_protocol(
+    ProtocolSpec(
+        name="routing_many",
+        description="K-instance Lenzen routing through one compiled schedule",
+        mode=Mode.UNICAST,
+        engines=("legacy", "fast", "kernel"),
+        prepare=_prepare_routing_many,
+        # Same word size as ``routing``: K scales the instance count,
+        # never the frame width.
+        bandwidth_budget=BandwidthBudget(flat=16),
+        instances=ROUTING_MANY_INSTANCES,
     )
 )
 register_protocol(

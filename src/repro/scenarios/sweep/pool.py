@@ -62,6 +62,18 @@ def _now() -> float:
     return time.monotonic()  # analysis: allow(wall-clock)
 
 
+def _parent(tid: str) -> str:
+    """The cell key a task id belongs to (``key#i`` → ``key``): K-shard
+    task ids extend their cell's journal key with a shard index."""
+    return tid.split("#", 1)[0]
+
+
+def _is_shm_descriptor(payload: Any) -> bool:
+    """Whether a done-event payload is a shared-memory handoff
+    descriptor rather than the payload itself."""
+    return isinstance(payload, dict) and set(payload) == {"shm", "nbytes"}
+
+
 class _Slot:
     """One worker position: process + private task queue + current task."""
 
@@ -100,6 +112,8 @@ def run_journaled_serial(
     checkpoint_dir: Optional[str] = None,
     checkpoint_every_rounds: Optional[int] = None,
     checkpoint_every_seconds: Optional[float] = None,
+    schedule_cache: Optional[str] = None,
+    shard_k: Optional[int] = None,
 ):
     """The serial runner with journal/resume plumbing attached — used
     directly by ``run(journal=..., resume_from=...)`` without workers,
@@ -119,6 +133,8 @@ def run_journaled_serial(
             checkpoint_dir=checkpoint_dir,
             checkpoint_every_rounds=checkpoint_every_rounds,
             checkpoint_every_seconds=checkpoint_every_seconds,
+            schedule_cache=schedule_cache,
+            shard_k=shard_k,
         )
     finally:
         if handle is not None:
@@ -144,6 +160,9 @@ def run_sharded(
     checkpoint_dir: Optional[str] = None,
     checkpoint_every_rounds: Optional[int] = None,
     checkpoint_every_seconds: Optional[float] = None,
+    schedule_cache: Optional[str] = None,
+    shard_k: Optional[int] = None,
+    use_shm: Optional[bool] = None,
 ):
     """Run ``matrix`` on a supervised pool of ``workers`` processes.
 
@@ -151,8 +170,23 @@ def run_sharded(
     :class:`~repro.scenarios.matrix.MatrixResult` shape as the serial
     runner, with ``meta["pool"]`` carrying executor forensics
     (per-worker accounting, respawns, quarantined keys, replay counts).
+
+    The zero-copy fabric rides three keywords: ``schedule_cache=`` (a
+    directory every worker shares — each program compiles exactly once
+    across the whole pool), ``shard_k=`` (split multi-instance cells
+    into K-shards dispatched as independent tasks ``key#i`` and merged
+    digest-identically on completion), and ``use_shm`` (shared-memory
+    handoff of shard payloads and lane buffers; default: autodetect,
+    with graceful inline fallback).  Shard retry follows the cell retry
+    policy per shard; a quarantined shard quarantines its whole cell.
     """
-    from repro.scenarios.matrix import _cell_key
+    from repro.scenarios.matrix import _cell_key, merge_shard_payloads, plan_shards
+    from repro.scenarios.sweep.shm import (
+        fetch_payload,
+        segment_prefix,
+        shm_available,
+        sweep_leaked_segments,
+    )
 
     if workers < 1:
         raise ValueError("workers must be at least 1")
@@ -170,6 +204,10 @@ def run_sharded(
             key = _cell_key(matrix.seed, protocol, family, n, engine)
             task_info[key] = (protocol, family, n, engine)
 
+    if use_shm is None:
+        use_shm = shm_available()
+    shm_prefix = segment_prefix() if use_shm else None
+
     pool_meta: Dict[str, Any] = {
         "executor": "pool",
         "workers": workers,
@@ -180,12 +218,41 @@ def run_sharded(
         "fallback_reason": None,
         "worker_stats": {},
         "checkpoint_events": 0,
+        "shard_k": shard_k,
+        "shard_tasks": 0,
+        "shm": bool(use_shm),
+        "segments_swept": 0,
     }
     meta["pool"] = pool_meta
     meta["journal"] = handle.path if handle is not None else None
 
     completed: Dict[str, Dict[str, Any]] = dict(replay)
-    pending = deque(k for k in all_keys if k not in completed)
+
+    # -- task expansion: eligible multi-instance cells become K-shard
+    # -- tasks ``key#i`` at chunk-aligned instance ranges ---------------
+    shard_ranges: Dict[str, Tuple[int, int]] = {}
+    shard_count: Dict[str, int] = {}
+    task_ids: List[str] = []
+    for key in all_keys:
+        if key in completed:
+            continue
+        protocol, family, n, engine = task_info[key]
+        spec = get_protocol(protocol)
+        if matrix._shardable(spec, engine, shard_k, checkpoint_dir):
+            shards = plan_shards(spec.instances, shard_k, n)
+            if len(shards) > 1:
+                shard_count[key] = len(shards)
+                for si, (lo, hi) in enumerate(shards):
+                    tid = f"{key}#{si}"
+                    shard_ranges[tid] = (lo, hi)
+                    task_ids.append(tid)
+                continue
+        task_ids.append(key)
+    pool_meta["shard_tasks"] = len(shard_ranges)
+    pending = deque(task_ids)
+    #: Per-cell accumulation of completed shard payloads / max attempt.
+    shard_results: Dict[str, Dict[str, Dict[str, Any]]] = {}
+    shard_attempts: Dict[str, int] = {}
 
     def serial_fallback(reason: str):
         pool_meta["executor"] = "serial-fallback"
@@ -196,6 +263,7 @@ def run_sharded(
                 checkpoint_dir=checkpoint_dir,
                 checkpoint_every_rounds=checkpoint_every_rounds,
                 checkpoint_every_seconds=checkpoint_every_seconds,
+                schedule_cache=schedule_cache,
             )
         finally:
             if handle is not None:
@@ -254,25 +322,36 @@ def run_sharded(
         slot.spawned_at = _now()
         slot.task = None
         stats.setdefault(
-            slot.index, {"cells": 0, "seconds": 0.0, "total_bits": 0, "respawns": -1}
+            slot.index,
+            {"cells": 0, "shards": 0, "seconds": 0.0, "total_bits": 0,
+             "respawns": -1},
         )["respawns"] += 1
 
     def kill(slot: _Slot) -> None:
         if slot.proc is not None and slot.proc.is_alive():
             slot.proc.kill()
             slot.proc.join(timeout=10.0)
+        if shm_prefix is not None:
+            # The dead worker may have left segments it created but never
+            # announced (or announced into a queue we are about to treat
+            # as stale).  Its name subspace is dead with it: sweep now,
+            # before a replacement reuses the slot index.
+            pool_meta["segments_swept"] += sweep_leaked_segments(
+                f"{shm_prefix}-w{slot.index}-"
+            )
 
-    def handle_failure(key: str, exc_type: type, message: str, digest: str) -> None:
+    def handle_failure(tid: str, exc_type: type, message: str, digest: str) -> None:
         nonlocal fresh
+        key = _parent(tid)
         if key in completed:
             return
-        attempts_used[key] = attempts_used.get(key, 0) + 1
-        k = attempts_used[key]
+        attempts_used[tid] = attempts_used.get(tid, 0) + 1
+        k = attempts_used[tid]
         if handle is not None:
-            handle.record_attempt(key, k, exc_type.__name__, message, digest)
+            handle.record_attempt(tid, k, exc_type.__name__, message, digest)
         if k >= max_attempts:
             protocol, family, n, engine = task_info[key]
-            err = exc_type(message, coordinate=key, attempts=k,
+            err = exc_type(message, coordinate=tid, attempts=k,
                            traceback_digest=digest)
             quarantined = {
                 "protocol": protocol, "family": family, "n": n,
@@ -281,14 +360,22 @@ def run_sharded(
                 "traceback_digest": digest, "attempts": k,
                 "quarantined": True,
             }
+            # A poisoned shard poisons its cell: drop the siblings (done
+            # or pending) — a partial merge must never masquerade as the
+            # cell.
             completed[key] = quarantined
             pool_meta["quarantined"].append(key)
+            if tid != key:
+                shard_results.pop(key, None)
+                for sibling in [t for t in pending if _parent(t) == key]:
+                    pending.remove(sibling)
+            retries[:] = [r for r in retries if _parent(r[2]) != key]
             if handle is not None:
                 handle.record_cell(key, quarantined, attempt=k)
             fresh += 1
         else:
             delay = min(backoff_cap, backoff_base * (2 ** (k - 1)))
-            retries.append((_now() + delay, k + 1, key))
+            retries.append((_now() + delay, k + 1, tid))
 
     def fail_inflight(slot: _Slot, exc_type: type, reason: str) -> None:
         task = slot.task
@@ -331,28 +418,33 @@ def run_sharded(
             for slot in slots:
                 if slot.task is not None or not slot.proc.is_alive():
                     continue
-                key = attempt = None
+                tid = attempt = None
                 ready = [r for r in retries if r[0] <= now]
                 if ready:
                     ready.sort()
                     retries.remove(ready[0])
-                    _, attempt, key = ready[0]
+                    _, attempt, tid = ready[0]
                 elif pending:
-                    key, attempt = pending.popleft(), 1
-                if key is None:
+                    tid, attempt = pending.popleft(), 1
+                if tid is None:
                     continue
-                protocol, family, n, engine = task_info[key]
+                protocol, family, n, engine = task_info[_parent(tid)]
+                extras = {
+                    "shard": shard_ranges.get(tid),
+                    "schedule_cache": schedule_cache,
+                    "shm_prefix": shm_prefix,
+                }
                 slot.queue.put(
                     (
-                        key, get_protocol(protocol), family, n, engine,
+                        tid, get_protocol(protocol), family, n, engine,
                         matrix.seed, matrix.repeats, matrix.verify,
                         fault_plan_json, matrix.cell_round_limit, attempt,
                         checkpoint_dir, checkpoint_every_rounds,
-                        checkpoint_every_seconds,
+                        checkpoint_every_seconds, extras,
                     )
                 )
                 slot.task = {
-                    "key": key, "attempt": attempt,
+                    "key": tid, "attempt": attempt,
                     "assigned_at": now, "started_at": None, "last_event": now,
                 }
             # -- event drain ----------------------------------------------
@@ -382,22 +474,65 @@ def run_sharded(
                             key, attempt, round_index, digest
                         )
                 elif kind == "done":
-                    _, _, key, attempt, cell_dict, seconds = event
-                    if slot.task is not None and slot.task["key"] == key:
+                    _, _, tid, attempt, payload, seconds = event
+                    if slot.task is not None and slot.task["key"] == tid:
                         slot.task = None
+                    key = _parent(tid)
                     if key in completed:
                         continue  # stale duplicate from a killed attempt
-                    cell_dict["attempts"] = attempt
-                    completed[key] = cell_dict
-                    retries[:] = [r for r in retries if r[2] != key]
-                    if handle is not None:
-                        handle.record_cell(key, cell_dict, attempt=attempt)
+                    if _is_shm_descriptor(payload):
+                        # Zero-copy handoff: the queue carried only the
+                        # segment name; attach, load, unlink.
+                        try:
+                            payload = fetch_payload(payload)
+                        except Exception:  # noqa: BLE001 - lost segment
+                            handle_failure(
+                                tid, WorkerCrashError,
+                                "result segment lost before fetch",
+                                hashlib.sha256(
+                                    f"segment-lost:{tid}".encode()
+                                ).hexdigest()[:12],
+                            )
+                            continue
                     st = stats.setdefault(
                         wid,
-                        {"cells": 0, "seconds": 0.0, "total_bits": 0, "respawns": 0},
+                        {"cells": 0, "shards": 0, "seconds": 0.0,
+                         "total_bits": 0, "respawns": 0},
                     )
-                    st["cells"] += 1
                     st["seconds"] += seconds
+                    cell_dict = None
+                    if tid != key:
+                        # One K-shard of a cell: bank it, merge when the
+                        # last sibling lands.
+                        bucket = shard_results.setdefault(key, {})
+                        bucket[tid] = payload
+                        shard_attempts[key] = max(
+                            shard_attempts.get(key, 1), attempt
+                        )
+                        st["shards"] += 1
+                        retries[:] = [r for r in retries if r[2] != tid]
+                        if len(bucket) == shard_count[key]:
+                            protocol, family, n, engine = task_info[key]
+                            merged = merge_shard_payloads(
+                                get_protocol(protocol), family, n, engine,
+                                list(bucket.values()),
+                            )
+                            cell_dict = merged.to_dict()
+                            cell_dict["attempts"] = shard_attempts[key]
+                            shard_results.pop(key, None)
+                    else:
+                        cell_dict = payload
+                        cell_dict["attempts"] = attempt
+                    if cell_dict is None:
+                        continue
+                    completed[key] = cell_dict
+                    retries[:] = [r for r in retries if _parent(r[2]) != key]
+                    if handle is not None:
+                        handle.record_cell(
+                            key, cell_dict,
+                            attempt=cell_dict.get("attempts") or 1,
+                        )
+                    st["cells"] += 1
                     st["total_bits"] += cell_dict.get("total_bits") or 0
                     fresh += 1
                     if fresh in chaos_set:
@@ -489,6 +624,11 @@ def run_sharded(
             slot.queue.close()
         result_queue.cancel_join_thread()
         result_queue.close()
+        if shm_prefix is not None:
+            # Crash-safety net: unlink every segment of this sweep that
+            # was created but never fetched (worker SIGKILLed between
+            # create and announce, supervisor interrupted mid-drain, ...).
+            pool_meta["segments_swept"] += sweep_leaked_segments(shm_prefix)
 
     if degrade_reason is not None:
         # Pool-level failure: finish the remaining cells in-process, the
@@ -533,13 +673,23 @@ def _run_keys_serially(
     checkpoint_dir: Optional[str] = None,
     checkpoint_every_rounds: Optional[int] = None,
     checkpoint_every_seconds: Optional[float] = None,
+    schedule_cache: Optional[str] = None,
 ) -> None:
-    """Execute ``keys`` in-process (fallback / degradation path)."""
+    """Execute ``keys`` in-process (fallback / degradation path).
+
+    ``keys`` may contain K-shard task ids (``key#i``) left over from a
+    degraded pool run; each cell executes once, whole — the digest is
+    identical either way, and in-process there is nobody to share the
+    shards with.
+    """
     from repro.scenarios.matrix import run_cell
 
-    for key in keys:
-        if key in completed:
+    seen: set = set()
+    for tid in keys:
+        key = _parent(tid)
+        if key in completed or key in seen:
             continue
+        seen.add(key)
         protocol, family, n, engine = task_info[key]
         cell = run_cell(
             get_protocol(protocol), family, n, engine,
@@ -548,6 +698,7 @@ def _run_keys_serially(
             checkpoint_dir=checkpoint_dir,
             checkpoint_every_rounds=checkpoint_every_rounds,
             checkpoint_every_seconds=checkpoint_every_seconds,
+            schedule_cache=schedule_cache,
         )
         payload = cell.to_dict()
         completed[key] = payload

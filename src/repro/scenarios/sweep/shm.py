@@ -1,0 +1,260 @@
+"""Shared-memory transport for the sweep fabric.
+
+Workers hand large per-shard payloads back to the supervisor through
+:mod:`multiprocessing.shared_memory` segments instead of pickling them
+through the result queue: the worker serializes once into a segment it
+creates, the event on the queue carries only ``(name, nbytes)``, and
+the supervisor attaches, deserializes, and unlinks.  For SIGKILL-able
+workers the interesting part is cleanup, which rests on two legs:
+
+* **Deterministic names.**  Every segment a worker creates is prefixed
+  ``repro-zc-<supervisor pid>-``, so the supervisor can enumerate and
+  unlink leftovers by prefix (:func:`leaked_segments`,
+  :func:`sweep_leaked_segments`) even when the worker died between
+  creating a segment and announcing it.
+* **Supervisor-side unlink registry.**  Python's ``resource_tracker``
+  would unlink a segment as soon as its *creator* exits — exactly wrong
+  for a handoff, and useless after SIGKILL.  Segments are therefore
+  deregistered from the creator's tracker at creation time
+  (:func:`create_segment`) and ownership passes to whichever process
+  calls :func:`destroy_segment` (the supervisor, normally; the prefix
+  sweep, after a crash).
+
+Everything here degrades gracefully: if shared memory is unavailable
+(platform without ``/dev/shm``, permissions), publishers fall back to
+returning the payload inline for plain queue transport.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = [
+    "SEGMENT_PREFIX",
+    "shm_available",
+    "segment_prefix",
+    "create_segment",
+    "attach_segment",
+    "destroy_segment",
+    "publish_payload",
+    "fetch_payload",
+    "leaked_segments",
+    "sweep_leaked_segments",
+]
+
+#: Leading component of every segment name the sweep fabric creates.
+SEGMENT_PREFIX = "repro-zc"
+
+#: Where POSIX shared memory surfaces as files (Linux).  Used only for
+#: leak *detection*; unlinking goes through SharedMemory.unlink().
+_SHM_DIR = "/dev/shm"
+
+
+def shm_available() -> bool:
+    """True when POSIX shared memory is usable on this host."""
+    try:
+        from multiprocessing import shared_memory  # noqa: F401
+    except ImportError:
+        return False
+    return os.path.isdir(_SHM_DIR)
+
+
+def segment_prefix(supervisor_pid: Optional[int] = None) -> str:
+    """The name prefix for all segments of one supervisor's sweep."""
+    pid = os.getpid() if supervisor_pid is None else supervisor_pid
+    return f"{SEGMENT_PREFIX}-{pid}"
+
+
+def _untrack(shm: Any) -> None:
+    """Detach ``shm`` from this process's resource tracker.
+
+    The tracker unlinks segments when their creating process exits —
+    correct for in-process scratch, wrong for a worker→supervisor
+    handoff where the creator exits first.  Best-effort: tracker
+    internals vary across Python versions, and a failure here only
+    means a spurious cleanup warning, never a leak (the supervisor's
+    prefix sweep unlinks by name).
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+
+
+def _retrack(shm: Any) -> None:
+    """Re-register ``shm`` with the resource tracker just before unlink.
+
+    ``SharedMemory.unlink()`` unconditionally *unregisters* the name;
+    for segments we deregistered at creation (see :func:`_untrack`) that
+    unbalanced unregister makes the tracker process print a KeyError
+    traceback.  Registration is idempotent (the tracker keeps a set), so
+    re-registering first keeps the ledger balanced on every path.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.register(shm._name, "shared_memory")
+    except Exception:
+        pass
+
+
+def create_segment(name: str, nbytes: int):
+    """Create (and untrack) a named shared-memory segment."""
+    from multiprocessing import shared_memory
+
+    try:
+        segment = shared_memory.SharedMemory(name=name, create=True, size=nbytes)
+    except FileExistsError:
+        # Stale leftover with the same name (a prior crashed run):
+        # replace it so deterministic names never wedge a sweep.
+        stale = shared_memory.SharedMemory(name=name)
+        _untrack(stale)
+        destroy_segment(stale)
+        segment = shared_memory.SharedMemory(name=name, create=True, size=nbytes)
+    _untrack(segment)
+    return segment
+
+
+def attach_segment(name: str):
+    """Attach to an existing segment (and untrack the attachment)."""
+    from multiprocessing import shared_memory
+
+    segment = shared_memory.SharedMemory(name=name)
+    _untrack(segment)
+    return segment
+
+
+def destroy_segment(segment: Any) -> None:
+    """Unlink a segment and release this process's mapping.
+
+    Unlink runs first so the name disappears even if a live buffer
+    export keeps the local mapping open (the kernel frees the pages
+    once the last mapping closes).
+    """
+    _retrack(segment)
+    try:
+        segment.unlink()
+    except FileNotFoundError:
+        # unlink() raised before its internal unregister ran; drop the
+        # entry _retrack just added or the tracker re-unlinks at exit.
+        _untrack(segment)
+    except Exception:
+        _untrack(segment)
+    try:
+        segment.close()
+    except BufferError:
+        # A numpy view still points into the buffer; the mapping stays
+        # until process exit, but the name is already gone.
+        pass
+    except Exception:
+        pass
+
+
+def publish_payload(obj: Any, name: str) -> Tuple[Optional[Dict[str, Any]], Any]:
+    """Serialize ``obj`` into a named segment for cross-process pickup.
+
+    Uses pickle protocol 5 with out-of-band buffers: large array
+    payloads are *not* copied into a private pickle stream first — the
+    tiny stream and each raw buffer are memcpy'd straight into the
+    segment behind a ``[count, size...]`` header.  One copy in, one
+    copy out; the pickled-queue transport this replaces pays three.
+
+    Returns ``(descriptor, None)`` on success — the descriptor is what
+    travels over the queue — or ``(None, obj)`` when shared memory is
+    unavailable (or ``obj`` defeats out-of-band serialization), in
+    which case the caller ships the object inline.
+    """
+    if not shm_available():
+        return None, obj
+    try:
+        buffers: List[pickle.PickleBuffer] = []
+        stream = pickle.dumps(obj, protocol=5, buffer_callback=buffers.append)
+        chunks = [memoryview(stream)] + [b.raw() for b in buffers]
+        sizes = [chunk.nbytes for chunk in chunks]
+        header = struct.pack(f"<{len(sizes) + 1}Q", len(sizes), *sizes)
+        total = len(header) + sum(sizes)
+        segment = create_segment(name, total)
+    except Exception:
+        return None, obj
+    buf = segment.buf
+    buf[: len(header)] = header
+    offset = len(header)
+    for chunk, size in zip(chunks, sizes):
+        buf[offset : offset + size] = chunk
+        offset += size
+    descriptor = {"shm": segment.name, "nbytes": total}
+    # Close our mapping; the named segment stays until the consumer
+    # (or the supervisor's sweep) unlinks it.
+    try:
+        segment.close()
+    except Exception:
+        pass
+    return descriptor, None
+
+
+def fetch_payload(descriptor: Dict[str, Any]) -> Any:
+    """Load, then unlink, a payload published by :func:`publish_payload`.
+
+    The pickle stream deserializes straight out of the mapped segment;
+    each out-of-band buffer is copied exactly once into a private
+    ``bytearray`` (the supervisor must own the data after the unlink),
+    which reconstructed arrays wrap without a further copy.
+    """
+    segment = attach_segment(descriptor["shm"])
+    try:
+        buf = segment.buf
+        (count,) = struct.unpack_from("<Q", buf, 0)
+        sizes = struct.unpack_from(f"<{count}Q", buf, 8)
+        offset = 8 + 8 * count
+        stream = buf[offset : offset + sizes[0]]
+        try:
+            rest = []
+            position = offset + sizes[0]
+            for size in sizes[1:]:
+                rest.append(bytearray(buf[position : position + size]))
+                position += size
+            obj = pickle.loads(stream, buffers=rest)
+        finally:
+            stream.release()
+    finally:
+        destroy_segment(segment)
+    return obj
+
+
+def leaked_segments(prefix: str) -> List[str]:
+    """Names of live segments under ``prefix`` (empty off-Linux)."""
+    if not os.path.isdir(_SHM_DIR):
+        return []
+    try:
+        entries = os.listdir(_SHM_DIR)
+    except OSError:
+        return []
+    return sorted(name for name in entries if name.startswith(prefix))
+
+
+def sweep_leaked_segments(prefix: str) -> int:
+    """Unlink every live segment under ``prefix``; returns the count.
+
+    The supervisor's crash-safety net: a worker SIGKILLed between
+    creating a segment and announcing it leaves a name the registry
+    never saw.  Deterministic prefixes make those discoverable.
+    """
+    from multiprocessing import shared_memory
+
+    count = 0
+    for name in leaked_segments(prefix):
+        try:
+            segment = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            continue
+        except Exception:
+            continue
+        _untrack(segment)
+        destroy_segment(segment)
+        count += 1
+    return count

@@ -39,7 +39,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.circuits.circuit import CONST_KIND, GATE_KIND, Circuit
 from repro.core.bits import Bits
-from repro.core.compiled import mark_oblivious
+from repro.core.compiled import declare_schedule_digest, mark_oblivious
 from repro.core.network import Context, Mode, Network, Outbox, RunResult
 from repro.routing.lenzen import payload_demand, route_payloads
 from repro.routing.schedule import RoutingSchedule, build_schedule
@@ -364,6 +364,7 @@ def make_program(plan: SimulationPlan):
 
     # The round structure is a pure function of the plan — see the
     # module docstring.
+    declare_schedule_digest(program, "simulate_circuit", plan)
     return mark_oblivious(program, "simulate_circuit", id(plan))
 
 

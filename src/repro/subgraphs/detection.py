@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.core.bits import Bits
-from repro.core.compiled import mark_oblivious
+from repro.core.compiled import declare_schedule_digest, mark_oblivious
 from repro.core.network import Mode, Network, RunResult
 from repro.core.phases import transmit_broadcast
 from repro.graphs.graph import Edge, Graph, canonical_edge
@@ -134,7 +134,10 @@ def full_learning_program(pattern: Graph):
         )
 
     # Every node broadcasts a full n-bit row every run: the phase
-    # structure depends only on n, never on the edges.
+    # structure depends only on n, never on the edges — so the
+    # persistent-cache identity needs no parts beyond the name (n is
+    # part of the cache key material).
+    declare_schedule_digest(program, "full_learning")
     return mark_oblivious(program)
 
 
